@@ -1,0 +1,29 @@
+//! Criterion benchmark: BVH construction (binned SAH + 6-wide collapse)
+//! across scene scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rt_bvh::WideBvh;
+use rt_scene::{Scene, SceneId};
+
+fn bvh_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bvh_build");
+    group.sample_size(10);
+    for (scene, detail) in [
+        (SceneId::Wknd, 1.0f32),
+        (SceneId::Bunny, 1.0),
+        (SceneId::Spnza, 1.0),
+        (SceneId::Car, 0.5),
+    ] {
+        let mesh = Scene::build_with_detail(scene, detail).mesh;
+        let tris = mesh.into_triangles();
+        group.bench_with_input(
+            BenchmarkId::new("binned_sah_6wide", format!("{scene}/{}tris", tris.len())),
+            &tris,
+            |b, tris| b.iter(|| WideBvh::build(tris.clone())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bvh_build);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Ablation: microarchitectural sweeps around the Table 1 configuration —
+//! warp-buffer depth, RT-unit issue width, and L1 capacity — showing how
+//! sensitive the treelet-prefetching gain is to each.
+
+use rt_bench::pct;
+use rt_scene::{SceneId, Workload};
+use treelet_rt::{Bench, SimConfig};
+
+fn run_pair(bench: &Bench, mutate: impl Fn(&mut SimConfig)) -> (u64, u64, f64) {
+    let mut base = SimConfig::paper_baseline();
+    mutate(&mut base);
+    let mut pf = SimConfig::paper_treelet_prefetch();
+    mutate(&mut pf);
+    let b = bench.run(&base);
+    let p = bench.run(&pf);
+    (b.cycles, p.cycles, p.speedup_over(&b))
+}
+
+fn main() {
+    let detail = std::env::var("TREELET_DETAIL")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let bench = Bench::prepare(SceneId::Car, detail, Workload::paper_default());
+    println!("== Ablation 4: microarchitecture sweeps (CAR) ==");
+
+    println!("\n-- warp buffer size (Table 1: 16) --");
+    for size in [4usize, 8, 16, 32] {
+        let (b, p, s) = run_pair(&bench, |c| c.warp_buffer_size = size);
+        println!(
+            "{size:>3} entries: base {b:>8} pf {p:>8} speedup {}",
+            pct(s)
+        );
+    }
+
+    println!("\n-- RT-unit issue width --");
+    for width in [1usize, 2, 4, 8] {
+        let (b, p, s) = run_pair(&bench, |c| c.issue_width = width);
+        println!(
+            "{width:>3}/cycle:   base {b:>8} pf {p:>8} speedup {}",
+            pct(s)
+        );
+    }
+
+    println!("\n-- L1 capacity (Table 1: 64 KB) --");
+    for kb in [16usize, 32, 64, 128] {
+        let (b, p, s) = run_pair(&bench, |c| c.mem.l1_lines = kb * 1024 / 64);
+        println!("{kb:>3} KB:      base {b:>8} pf {p:>8} speedup {}", pct(s));
+    }
+
+    println!("\n-- raygen shader stagger (cycles between warp launches) --");
+    for interval in [0u64, 100, 400, 1600] {
+        let (b, p, s) = run_pair(&bench, |c| c.raygen_interval = interval);
+        println!(
+            "{interval:>4} cyc:    base {b:>8} pf {p:>8} speedup {}",
+            pct(s)
+        );
+    }
+
+    println!("\n-- prefetch queue capacity --");
+    for cap in [16usize, 32, 64, 128] {
+        let (b, p, s) = run_pair(&bench, |c| c.prefetch_queue_capacity = cap);
+        println!("{cap:>3} entries: base {b:>8} pf {p:>8} speedup {}", pct(s));
+    }
+}

@@ -1,0 +1,85 @@
+//! Ablation: the SM shader pipeline around the RT unit (paper Fig. 2).
+//! Warps run ray-generation and shading code on the SM's issue port
+//! between `traceRay` calls; bounce generations mask dead lanes off
+//! SIMT-style. This sweeps the shading-to-traversal ratio to see how
+//! much of the treelet-prefetching benefit survives when the workload is
+//! no longer pure traversal.
+
+use rt_bench::pct;
+use rt_scene::{SceneId, Workload};
+use treelet_rt::{Bench, BounceKind, ShaderProgram, SimConfig};
+
+fn main() {
+    let detail = std::env::var("TREELET_DETAIL")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let bench = Bench::prepare(SceneId::Crnvl, detail, Workload::paper_default());
+
+    println!("== Ablation 7: shader pipeline around the RT unit (CRNVL) ==");
+    println!(
+        "{:<26} {:>10} {:>10} {:>9} {:>7}",
+        "program", "base cyc", "pf cyc", "speedup", "SIMT"
+    );
+    let programs: Vec<(&str, Option<ShaderProgram>)> = vec![
+        ("trace replay (paper §5)", None),
+        (
+            "raygen only",
+            Some(ShaderProgram {
+                raygen_ops: 64,
+                shade_ops: 0,
+                bounces: 0,
+                bounce_kind: BounceKind::Diffuse,
+                seed: 7,
+            }),
+        ),
+        ("path tracer (1 bounce)", Some(ShaderProgram::path_tracer())),
+        (
+            "heavy shading (1 bounce)",
+            Some(ShaderProgram {
+                raygen_ops: 256,
+                shade_ops: 1024,
+                bounces: 1,
+                bounce_kind: BounceKind::Diffuse,
+                seed: 7,
+            }),
+        ),
+        (
+            "2 diffuse bounces",
+            Some(ShaderProgram {
+                raygen_ops: 32,
+                shade_ops: 64,
+                bounces: 2,
+                bounce_kind: BounceKind::Diffuse,
+                seed: 7,
+            }),
+        ),
+        (
+            "2 specular bounces",
+            Some(ShaderProgram {
+                raygen_ops: 32,
+                shade_ops: 64,
+                bounces: 2,
+                bounce_kind: BounceKind::Specular,
+                seed: 7,
+            }),
+        ),
+    ];
+    for (name, shader) in programs {
+        let mut base_cfg = SimConfig::paper_baseline();
+        base_cfg.shader = shader;
+        let mut pf_cfg = SimConfig::paper_treelet_prefetch();
+        pf_cfg.shader = shader;
+        let base = bench.run(&base_cfg);
+        let pf = bench.run(&pf_cfg);
+        println!(
+            "{:<26} {:>10} {:>10} {:>9} {:>6.1}%",
+            name,
+            base.cycles,
+            pf.cycles,
+            pct(pf.speedup_over(&base)),
+            pf.simt_efficiency * 100.0
+        );
+    }
+    println!("\n(SIMT = mean live-lane fraction of warps entering the RT unit)");
+}

@@ -1,0 +1,60 @@
+//! Figure 8: comparison to prior work — the Lee et al. many-thread-aware
+//! stride prefetcher (implemented optimistically with infinite tables)
+//! against treelet prefetching.
+
+use rt_bench::{geometric_mean, pct, print_scene_table, Suite};
+use treelet_rt::{PrefetchConfig, SimConfig};
+
+fn main() {
+    let suite = Suite::prepare_default();
+    let base = suite.run_all(&SimConfig::paper_baseline());
+    let mut mta_cfg = SimConfig::paper_baseline();
+    mta_cfg.prefetch = PrefetchConfig::Mta;
+    let mta = suite.run_all(&mta_cfg);
+    let mut ghb_cfg = SimConfig::paper_baseline();
+    ghb_cfg.prefetch = PrefetchConfig::Ghb;
+    let ghb = suite.run_all(&ghb_cfg);
+    let pf = suite.run_all(&SimConfig::paper_treelet_prefetch());
+
+    let rows: Vec<_> = suite
+        .benches()
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            (
+                b.scene(),
+                vec![
+                    mta[i].speedup_over(&base[i]),
+                    ghb[i].speedup_over(&base[i]),
+                    pf[i].speedup_over(&base[i]),
+                ],
+            )
+        })
+        .collect();
+    print_scene_table(
+        "Fig. 8: speedup vs prior work",
+        &["MTA (Lee+)", "GHB", "treelet-pf"],
+        &rows,
+        true,
+    );
+    let mta_s: Vec<f64> = rows.iter().map(|(_, c)| c[0]).collect();
+    let ghb_s: Vec<f64> = rows.iter().map(|(_, c)| c[1]).collect();
+    let pf_s: Vec<f64> = rows.iter().map(|(_, c)| c[2]).collect();
+    println!(
+        "\nMTA mean: {} (paper: ~0%, ineffective); GHB mean: {} (paper §2.4: unsuitable); treelet mean: {}",
+        pct(geometric_mean(&mta_s)),
+        pct(geometric_mean(&ghb_s)),
+        pct(geometric_mean(&pf_s))
+    );
+    let useless: u64 = mta
+        .iter()
+        .map(|r| r.prefetch_effect.unused + r.prefetch_effect.too_late)
+        .sum();
+    let total: u64 = mta.iter().map(|r| r.prefetch_effect.total()).sum();
+    if total > 0 {
+        println!(
+            "MTA prefetches that fetched nothing useful: {:.0}% (paper: 'does not fetch many useful BVH nodes')",
+            useless as f64 / total as f64 * 100.0
+        );
+    }
+}

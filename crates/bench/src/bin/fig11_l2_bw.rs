@@ -1,0 +1,44 @@
+//! Figure 11: L2 bandwidth of the prefetch heuristics, normalized to the
+//! baseline RT unit (no prefetching).
+
+use rt_bench::{print_scene_table, Suite};
+use treelet_rt::{PrefetchHeuristic, SimConfig};
+
+fn main() {
+    let suite = Suite::prepare_default();
+    let base = suite.run_all(&SimConfig::paper_baseline());
+    let line = SimConfig::paper_baseline().mem.line_bytes;
+    let heuristics = [
+        ("ALWAYS", PrefetchHeuristic::Always),
+        ("POP:0.5", PrefetchHeuristic::Popularity(0.5)),
+        ("PARTIAL", PrefetchHeuristic::Partial),
+    ];
+    let results: Vec<Vec<_>> = heuristics
+        .iter()
+        .map(|(_, h)| suite.run_all(&SimConfig::paper_treelet_prefetch().with_heuristic(*h)))
+        .collect();
+
+    let rows: Vec<_> = suite
+        .benches()
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            let b0 = base[i].l2_bytes_per_cycle(line);
+            (
+                b.scene(),
+                results
+                    .iter()
+                    .map(|r| r[i].l2_bytes_per_cycle(line) / b0)
+                    .collect(),
+            )
+        })
+        .collect();
+    let columns: Vec<&str> = heuristics.iter().map(|(n, _)| *n).collect();
+    print_scene_table(
+        "Fig. 11: L2 bandwidth normalized to no prefetching",
+        &columns,
+        &rows,
+        true,
+    );
+    println!("(paper: POPULARITY/PARTIAL throttle L2 BW below ALWAYS)");
+}

@@ -1,0 +1,46 @@
+//! Figure 17: decision accuracy of the pseudo two-level majority voter —
+//! how often it agrees with a full majority voter on the most popular
+//! treelet.
+
+use rt_bench::{print_scene_table, Suite};
+use treelet_rt::{SimConfig, VoterKind};
+
+fn main() {
+    let suite = Suite::prepare_default();
+    let latencies = [0u64, 32, 128];
+    let results: Vec<Vec<_>> = latencies
+        .iter()
+        .map(|&lat| {
+            suite.run_all(
+                &SimConfig::paper_treelet_prefetch().with_voter(VoterKind::PseudoTwoLevel, lat),
+            )
+        })
+        .collect();
+
+    let rows: Vec<_> = suite
+        .benches()
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            (
+                b.scene(),
+                results
+                    .iter()
+                    .map(|r| {
+                        r[i].prefetcher
+                            .map(|p| p.voter_accuracy() * 100.0)
+                            .unwrap_or(0.0)
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    print_scene_table(
+        "Fig. 17: pseudo-voter agreement with the full voter (%)",
+        &["0 cyc", "32 cyc", "128 cyc"],
+        &rows,
+        false,
+    );
+    let mean: f64 = rows.iter().map(|(_, c)| c[0]).sum::<f64>() / rows.len() as f64;
+    println!("\nmean agreement at 0-cycle sampling: {mean:.1}% (paper: 91.2%)");
+}

@@ -1,0 +1,125 @@
+//! Renders SVG charts of the key reproduced figures into `charts/`
+//! (override with the `TREELET_CHART_DIR` environment variable).
+
+use rt_bench::{bar_chart, Suite};
+use std::path::PathBuf;
+use treelet_rt::{PrefetchHeuristic, SimConfig};
+
+fn main() -> std::io::Result<()> {
+    let dir =
+        PathBuf::from(std::env::var("TREELET_CHART_DIR").unwrap_or_else(|_| "charts".to_string()));
+    std::fs::create_dir_all(&dir)?;
+    let suite = Suite::prepare_default();
+    let base = suite.run_all(&SimConfig::paper_baseline());
+
+    // Fig. 7: overall speedup + normalized power.
+    let pf = suite.run_all(&SimConfig::paper_treelet_prefetch());
+    let rows: Vec<_> = suite
+        .benches()
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            (
+                b.scene(),
+                vec![
+                    pf[i].speedup_over(&base[i]),
+                    pf[i].power.avg_power_w / base[i].power.avg_power_w,
+                ],
+            )
+        })
+        .collect();
+    std::fs::write(
+        dir.join("fig07_overall.svg"),
+        bar_chart(
+            "Fig. 7: treelet prefetching speedup and normalized power (ALWAYS, PMR, 512 B)",
+            &["speedup", "norm. power"],
+            &rows,
+            Some(1.0),
+        ),
+    )?;
+
+    // Fig. 9: breakdown.
+    let trav = suite.run_all(&SimConfig::paper_treelet_traversal_only());
+    let rows: Vec<_> = suite
+        .benches()
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            (
+                b.scene(),
+                vec![trav[i].speedup_over(&base[i]), pf[i].speedup_over(&base[i])],
+            )
+        })
+        .collect();
+    std::fs::write(
+        dir.join("fig09_breakdown.svg"),
+        bar_chart(
+            "Fig. 9: treelet traversal alone vs + prefetching",
+            &["traversal only", "traversal + prefetch"],
+            &rows,
+            Some(1.0),
+        ),
+    )?;
+
+    // Fig. 10: heuristics.
+    let heuristics = [
+        ("ALWAYS", PrefetchHeuristic::Always),
+        ("POP 0.5", PrefetchHeuristic::Popularity(0.5)),
+        ("PARTIAL", PrefetchHeuristic::Partial),
+    ];
+    let results: Vec<Vec<_>> = heuristics
+        .iter()
+        .map(|(_, h)| suite.run_all(&SimConfig::paper_treelet_prefetch().with_heuristic(*h)))
+        .collect();
+    let rows: Vec<_> = suite
+        .benches()
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            (
+                b.scene(),
+                results
+                    .iter()
+                    .map(|r| r[i].speedup_over(&base[i]))
+                    .collect(),
+            )
+        })
+        .collect();
+    let columns: Vec<&str> = heuristics.iter().map(|(n, _)| *n).collect();
+    std::fs::write(
+        dir.join("fig10_heuristics.svg"),
+        bar_chart("Fig. 10: prefetch heuristics", &columns, &rows, Some(1.0)),
+    )?;
+
+    // Fig. 20: effectiveness stack rendered as grouped bars.
+    let rows: Vec<_> = suite
+        .benches()
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            let e = pf[i].prefetch_effect;
+            let total = e.total().max(1) as f64;
+            (
+                b.scene(),
+                vec![
+                    e.timely as f64 / total,
+                    e.late as f64 / total,
+                    e.too_late as f64 / total,
+                    e.unused as f64 / total,
+                ],
+            )
+        })
+        .collect();
+    std::fs::write(
+        dir.join("fig20_effectiveness.svg"),
+        bar_chart(
+            "Fig. 20: prefetch effectiveness (fractions)",
+            &["timely", "late", "too late", "unused"],
+            &rows,
+            None,
+        ),
+    )?;
+
+    println!("charts written to {}", dir.display());
+    Ok(())
+}

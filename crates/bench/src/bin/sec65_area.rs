@@ -1,0 +1,34 @@
+//! Section 6.5: prefetcher design storage and area arithmetic for the
+//! two-level pseudo majority voter.
+
+use treelet_rt::VoterAreaModel;
+
+fn main() {
+    let m = VoterAreaModel::paper_default();
+    println!("== §6.5: two-level pseudo majority voter storage/area ==");
+    println!(
+        "first-level table:  {} entries x ({} addr bits + count) = {} B (paper: 108 B)",
+        m.first_level_entries,
+        m.address_bits,
+        m.first_level_table_bytes()
+    );
+    println!(
+        "second-level table: {} entries x ({} addr bits + count) = {} B (paper: 52 B)",
+        m.second_level_entries,
+        m.address_bits,
+        m.second_level_table_bytes()
+    );
+    println!(
+        "sequential logic area (FreePDK45): {} um^2 (paper: 461 um^2)",
+        m.sequential_area_um2()
+    );
+    println!("\nvoter latency by first-level table replication:");
+    for tables in [1u32, 2, 4, 8, 16] {
+        println!(
+            "  {:>2} table(s) -> {:>3} cycles",
+            tables,
+            m.latency_cycles(tables)
+        );
+    }
+    println!("(paper: 1 table = 512 cycles, 4 tables = 128 cycles, 16 tables = 32 cycles)");
+}

@@ -1,0 +1,38 @@
+//! Table 1: the simulated GPU configuration.
+
+use treelet_rt::SimConfig;
+
+fn main() {
+    let c = SimConfig::paper_baseline();
+    println!("== Table 1: Vulkan-Sim configuration (reproduced) ==");
+    println!("# Streaming Multiprocessors (SM)   {}", c.num_sms);
+    println!("Warp Size                          {}", c.warp_size);
+    println!(
+        "L1 Data Cache                      {} KB, fully assoc. LRU, {} cycles",
+        c.mem.l1_lines * c.mem.line_bytes as usize / 1024,
+        c.mem.l1_latency
+    );
+    println!(
+        "L2 Unified Cache                   {} MB, {}-way assoc. LRU, {} cycles, {} partitions",
+        c.mem.l2_lines * c.mem.line_bytes as usize / (1024 * 1024),
+        c.mem.l2_lines as u64 / c.mem.l2_sets,
+        c.mem.l2_latency,
+        c.mem.l2_partitions
+    );
+    println!(
+        "Core, Interconnect, L2 Clock       {} MHz",
+        c.mem.core_clock_mhz
+    );
+    println!(
+        "Memory Clock                       {} MHz",
+        c.mem.mem_clock_mhz
+    );
+    println!(
+        "DRAM                               {} channels, {} B partition stride, {} mem-cycle access",
+        c.mem.dram.channels, c.mem.dram.partition_stride, c.mem.dram.service_latency
+    );
+    println!("# RT Units / SM                    1");
+    println!("RT Unit Warp Buffer Size           {}", c.warp_buffer_size);
+    println!("Cache Line                         {} B", c.mem.line_bytes);
+    println!("Max Treelet Size (default)         {} B", c.treelet_bytes);
+}

@@ -1,0 +1,221 @@
+//! Shared experiment harness for reproducing the paper's tables and
+//! figures.
+//!
+//! Every `fig*`/`tab*` binary in `src/bin/` prepares the sixteen-scene
+//! suite once with [`Suite::prepare`], runs the configurations the
+//! corresponding paper experiment compares, and prints the same rows or
+//! series the paper reports (plus the paper's published numbers where
+//! available, for side-by-side comparison).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod svg;
+
+use rt_scene::{SceneId, Workload};
+use std::time::Instant;
+pub use svg::bar_chart;
+pub use treelet_rt::{geometric_mean, Bench, SimConfig, SimResult};
+
+/// Default scene detail for the experiment suite (full evaluation scale;
+/// see `DESIGN.md` for the scaling rationale).
+pub const SUITE_DETAIL: f32 = 1.0;
+
+/// The sixteen-scene evaluation suite, prepared once and reused across
+/// configurations.
+#[derive(Debug)]
+pub struct Suite {
+    benches: Vec<Bench>,
+}
+
+impl Suite {
+    /// Prepares every scene of the paper's Table 2 at `detail` with the
+    /// given ray workload, printing progress to stderr.
+    pub fn prepare(detail: f32, workload: Workload) -> Suite {
+        let t0 = Instant::now();
+        let benches = SceneId::ALL
+            .into_iter()
+            .map(|id| {
+                eprint!("preparing {id} ... ");
+                let b = Bench::prepare(id, detail, workload);
+                eprintln!("{} triangles", b.bvh().triangles().len());
+                b
+            })
+            .collect();
+        eprintln!("suite prepared in {:.1?}", t0.elapsed());
+        Suite { benches }
+    }
+
+    /// Prepares the suite with the paper's default workload (32×32
+    /// primary rays, 1 SPP) at the default detail, honoring the
+    /// `TREELET_DETAIL` environment variable for quick runs.
+    pub fn prepare_default() -> Suite {
+        let detail = std::env::var("TREELET_DETAIL")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(SUITE_DETAIL);
+        Suite::prepare(detail, Workload::paper_default())
+    }
+
+    /// The prepared per-scene benches, in Table 2 order.
+    pub fn benches(&self) -> &[Bench] {
+        &self.benches
+    }
+
+    /// Runs `config` on every scene, in suite order. Scenes run on
+    /// parallel threads (each simulation itself is deterministic and
+    /// single-threaded, so results are identical to a serial run).
+    pub fn run_all(&self, config: &SimConfig) -> Vec<SimResult> {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .benches
+                .iter()
+                .map(|b| scope.spawn(move || b.run(config)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scene simulation thread panicked"))
+                .collect()
+        })
+    }
+}
+
+/// Slugifies a table title into a file-name-safe stem.
+fn slugify(title: &str) -> String {
+    let mut out = String::new();
+    let mut last_dash = true;
+    for ch in title.chars() {
+        if ch.is_ascii_alphanumeric() {
+            out.push(ch.to_ascii_lowercase());
+            last_dash = false;
+        } else if !last_dash {
+            out.push('-');
+            last_dash = true;
+        }
+    }
+    out.trim_matches('-').to_string()
+}
+
+/// Writes a table as CSV into `dir` (one file per table, named from the
+/// title).
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+pub fn write_csv(
+    dir: &std::path::Path,
+    title: &str,
+    columns: &[&str],
+    rows: &[(SceneId, Vec<f64>)],
+) -> std::io::Result<std::path::PathBuf> {
+    use std::io::Write;
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.csv", slugify(title)));
+    let mut file = std::io::BufWriter::new(std::fs::File::create(&path)?);
+    write!(file, "scene")?;
+    for c in columns {
+        write!(file, ",{}", slugify(c))?;
+    }
+    writeln!(file)?;
+    for (scene, cells) in rows {
+        write!(file, "{}", scene.name())?;
+        for v in cells {
+            write!(file, ",{v}")?;
+        }
+        writeln!(file)?;
+    }
+    Ok(path)
+}
+
+/// Prints a table: a header row, one row per scene, and (optionally) a
+/// geometric-mean row, matching how the paper reports per-scene series.
+/// When the `TREELET_CSV_DIR` environment variable is set, the table is
+/// also written there as CSV for plotting.
+pub fn print_scene_table(title: &str, columns: &[&str], rows: &[(SceneId, Vec<f64>)], gmean: bool) {
+    if let Ok(dir) = std::env::var("TREELET_CSV_DIR") {
+        match write_csv(std::path::Path::new(&dir), title, columns, rows) {
+            Ok(path) => eprintln!("csv written: {}", path.display()),
+            Err(e) => eprintln!("csv write failed: {e}"),
+        }
+    }
+    println!("\n== {title} ==");
+    print!("{:<7}", "Scene");
+    for c in columns {
+        print!(" {c:>14}");
+    }
+    println!();
+    for (scene, cells) in rows {
+        print!("{:<7}", scene.name());
+        for v in cells {
+            print!(" {v:>14.4}");
+        }
+        println!();
+    }
+    if gmean && !rows.is_empty() {
+        print!("{:<7}", "GMean");
+        for col in 0..columns.len() {
+            let vals: Vec<f64> = rows.iter().map(|(_, cells)| cells[col]).collect();
+            if vals.iter().all(|&v| v > 0.0) {
+                print!(" {:>14.4}", geometric_mean(&vals));
+            } else {
+                print!(" {:>14}", "-");
+            }
+        }
+        println!();
+    }
+}
+
+/// Formats a speedup as the percentage the paper quotes (`1.321` →
+/// `+32.1%`).
+pub fn pct(speedup: f64) -> String {
+    format!("{:+.1}%", (speedup - 1.0) * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats_paper_style() {
+        assert_eq!(pct(1.321), "+32.1%");
+        assert_eq!(pct(0.963), "-3.7%");
+        assert_eq!(pct(1.0), "+0.0%");
+    }
+
+    #[test]
+    fn slugify_makes_file_stems() {
+        assert_eq!(
+            slugify("Fig. 7: speedup and power (ALWAYS)"),
+            "fig-7-speedup-and-power-always"
+        );
+        assert_eq!(slugify("   "), "");
+    }
+
+    #[test]
+    fn write_csv_round_trip() {
+        let dir = std::env::temp_dir().join("rt_bench_csv_test");
+        let rows = vec![
+            (SceneId::Wknd, vec![1.0, 2.5]),
+            (SceneId::Car, vec![0.5, 4.0]),
+        ];
+        let path = write_csv(&dir, "Test table: one", &["a", "b x"], &rows).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "scene,a,b-x\nWKND,1,2.5\nCAR,0.5,4\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn print_scene_table_smoke() {
+        // Printing must not panic on normal and empty row sets.
+        print_scene_table(
+            "test",
+            &["a", "b"],
+            &[
+                (SceneId::Wknd, vec![1.0, 2.0]),
+                (SceneId::Ship, vec![0.5, 4.0]),
+            ],
+            true,
+        );
+        print_scene_table("empty", &["a"], &[], true);
+    }
+}

@@ -1,0 +1,198 @@
+//! Dependency-free SVG bar charts for the harness: renders per-scene
+//! grouped bars in the style of the paper's figures.
+
+use rt_scene::SceneId;
+use std::fmt::Write as _;
+
+/// Series colors (color-blind-safe palette).
+const COLORS: [&str; 6] = [
+    "#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377",
+];
+
+/// Renders a grouped bar chart of `rows` (one group per scene, one bar
+/// per column) into an SVG string.
+///
+/// `baseline` draws a horizontal reference line at that y-value (e.g.
+/// `1.0` for speedup charts).
+///
+/// # Panics
+///
+/// Panics if any row's cell count differs from `columns.len()`.
+pub fn bar_chart(
+    title: &str,
+    columns: &[&str],
+    rows: &[(SceneId, Vec<f64>)],
+    baseline: Option<f64>,
+) -> String {
+    for (scene, cells) in rows {
+        assert_eq!(
+            cells.len(),
+            columns.len(),
+            "row {scene} has {} cells for {} columns",
+            cells.len(),
+            columns.len()
+        );
+    }
+    let width = 960.0f64;
+    let height = 360.0f64;
+    let margin_left = 56.0;
+    let margin_right = 12.0;
+    let margin_top = 40.0;
+    let margin_bottom = 48.0;
+    let plot_w = width - margin_left - margin_right;
+    let plot_h = height - margin_top - margin_bottom;
+
+    let max_value = rows
+        .iter()
+        .flat_map(|(_, cells)| cells.iter().copied())
+        .chain(baseline)
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    let y_top = max_value * 1.1;
+    let y_of = |v: f64| margin_top + plot_h * (1.0 - v / y_top);
+
+    let groups = rows.len().max(1) as f64;
+    let group_w = plot_w / groups;
+    let bar_w = (group_w * 0.8 / columns.len().max(1) as f64).min(28.0);
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}" font-family="sans-serif">"##
+    );
+    let _ = write!(
+        svg,
+        r##"<rect width="{width}" height="{height}" fill="white"/><text x="{}" y="22" font-size="15" text-anchor="middle">{}</text>"##,
+        width / 2.0,
+        xml_escape(title)
+    );
+
+    // Y axis with 5 ticks.
+    for i in 0..=5 {
+        let v = y_top * i as f64 / 5.0;
+        let y = y_of(v);
+        let _ = write!(
+            svg,
+            r##"<line x1="{margin_left}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#dddddd"/><text x="{:.1}" y="{:.1}" font-size="10" text-anchor="end">{v:.2}</text>"##,
+            width - margin_right,
+            margin_left - 6.0,
+            y + 3.0
+        );
+    }
+    if let Some(b) = baseline {
+        let y = y_of(b);
+        let _ = write!(
+            svg,
+            r##"<line x1="{margin_left}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#888888" stroke-dasharray="4 3"/>"##,
+            width - margin_right
+        );
+    }
+
+    // Bars.
+    for (g, (scene, cells)) in rows.iter().enumerate() {
+        let group_x = margin_left + g as f64 * group_w;
+        let total_bars_w = bar_w * columns.len() as f64;
+        let start = group_x + (group_w - total_bars_w) / 2.0;
+        for (c, &v) in cells.iter().enumerate() {
+            let x = start + c as f64 * bar_w;
+            let y = y_of(v.max(0.0));
+            let h = (y_of(0.0) - y).max(0.0);
+            let _ = write!(
+                svg,
+                r##"<rect x="{x:.1}" y="{y:.1}" width="{:.1}" height="{h:.1}" fill="{}"/>"##,
+                bar_w * 0.9,
+                COLORS[c % COLORS.len()]
+            );
+        }
+        let _ = write!(
+            svg,
+            r##"<text x="{:.1}" y="{:.1}" font-size="10" text-anchor="middle">{}</text>"##,
+            group_x + group_w / 2.0,
+            height - margin_bottom + 14.0,
+            scene.name()
+        );
+    }
+
+    // Legend.
+    let mut lx = margin_left;
+    let ly = height - 14.0;
+    for (c, name) in columns.iter().enumerate() {
+        let _ = write!(
+            svg,
+            r##"<rect x="{lx:.1}" y="{:.1}" width="10" height="10" fill="{}"/><text x="{:.1}" y="{:.1}" font-size="11">{}</text>"##,
+            ly - 9.0,
+            COLORS[c % COLORS.len()],
+            lx + 14.0,
+            ly,
+            xml_escape(name)
+        );
+        lx += 16.0 + 7.0 * name.len() as f64 + 18.0;
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+fn xml_escape(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<(SceneId, Vec<f64>)> {
+        vec![
+            (SceneId::Wknd, vec![1.0, 1.1]),
+            (SceneId::Car, vec![1.3, 1.4]),
+        ]
+    }
+
+    #[test]
+    fn chart_is_valid_ish_svg() {
+        let svg = bar_chart("Test <chart>", &["a", "b"], &rows(), Some(1.0));
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("Test &lt;chart&gt;"));
+        // One bar per cell.
+        let bars = svg.matches("<rect").count();
+        // background + 4 bars + 2 legend swatches
+        assert_eq!(bars, 1 + 4 + 2);
+        assert!(svg.contains("WKND"));
+        assert!(svg.contains("CAR"));
+        // Baseline dashed line present.
+        assert!(svg.contains("stroke-dasharray"));
+    }
+
+    #[test]
+    fn taller_value_gives_taller_bar() {
+        let single: Vec<(SceneId, Vec<f64>)> =
+            vec![(SceneId::Wknd, vec![1.0]), (SceneId::Car, vec![2.0])];
+        let svg = bar_chart("t", &["a"], &single, None);
+        // Extract bar heights: the chart height (360) and the 10-pixel
+        // legend swatch are excluded, leaving the two data bars in order.
+        let heights: Vec<f64> = svg
+            .match_indices("height=\"")
+            .map(|(i, pat)| {
+                let rest = &svg[i + pat.len()..];
+                rest.split('"').next().unwrap().parse::<f64>().unwrap()
+            })
+            .filter(|&h| h != 360.0 && h != 10.0)
+            .collect();
+        assert_eq!(heights.len(), 2, "expected exactly two bars: {heights:?}");
+        assert!(heights[1] > heights[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn mismatched_columns_panic() {
+        let _ = bar_chart("t", &["a"], &[(SceneId::Wknd, vec![1.0, 2.0])], None);
+    }
+
+    #[test]
+    fn empty_rows_render() {
+        let svg = bar_chart("empty", &["a"], &[], None);
+        assert!(svg.contains("</svg>"));
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests for BVH construction and memory layout.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rt_bvh::{MemoryImage, PackOptions, WideBvh, WideNode, NODE_SIZE_BYTES, WIDE_ARITY};
+use rt_geometry::{Ray, Triangle, Vec3};
+
+fn coord() -> impl Strategy<Value = f32> {
+    -50.0f32..50.0
+}
+
+fn triangle() -> impl Strategy<Value = Triangle> {
+    (
+        coord(),
+        coord(),
+        coord(),
+        -2.0f32..2.0,
+        -2.0f32..2.0,
+        -2.0f32..2.0,
+        -2.0f32..2.0,
+        -2.0f32..2.0,
+        -2.0f32..2.0,
+    )
+        .prop_map(|(x, y, z, a, b, c, d, e, f)| {
+            let p = Vec3::new(x, y, z);
+            Triangle::new(p, p + Vec3::new(a, b, c), p + Vec3::new(d, e, f))
+        })
+}
+
+fn soup() -> impl Strategy<Value = Vec<Triangle>> {
+    vec(triangle(), 1..120)
+}
+
+/// Walks the tree, checking reachability, arity, containment, and that
+/// every triangle is covered exactly once.
+fn validate_structure(bvh: &WideBvh) -> Result<(), String> {
+    let mut visited = vec![false; bvh.node_count()];
+    let mut covered = vec![false; bvh.triangles().len()];
+    let mut stack = vec![bvh.root()];
+    while let Some(n) = stack.pop() {
+        if visited[n as usize] {
+            return Err(format!("node {n} reachable twice"));
+        }
+        visited[n as usize] = true;
+        match &bvh.nodes()[n as usize] {
+            WideNode::Internal { children } => {
+                if children.is_empty() || children.len() > WIDE_ARITY {
+                    return Err(format!("node {n} has {} children", children.len()));
+                }
+                for c in children {
+                    if !c.aabb.contains_box(&bvh.nodes()[c.node as usize].aabb()) {
+                        return Err(format!("child {} escapes stored bounds", c.node));
+                    }
+                    stack.push(c.node);
+                }
+            }
+            WideNode::Leaf { first, count, aabb } => {
+                for i in *first..*first + *count {
+                    if covered[i as usize] {
+                        return Err(format!("triangle {i} in two leaves"));
+                    }
+                    covered[i as usize] = true;
+                    if !aabb.contains_box(&bvh.triangles()[i as usize].aabb()) {
+                        return Err(format!("triangle {i} escapes leaf bounds"));
+                    }
+                }
+            }
+        }
+    }
+    if !visited.iter().all(|&v| v) {
+        return Err("unreachable nodes".into());
+    }
+    if !covered.iter().all(|&c| c) {
+        return Err("uncovered triangles".into());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_soups_build_valid_trees(tris in soup()) {
+        let bvh = WideBvh::build(tris);
+        if let Err(e) = validate_structure(&bvh) {
+            prop_assert!(false, "{}", e);
+        }
+    }
+
+    #[test]
+    fn bvh_intersect_matches_brute_force(
+        tris in soup(),
+        ox in coord(), oy in coord(), oz in coord(),
+        dx in -1.0f32..1.0, dy in -1.0f32..1.0, dz in -1.0f32..1.0,
+    ) {
+        prop_assume!(dx.abs() + dy.abs() + dz.abs() > 0.1);
+        let ray = Ray::new(Vec3::new(ox, oy, oz), Vec3::new(dx, dy, dz));
+        let brute = tris
+            .iter()
+            .filter_map(|t| t.intersect(&ray))
+            .fold(f32::INFINITY, f32::min);
+        let bvh = WideBvh::build(tris);
+        let hit = bvh.intersect(&ray);
+        if brute.is_finite() {
+            prop_assert!(hit.is_hit(), "bvh missed a brute-force hit at t={brute}");
+            prop_assert!((hit.t - brute).abs() < 1e-3 * brute.max(1.0),
+                "bvh t={} brute t={}", hit.t, brute);
+        } else {
+            prop_assert!(!hit.is_hit(), "bvh found a phantom hit at t={}", hit.t);
+        }
+    }
+
+    #[test]
+    fn depth_first_layout_is_compact_and_unique(tris in soup()) {
+        let bvh = WideBvh::build(tris);
+        let image = MemoryImage::depth_first(&bvh);
+        let mut addrs: Vec<u64> =
+            (0..bvh.node_count() as u32).map(|n| image.node_addr(n)).collect();
+        addrs.sort_unstable();
+        for (i, w) in addrs.windows(2).enumerate() {
+            prop_assert!(w[0] != w[1], "duplicate address for node pair at {i}");
+        }
+        prop_assert_eq!(
+            addrs[addrs.len() - 1] - addrs[0],
+            (bvh.node_count() as u64 - 1) * NODE_SIZE_BYTES
+        );
+    }
+
+    #[test]
+    fn treelet_packed_layout_keeps_groups_in_slots(tris in soup()) {
+        let bvh = WideBvh::build(tris);
+        // Trivial chunked grouping is enough to exercise the layout.
+        let groups: Vec<Vec<u32>> = (0..bvh.node_count() as u32)
+            .collect::<Vec<_>>()
+            .chunks(8)
+            .map(|c| c.to_vec())
+            .collect();
+        let image = MemoryImage::treelet_packed(&bvh, &groups, PackOptions::paper_default());
+        for (g, members) in groups.iter().enumerate() {
+            let (base, bytes) = image.group_extent(g as u32);
+            prop_assert_eq!(bytes, members.len() as u64 * NODE_SIZE_BYTES);
+            for &m in members {
+                let a = image.node_addr(m);
+                prop_assert!(a >= base && a < base + bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_capacity_is_always_respected(tris in soup()) {
+        let bvh = rt_bvh::WideBvhBuilder::new().max_leaf_tris(3).build(tris);
+        for node in bvh.nodes() {
+            if let WideNode::Leaf { count, .. } = node {
+                prop_assert!(*count <= 3);
+            }
+        }
+    }
+}

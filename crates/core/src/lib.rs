@@ -1,0 +1,77 @@
+//! # treelet-rt — Treelet Prefetching for Ray Tracing
+//!
+//! A from-scratch reproduction of *Treelet Prefetching For Ray Tracing*
+//! (Chou, Nowicki, Aamodt — MICRO 2023). The paper's idea: divide the BVH
+//! into small connected subtrees (*treelets*), traverse each ray's
+//! current treelet to exhaustion with a two-stack algorithm, and let a
+//! lightweight hardware prefetcher fetch whole treelets ahead of the
+//! pointer-chasing traversal, hiding BVH memory latency.
+//!
+//! This crate implements the paper's contributions and its evaluation
+//! apparatus:
+//!
+//! - [`TreeletAssignment`] — greedy breadth-first treelet formation (§3.1),
+//! - [`trace_ray`] / [`TraversalAlgorithm`] — baseline DFS and the
+//!   two-stack treelet traversal (§3.2, Algorithm 1),
+//! - [`TreeletPrefetcher`] — the majority-voter prefetcher with the
+//!   ALWAYS / POPULARITY / PARTIAL heuristics (§4.1–4.2) and the
+//!   [`VoterAreaModel`] storage arithmetic (§6.5),
+//! - [`SimConfig`] / [`simulate`] — the RT-unit timing model with the
+//!   Baseline / OMR / PMR schedulers (§4.3) and the BVH repacking or
+//!   mapping-table options (§4.4),
+//! - [`MtaPrefetcher`] — the Lee et al. stride-prefetching comparison
+//!   (Fig. 8),
+//! - [`Bench`] — a scene-level harness for reproducing the paper's
+//!   tables and figures.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use rt_scene::{SceneId, Workload};
+//! use treelet_rt::{Bench, SimConfig};
+//!
+//! let bench = Bench::prepare(SceneId::Bunny, 0.5, Workload::paper_default());
+//! let baseline = bench.run(&SimConfig::paper_baseline());
+//! let treelet = bench.run(&SimConfig::paper_treelet_prefetch());
+//! println!(
+//!     "BUNNY: {:.1}% speedup",
+//!     (treelet.speedup_over(&baseline) - 1.0) * 100.0
+//! );
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod experiments;
+mod ghb;
+mod metrics;
+mod mta;
+mod power;
+mod prefetch;
+mod sim;
+mod trace_io;
+mod traversal;
+mod treelet;
+mod workloads;
+
+pub use config::{
+    LayoutChoice, PrefetchConfig, PrefetchDestination, SchedulerPolicy, ShaderProgram, SimConfig,
+};
+pub use experiments::{geometric_mean, Bench, DEFAULT_DETAIL};
+pub use ghb::{GhbPrefetcher, GhbStats};
+pub use metrics::TreeletMetrics;
+pub use mta::{MtaPrefetcher, MtaStats};
+pub use power::{ActivityCounts, EnergyModel, PowerReport};
+pub use prefetch::{
+    full_vote, full_vote_counts, pseudo_vote, pseudo_vote_counts, MappingMode, PrefetchEntry,
+    PrefetchHeuristic, PrefetcherStats, TreeletPrefetcher, Vote, VoterAreaModel, VoterKind,
+};
+pub use sim::{simulate, simulate_batches, simulate_with_treelets, SimResult};
+pub use trace_io::{read_traces, write_traces, ParseTraceError};
+pub use traversal::{
+    compile_trace, trace_ray, trace_ray_with, CompiledStep, RayTrace, TraceStep,
+    TraversalAlgorithm, TraversalOptions, TraversalStats,
+};
+pub use treelet::{FormationPolicy, TreeletAssignment, DEFAULT_TREELET_BYTES};
+pub use workloads::{bounce_rays, bounce_rays_indexed, direction_coherence, BounceKind};

@@ -1,0 +1,162 @@
+//! Event-energy power model (the paper uses AccelWattch; §5 notes the
+//! prefetcher's extra power is captured as extra prefetch loads, which is
+//! exactly what this model counts).
+
+/// Dynamic activity counts collected by a simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ActivityCounts {
+    /// L1 probes (demand + prefetch).
+    pub l1_accesses: u64,
+    /// L2 accesses (L1 miss traffic + prefetch fills).
+    pub l2_accesses: u64,
+    /// DRAM line transfers.
+    pub dram_accesses: u64,
+    /// Ray-box (node) tests executed by the operation units.
+    pub box_tests: u64,
+    /// Ray-triangle tests executed by the operation units.
+    pub tri_tests: u64,
+}
+
+/// Per-event energies in nanojoules plus static power, loosely calibrated
+/// to GPU-class components (the absolute scale cancels in the paper's
+/// normalized Fig. 7 comparison).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Energy per L1 access (nJ).
+    pub l1_access_nj: f64,
+    /// Energy per L2 access (nJ).
+    pub l2_access_nj: f64,
+    /// Energy per DRAM line transfer (nJ).
+    pub dram_access_nj: f64,
+    /// Energy per ray-box test (nJ).
+    pub box_test_nj: f64,
+    /// Energy per ray-triangle test (nJ).
+    pub tri_test_nj: f64,
+    /// Static (leakage + constant) power per SM, watts.
+    pub static_watts_per_sm: f64,
+}
+
+impl EnergyModel {
+    /// Default calibration.
+    pub fn paper_default() -> Self {
+        EnergyModel {
+            l1_access_nj: 0.08,
+            l2_access_nj: 0.4,
+            dram_access_nj: 3.0,
+            box_test_nj: 0.05,
+            tri_test_nj: 0.1,
+            static_watts_per_sm: 1.2,
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel::paper_default()
+    }
+}
+
+/// Energy and average power of a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerReport {
+    /// Dynamic energy (nJ).
+    pub dynamic_nj: f64,
+    /// Static energy (nJ).
+    pub static_nj: f64,
+    /// Average power (W) over the run.
+    pub avg_power_w: f64,
+    /// Total energy (nJ).
+    pub total_nj: f64,
+}
+
+impl EnergyModel {
+    /// Evaluates the model over `counts` for a run of `cycles` core
+    /// cycles on `num_sms` SMs at `core_clock_mhz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` or `core_clock_mhz` is zero.
+    pub fn evaluate(
+        &self,
+        counts: &ActivityCounts,
+        cycles: u64,
+        num_sms: usize,
+        core_clock_mhz: u64,
+    ) -> PowerReport {
+        assert!(cycles > 0, "cannot evaluate power over zero cycles");
+        assert!(core_clock_mhz > 0, "clock must be nonzero");
+        let dynamic_nj = counts.l1_accesses as f64 * self.l1_access_nj
+            + counts.l2_accesses as f64 * self.l2_access_nj
+            + counts.dram_accesses as f64 * self.dram_access_nj
+            + counts.box_tests as f64 * self.box_test_nj
+            + counts.tri_tests as f64 * self.tri_test_nj;
+        let seconds = cycles as f64 / (core_clock_mhz as f64 * 1e6);
+        let static_nj = self.static_watts_per_sm * num_sms as f64 * seconds * 1e9;
+        let total_nj = dynamic_nj + static_nj;
+        PowerReport {
+            dynamic_nj,
+            static_nj,
+            total_nj,
+            avg_power_w: total_nj * 1e-9 / seconds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts() -> ActivityCounts {
+        ActivityCounts {
+            l1_accesses: 1000,
+            l2_accesses: 100,
+            dram_accesses: 10,
+            box_tests: 500,
+            tri_tests: 50,
+        }
+    }
+
+    #[test]
+    fn dynamic_energy_sums_events() {
+        let m = EnergyModel::paper_default();
+        let r = m.evaluate(&counts(), 1_000_000, 8, 1365);
+        let expected = 1000.0 * 0.08 + 100.0 * 0.4 + 10.0 * 3.0 + 500.0 * 0.05 + 50.0 * 0.1;
+        assert!((r.dynamic_nj - expected).abs() < 1e-9);
+        assert!(r.total_nj > r.dynamic_nj);
+    }
+
+    #[test]
+    fn static_energy_scales_with_cycles() {
+        let m = EnergyModel::paper_default();
+        let short = m.evaluate(&counts(), 1_000_000, 8, 1365);
+        let long = m.evaluate(&counts(), 2_000_000, 8, 1365);
+        assert!((long.static_nj / short.static_nj - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn average_power_is_energy_over_time() {
+        let m = EnergyModel::paper_default();
+        let r = m.evaluate(&counts(), 1_365_000, 8, 1365);
+        // 1_365_000 cycles at 1365 MHz = 1 ms.
+        let watts = r.total_nj * 1e-9 / 1e-3;
+        assert!((r.avg_power_w - watts).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fewer_cycles_same_work_raises_power_but_lowers_energy() {
+        // A faster run with identical dynamic activity has slightly higher
+        // average power but lower total energy — the paper's "same power"
+        // argument.
+        let m = EnergyModel::paper_default();
+        let slow = m.evaluate(&counts(), 2_000_000, 8, 1365);
+        let fast = m.evaluate(&counts(), 1_400_000, 8, 1365);
+        assert!(fast.total_nj < slow.total_nj);
+        assert!(fast.avg_power_w > slow.avg_power_w);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero cycles")]
+    fn zero_cycles_panics() {
+        EnergyModel::paper_default().evaluate(&ActivityCounts::default(), 0, 8, 1365);
+    }
+}

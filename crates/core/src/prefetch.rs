@@ -1,0 +1,799 @@
+//! The hardware treelet prefetcher (paper §4.1–§4.2, §6.5).
+//!
+//! The prefetcher watches the warp buffer, finds the most popular
+//! *next treelet* among resident rays with a majority voter, applies a
+//! prefetch heuristic, and pushes the treelet's cache lines into a
+//! prefetch queue that drains when the RT unit's memory scheduler is idle.
+
+use std::collections::VecDeque;
+
+/// Majority voter implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VoterKind {
+    /// An idealized single-cycle voter over all rays in the warp buffer.
+    Full,
+    /// The paper's practical two-level pseudo voter: a per-warp first
+    /// level followed by a second level over per-warp winners. May
+    /// disagree with [`VoterKind::Full`] when no clear majority exists
+    /// (Fig. 17).
+    PseudoTwoLevel,
+}
+
+/// The most popular treelet and how many warp-buffer rays will visit it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Vote {
+    /// Winning treelet id.
+    pub treelet: u32,
+    /// Exact number of rays in the buffer whose next treelet matches
+    /// (computed by the address comparator + ones counter, Fig. 4).
+    pub popularity: u32,
+}
+
+/// Computes the idealized full vote: the exact mode over every ray's next
+/// treelet. Returns `None` when no ray is resident.
+pub fn full_vote(warps: &[Vec<u32>]) -> Option<Vote> {
+    let mut counts = std::collections::HashMap::new();
+    for w in warps {
+        for &t in w {
+            *counts.entry(t).or_insert(0u32) += 1;
+        }
+    }
+    // Deterministic tie-break: lowest treelet id.
+    counts
+        .into_iter()
+        .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+        .map(|(treelet, popularity)| Vote {
+            treelet,
+            popularity,
+        })
+}
+
+/// Computes the two-level pseudo vote (Fig. 5): each warp elects its own
+/// most popular treelet with a 32-entry table, then a 16-entry second
+/// level accumulates the per-warp winners (weighted by their in-warp
+/// counts) and picks the overall winner. The exact popularity of the
+/// winner is then recomputed by the address comparator.
+pub fn pseudo_vote(warps: &[Vec<u32>]) -> Option<Vote> {
+    let mut second = std::collections::HashMap::new();
+    for w in warps {
+        let mut first = std::collections::HashMap::new();
+        for &t in w {
+            *first.entry(t).or_insert(0u32) += 1;
+        }
+        if let Some((winner, count)) = first
+            .into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+        {
+            *second.entry(winner).or_insert(0u32) += count;
+        }
+    }
+    let winner = second
+        .into_iter()
+        .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))?
+        .0;
+    // The popularity tracker compares the winner to every ray (exact).
+    let popularity = warps
+        .iter()
+        .flat_map(|w| w.iter())
+        .filter(|&&t| t == winner)
+        .count() as u32;
+    Some(Vote {
+        treelet: winner,
+        popularity,
+    })
+}
+
+/// Computes the full vote from per-treelet ray counts (the simulator's
+/// incrementally maintained form of the warp-buffer view).
+pub fn full_vote_counts(global: &std::collections::HashMap<u32, u32>) -> Option<Vote> {
+    global
+        .iter()
+        .filter(|&(_, &c)| c > 0)
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+        .map(|(&treelet, &popularity)| Vote {
+            treelet,
+            popularity,
+        })
+}
+
+/// Computes the two-level pseudo vote from per-warp treelet counts, using
+/// `global` counts for the winner's exact popularity.
+pub fn pseudo_vote_counts<'a, I>(
+    per_warp: I,
+    global: &std::collections::HashMap<u32, u32>,
+) -> Option<Vote>
+where
+    I: IntoIterator<Item = &'a std::collections::HashMap<u32, u32>>,
+{
+    let mut second = std::collections::HashMap::new();
+    for warp in per_warp {
+        if let Some((&winner, &count)) = warp
+            .iter()
+            .filter(|&(_, &c)| c > 0)
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+        {
+            *second.entry(winner).or_insert(0u32) += count;
+        }
+    }
+    let winner = second
+        .into_iter()
+        .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))?
+        .0;
+    Some(Vote {
+        treelet: winner,
+        popularity: global.get(&winner).copied().unwrap_or(0),
+    })
+}
+
+/// Prefetch heuristic (paper §4.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PrefetchHeuristic {
+    /// Always prefetch the most popular treelet (unless it equals the
+    /// previously prefetched one).
+    Always,
+    /// Prefetch only when the winner's popularity ratio exceeds the
+    /// threshold in `[0, 1]`.
+    Popularity(f32),
+    /// Prefetch a popularity-proportional prefix of the treelet (upper
+    /// levels first — treelets are formed breadth-first).
+    Partial,
+}
+
+impl std::fmt::Display for PrefetchHeuristic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PrefetchHeuristic::Always => write!(f, "ALWAYS"),
+            PrefetchHeuristic::Popularity(t) => write!(f, "POPULARITY:{t}"),
+            PrefetchHeuristic::Partial => write!(f, "PARTIAL"),
+        }
+    }
+}
+
+/// How the prefetcher learns treelet membership and node addresses
+/// (paper §4.4, Fig. 14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MappingMode {
+    /// The BVH is repacked into the treelet layout: treelet identity and
+    /// extent come straight from the address bits. No metadata loads.
+    Packed,
+    /// Unmodified BVH with a node-to-treelet mapping table; the mapping
+    /// load is inserted into the prefetch queue ahead of the prefetches
+    /// (the paper's optimistic *Loose Wait*).
+    LooseWait,
+    /// Unmodified BVH with a mapping table; prefetches may only enter the
+    /// queue after the mapping load returns (the paper's pessimistic
+    /// *Strict Wait*).
+    StrictWait,
+}
+
+/// One entry of the prefetch queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrefetchEntry {
+    /// Prefetch one cache line of treelet data.
+    Line(u64),
+    /// Load a mapping-table entry; under [`MappingMode::StrictWait`] the
+    /// dependent lines are released only when this load completes.
+    Meta {
+        /// Address of the 4-byte mapping-table entry (its cache line).
+        addr: u64,
+        /// Treelet lines gated on this load (empty under Loose Wait,
+        /// where lines are enqueued immediately after the meta entry).
+        gated_lines: Vec<u64>,
+    },
+}
+
+/// Prefetcher activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefetcherStats {
+    /// Votes computed.
+    pub decisions: u64,
+    /// Decisions that passed the heuristic and enqueued a treelet.
+    pub treelets_enqueued: u64,
+    /// Lines pushed into the prefetch queue.
+    pub lines_enqueued: u64,
+    /// Decisions suppressed by the duplicate-treelet register.
+    pub duplicate_suppressed: u64,
+    /// Decisions suppressed by the heuristic threshold.
+    pub threshold_suppressed: u64,
+    /// Decisions dropped because the queue was full.
+    pub queue_full_drops: u64,
+    /// Sampling rounds where the pseudo voter agreed with the full voter
+    /// (Fig. 17 numerator; only counted when both voters produce a vote).
+    pub pseudo_agreements: u64,
+    /// Sampling rounds where both voters produced a vote.
+    pub pseudo_comparisons: u64,
+}
+
+impl PrefetcherStats {
+    /// Pseudo-voter decision accuracy (Fig. 17).
+    pub fn voter_accuracy(&self) -> f64 {
+        if self.pseudo_comparisons == 0 {
+            1.0
+        } else {
+            self.pseudo_agreements as f64 / self.pseudo_comparisons as f64
+        }
+    }
+}
+
+/// The treelet prefetcher attached to one RT unit.
+///
+/// Drive it by calling [`TreeletPrefetcher::maybe_decide`] once per cycle
+/// with a view of the warp buffer, and popping entries with
+/// [`TreeletPrefetcher::pop`] on cycles where the memory scheduler is
+/// idle.
+#[derive(Debug)]
+pub struct TreeletPrefetcher {
+    heuristic: PrefetchHeuristic,
+    voter: VoterKind,
+    /// Cycles per decision and decision staleness (Fig. 16 sweep).
+    latency: u64,
+    /// Warp-buffer ray capacity (upper bound of the popularity-ratio
+    /// denominator).
+    max_rays: u32,
+    /// Rays currently resident in the warp buffer. The paper divides the
+    /// popularity by the buffer's maximum ray count; with the 32×32
+    /// workload only a few warps are ever resident, which would make
+    /// every threshold unreachable, so the ratio uses the resident count
+    /// (clamped to the capacity) — the fraction of present rays that
+    /// benefit, which is what the heuristic throttles on.
+    resident_rays: u32,
+    queue: VecDeque<PrefetchEntry>,
+    queue_capacity: usize,
+    last_prefetched: Option<u32>,
+    /// A decision computed at sample time, applied `latency` cycles later.
+    staged: Option<(u64, Vote)>,
+    next_sample_at: u64,
+    stats: PrefetcherStats,
+}
+
+impl TreeletPrefetcher {
+    /// Creates a prefetcher.
+    ///
+    /// `latency` is the majority-voter delay in cycles: decisions are
+    /// sampled every `max(latency, 1)` cycles and take effect `latency`
+    /// cycles after sampling (0 = idealized single-cycle voter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_rays` or `queue_capacity` is zero, or a popularity
+    /// threshold is outside `[0, 1]`.
+    pub fn new(
+        heuristic: PrefetchHeuristic,
+        voter: VoterKind,
+        latency: u64,
+        max_rays: u32,
+        queue_capacity: usize,
+    ) -> TreeletPrefetcher {
+        assert!(max_rays > 0, "warp buffer must hold at least one ray");
+        assert!(queue_capacity > 0, "prefetch queue needs capacity");
+        if let PrefetchHeuristic::Popularity(t) = heuristic {
+            assert!((0.0..=1.0).contains(&t), "threshold must be in [0, 1]");
+        }
+        TreeletPrefetcher {
+            heuristic,
+            voter,
+            latency,
+            max_rays,
+            resident_rays: max_rays,
+            queue: VecDeque::new(),
+            queue_capacity,
+            last_prefetched: None,
+            staged: None,
+            next_sample_at: 0,
+            stats: PrefetcherStats::default(),
+        }
+    }
+
+    /// The configured heuristic.
+    pub fn heuristic(&self) -> PrefetchHeuristic {
+        self.heuristic
+    }
+
+    /// The treelet most recently enqueued for prefetch (what the OMR/PMR
+    /// schedulers match against).
+    pub fn last_prefetched(&self) -> Option<u32> {
+        self.last_prefetched
+    }
+
+    /// Updates the number of rays currently resident in the warp buffer
+    /// (the popularity-ratio denominator).
+    pub fn set_resident_rays(&mut self, rays: u32) {
+        self.resident_rays = rays.max(1);
+    }
+
+    /// The configured voter.
+    pub fn voter(&self) -> VoterKind {
+        self.voter
+    }
+
+    /// Releases any staged decision whose latency has elapsed, and reports
+    /// whether the prefetcher wants a fresh warp-buffer sample this cycle.
+    ///
+    /// When this returns `true`, compute the vote (with
+    /// [`full_vote_counts`] / [`pseudo_vote_counts`] or the list-based
+    /// variants) and pass it to [`TreeletPrefetcher::submit`].
+    pub fn poll<F, M>(
+        &mut self,
+        now: u64,
+        mapping: MappingMode,
+        treelet_lines: F,
+        meta_line: M,
+    ) -> bool
+    where
+        F: Fn(u32) -> Vec<u64>,
+        M: Fn(u32) -> u64,
+    {
+        if let Some((ready_at, vote)) = self.staged {
+            if now >= ready_at {
+                self.staged = None;
+                self.apply(vote, mapping, &treelet_lines, &meta_line);
+            }
+        }
+        now >= self.next_sample_at && self.staged.is_none()
+    }
+
+    /// Submits a sampled vote at cycle `now`.
+    ///
+    /// `chosen` is the vote of the configured voter; `full` is the
+    /// idealized full vote, supplied (when cheap to compute) to account
+    /// pseudo-voter accuracy (Fig. 17).
+    pub fn submit<F, M>(
+        &mut self,
+        now: u64,
+        chosen: Option<Vote>,
+        full: Option<Vote>,
+        mapping: MappingMode,
+        treelet_lines: F,
+        meta_line: M,
+    ) where
+        F: Fn(u32) -> Vec<u64>,
+        M: Fn(u32) -> u64,
+    {
+        self.next_sample_at = now + self.latency.max(1);
+        if self.voter == VoterKind::PseudoTwoLevel {
+            if let (Some(p), Some(f)) = (chosen, full) {
+                self.stats.pseudo_comparisons += 1;
+                if p.treelet == f.treelet {
+                    self.stats.pseudo_agreements += 1;
+                }
+            }
+        }
+        let Some(vote) = chosen else { return };
+        self.stats.decisions += 1;
+        if self.latency == 0 {
+            self.apply(vote, mapping, &treelet_lines, &meta_line);
+        } else {
+            self.staged = Some((now + self.latency, vote));
+        }
+    }
+
+    /// Runs the complete sample-vote-apply pipeline for cycle `now` from a
+    /// warp-buffer view (the list-based convenience form of
+    /// [`TreeletPrefetcher::poll`] + [`TreeletPrefetcher::submit`]).
+    ///
+    /// `warp_treelets[w]` lists the next treelet of each active ray of
+    /// warp-buffer entry `w`. `treelet_lines(t)` returns treelet `t`'s
+    /// cache lines front-to-back, and `meta_line(t)` the line of its
+    /// mapping-table entry (consulted for the Loose/Strict Wait modes).
+    pub fn maybe_decide<F, M>(
+        &mut self,
+        now: u64,
+        warp_treelets: &[Vec<u32>],
+        mapping: MappingMode,
+        treelet_lines: F,
+        meta_line: M,
+    ) where
+        F: Fn(u32) -> Vec<u64>,
+        M: Fn(u32) -> u64,
+    {
+        if !self.poll(now, mapping, &treelet_lines, &meta_line) {
+            return;
+        }
+        let full = full_vote(warp_treelets);
+        let chosen = match self.voter {
+            VoterKind::Full => full,
+            VoterKind::PseudoTwoLevel => pseudo_vote(warp_treelets),
+        };
+        self.submit(now, chosen, full, mapping, treelet_lines, meta_line);
+    }
+
+    fn apply<F, M>(&mut self, vote: Vote, mapping: MappingMode, treelet_lines: &F, meta_line: &M)
+    where
+        F: Fn(u32) -> Vec<u64>,
+        M: Fn(u32) -> u64,
+    {
+        // Duplicate-treelet register (§4.1): never prefetch the same
+        // treelet twice in a row.
+        if self.last_prefetched == Some(vote.treelet) {
+            self.stats.duplicate_suppressed += 1;
+            return;
+        }
+        let denominator = self.resident_rays.clamp(1, self.max_rays);
+        let ratio = vote.popularity as f32 / denominator as f32;
+        let mut lines = match self.heuristic {
+            PrefetchHeuristic::Always => treelet_lines(vote.treelet),
+            PrefetchHeuristic::Popularity(threshold) => {
+                if ratio < threshold {
+                    self.stats.threshold_suppressed += 1;
+                    return;
+                }
+                treelet_lines(vote.treelet)
+            }
+            PrefetchHeuristic::Partial => {
+                let all = treelet_lines(vote.treelet);
+                let take = ((all.len() as f32 * ratio).ceil() as usize).clamp(1, all.len());
+                all[..take].to_vec()
+            }
+        };
+        if lines.is_empty() {
+            return;
+        }
+        let entries_needed = match mapping {
+            MappingMode::Packed => lines.len(),
+            _ => lines.len() + 1,
+        };
+        if self.queue.len() + entries_needed > self.queue_capacity {
+            self.stats.queue_full_drops += 1;
+            return;
+        }
+        self.stats.treelets_enqueued += 1;
+        self.stats.lines_enqueued += lines.len() as u64;
+        self.last_prefetched = Some(vote.treelet);
+        match mapping {
+            MappingMode::Packed => {
+                for l in lines.drain(..) {
+                    self.queue.push_back(PrefetchEntry::Line(l));
+                }
+            }
+            MappingMode::LooseWait => {
+                // Mapping load rides the queue ahead of the prefetches but
+                // nothing waits for it (best case).
+                self.queue.push_back(PrefetchEntry::Meta {
+                    addr: meta_line(vote.treelet),
+                    gated_lines: Vec::new(),
+                });
+                for l in lines.drain(..) {
+                    self.queue.push_back(PrefetchEntry::Line(l));
+                }
+            }
+            MappingMode::StrictWait => {
+                // Prefetches enter the queue only after the mapping load
+                // returns (worst case): gate them on the meta entry.
+                self.queue.push_back(PrefetchEntry::Meta {
+                    addr: meta_line(vote.treelet),
+                    gated_lines: lines,
+                });
+            }
+        }
+    }
+
+    /// Pops the next prefetch entry (call when the memory scheduler is
+    /// idle, per §4.1).
+    pub fn pop(&mut self) -> Option<PrefetchEntry> {
+        self.queue.pop_front()
+    }
+
+    /// Re-inserts lines released by a completed Strict-Wait mapping load,
+    /// at the front of the queue.
+    pub fn release_gated(&mut self, lines: Vec<u64>) {
+        for l in lines.into_iter().rev() {
+            self.queue.push_front(PrefetchEntry::Line(l));
+        }
+    }
+
+    /// Current queue depth.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> PrefetcherStats {
+        self.stats
+    }
+}
+
+/// Storage/area arithmetic of the two-level pseudo majority voter
+/// (paper §6.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VoterAreaModel {
+    /// First-level entries (one per thread of a warp).
+    pub first_level_entries: u32,
+    /// Second-level entries (one per warp-buffer slot).
+    pub second_level_entries: u32,
+    /// Treelet address bits (512-byte-aligned roots need 23 bits).
+    pub address_bits: u32,
+}
+
+impl VoterAreaModel {
+    /// The paper's parameters: 32-entry first level, 16-entry second
+    /// level, 23-bit treelet addresses.
+    pub fn paper_default() -> Self {
+        VoterAreaModel {
+            first_level_entries: 32,
+            second_level_entries: 16,
+            address_bits: 23,
+        }
+    }
+
+    /// Count-field bits of a table: enough to count its entries, with the
+    /// early-majority optimization (a count over half the table size
+    /// immediately wins, so `ceil(log2(entries)) - 1` bits suffice... the
+    /// paper uses 4 bits for 32 entries and 3 for 16).
+    fn count_bits(entries: u32) -> u32 {
+        32 - (entries - 1).leading_zeros() - 1
+    }
+
+    /// First-level table storage in bytes (the paper's 108 B).
+    pub fn first_level_table_bytes(&self) -> u32 {
+        let bits = self.first_level_entries
+            * (self.address_bits + Self::count_bits(self.first_level_entries));
+        bits.div_ceil(8)
+    }
+
+    /// Second-level table storage in bytes (the paper's 52 B).
+    pub fn second_level_table_bytes(&self) -> u32 {
+        let bits = self.second_level_entries
+            * (self.address_bits + Self::count_bits(self.second_level_entries));
+        bits.div_ceil(8)
+    }
+
+    /// Synthesized area of the voter's sequential logic in µm²
+    /// (FreePDK45, the paper's 461 µm²).
+    pub fn sequential_area_um2(&self) -> f64 {
+        461.0
+    }
+
+    /// Voter latency in cycles for a given number of replicated
+    /// first-level tables: with one table the voter counts one thread per
+    /// cycle over the whole buffer (512 cycles); replication divides it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `first_level_tables` is zero.
+    pub fn latency_cycles(&self, first_level_tables: u32) -> u64 {
+        assert!(first_level_tables > 0, "need at least one table");
+        let total_threads = self.first_level_entries * self.second_level_entries;
+        (total_threads / first_level_tables.min(self.second_level_entries)) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines_of(t: u32) -> Vec<u64> {
+        (0..8).map(|i| (t as u64) * 512 + i * 64).collect()
+    }
+
+    fn meta_of(t: u32) -> u64 {
+        0x9000_0000 + (t as u64) * 4 / 64 * 64
+    }
+
+    #[test]
+    fn full_vote_finds_mode() {
+        let warps = vec![vec![1, 1, 2], vec![2, 2, 2]];
+        let v = full_vote(&warps).unwrap();
+        assert_eq!(v.treelet, 2);
+        assert_eq!(v.popularity, 4);
+    }
+
+    #[test]
+    fn full_vote_empty_is_none() {
+        assert_eq!(full_vote(&[]), None);
+        assert_eq!(full_vote(&[vec![], vec![]]), None);
+    }
+
+    #[test]
+    fn full_vote_tie_breaks_to_lower_id() {
+        let warps = vec![vec![3, 3, 7, 7]];
+        assert_eq!(full_vote(&warps).unwrap().treelet, 3);
+    }
+
+    #[test]
+    fn pseudo_vote_matches_full_on_clear_majority() {
+        let warps = vec![vec![5; 10], vec![5; 8], vec![1, 2, 3]];
+        let p = pseudo_vote(&warps).unwrap();
+        let f = full_vote(&warps).unwrap();
+        assert_eq!(p.treelet, f.treelet);
+        assert_eq!(p.popularity, 18);
+    }
+
+    #[test]
+    fn counts_based_votes_match_list_based() {
+        use std::collections::HashMap;
+        let warps = vec![vec![1, 1, 2, 9], vec![2, 2, 9], vec![9, 9, 9]];
+        let mut global: HashMap<u32, u32> = HashMap::new();
+        let per_warp: Vec<HashMap<u32, u32>> = warps
+            .iter()
+            .map(|w| {
+                let mut m = HashMap::new();
+                for &t in w {
+                    *m.entry(t).or_insert(0) += 1;
+                    *global.entry(t).or_insert(0) += 1;
+                }
+                m
+            })
+            .collect();
+        assert_eq!(full_vote(&warps), full_vote_counts(&global));
+        assert_eq!(
+            pseudo_vote(&warps),
+            pseudo_vote_counts(per_warp.iter(), &global)
+        );
+    }
+
+    #[test]
+    fn counts_votes_ignore_zero_entries() {
+        use std::collections::HashMap;
+        let mut global = HashMap::new();
+        global.insert(5u32, 0u32);
+        assert_eq!(full_vote_counts(&global), None);
+        let warp = global.clone();
+        assert_eq!(pseudo_vote_counts([&warp], &global), None);
+    }
+
+    #[test]
+    fn pseudo_vote_can_disagree_without_majority() {
+        // Treelet 9 is globally most common (6 rays) but never wins a
+        // warp; each warp's winner is unique. The pseudo voter picks one
+        // of the per-warp winners.
+        let warps = vec![
+            vec![1, 1, 1, 9, 9],
+            vec![2, 2, 2, 9, 9],
+            vec![3, 3, 3, 9, 9],
+        ];
+        let f = full_vote(&warps).unwrap();
+        assert_eq!(f.treelet, 9);
+        let p = pseudo_vote(&warps).unwrap();
+        assert_ne!(p.treelet, 9);
+    }
+
+    fn prefetcher(h: PrefetchHeuristic) -> TreeletPrefetcher {
+        TreeletPrefetcher::new(h, VoterKind::Full, 0, 512, 64)
+    }
+
+    #[test]
+    fn always_enqueues_winning_treelet_lines() {
+        let mut p = prefetcher(PrefetchHeuristic::Always);
+        let warps = vec![vec![4, 4, 4]];
+        p.maybe_decide(0, &warps, MappingMode::Packed, lines_of, meta_of);
+        assert_eq!(p.queue_len(), 8);
+        assert_eq!(p.pop(), Some(PrefetchEntry::Line(4 * 512)));
+        assert_eq!(p.last_prefetched(), Some(4));
+        assert_eq!(p.stats().treelets_enqueued, 1);
+    }
+
+    #[test]
+    fn duplicate_treelet_suppressed() {
+        let mut p = prefetcher(PrefetchHeuristic::Always);
+        let warps = vec![vec![4, 4]];
+        p.maybe_decide(0, &warps, MappingMode::Packed, lines_of, meta_of);
+        p.maybe_decide(1, &warps, MappingMode::Packed, lines_of, meta_of);
+        assert_eq!(p.stats().duplicate_suppressed, 1);
+        assert_eq!(p.queue_len(), 8); // only one treelet's worth
+    }
+
+    #[test]
+    fn popularity_threshold_gates() {
+        let mut p = TreeletPrefetcher::new(
+            PrefetchHeuristic::Popularity(0.5),
+            VoterKind::Full,
+            0,
+            8, // max rays
+            64,
+        );
+        // 3 of 8 rays -> ratio 0.375 < 0.5: suppressed.
+        p.maybe_decide(0, &[vec![4, 4, 4]], MappingMode::Packed, lines_of, meta_of);
+        assert_eq!(p.queue_len(), 0);
+        assert_eq!(p.stats().threshold_suppressed, 1);
+        // 5 of 8 -> passes.
+        p.maybe_decide(1, &[vec![4; 5]], MappingMode::Packed, lines_of, meta_of);
+        assert_eq!(p.queue_len(), 8);
+    }
+
+    #[test]
+    fn partial_prefetches_popularity_fraction_from_front() {
+        let mut p = TreeletPrefetcher::new(PrefetchHeuristic::Partial, VoterKind::Full, 0, 16, 64);
+        // 8 of 16 rays -> half the treelet (4 of 8 lines), front first.
+        p.maybe_decide(0, &[vec![4; 8]], MappingMode::Packed, lines_of, meta_of);
+        assert_eq!(p.queue_len(), 4);
+        assert_eq!(p.pop(), Some(PrefetchEntry::Line(4 * 512)));
+    }
+
+    #[test]
+    fn loose_wait_prepends_meta_load() {
+        let mut p = prefetcher(PrefetchHeuristic::Always);
+        p.maybe_decide(0, &[vec![4, 4]], MappingMode::LooseWait, lines_of, meta_of);
+        assert_eq!(p.queue_len(), 9);
+        match p.pop().unwrap() {
+            PrefetchEntry::Meta { gated_lines, .. } => assert!(gated_lines.is_empty()),
+            other => panic!("expected meta first, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strict_wait_gates_lines_on_meta() {
+        let mut p = prefetcher(PrefetchHeuristic::Always);
+        p.maybe_decide(0, &[vec![4, 4]], MappingMode::StrictWait, lines_of, meta_of);
+        assert_eq!(p.queue_len(), 1);
+        let entry = p.pop().unwrap();
+        match entry {
+            PrefetchEntry::Meta { gated_lines, .. } => {
+                assert_eq!(gated_lines.len(), 8);
+                p.release_gated(gated_lines);
+                assert_eq!(p.queue_len(), 8);
+                assert_eq!(p.pop(), Some(PrefetchEntry::Line(4 * 512)));
+            }
+            other => panic!("expected gated meta, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn latency_stages_decisions() {
+        let mut p = TreeletPrefetcher::new(PrefetchHeuristic::Always, VoterKind::Full, 32, 512, 64);
+        let warps = vec![vec![4, 4]];
+        p.maybe_decide(0, &warps, MappingMode::Packed, lines_of, meta_of);
+        assert_eq!(p.queue_len(), 0, "decision must not apply before latency");
+        for t in 1..32 {
+            p.maybe_decide(t, &warps, MappingMode::Packed, lines_of, meta_of);
+        }
+        assert_eq!(p.queue_len(), 0);
+        p.maybe_decide(32, &warps, MappingMode::Packed, lines_of, meta_of);
+        assert_eq!(p.queue_len(), 8);
+    }
+
+    #[test]
+    fn queue_capacity_drops_decisions() {
+        let mut p = TreeletPrefetcher::new(
+            PrefetchHeuristic::Always,
+            VoterKind::Full,
+            0,
+            512,
+            10, // fits one treelet (8 lines) but not two
+        );
+        p.maybe_decide(0, &[vec![4, 4]], MappingMode::Packed, lines_of, meta_of);
+        p.maybe_decide(1, &[vec![5, 5]], MappingMode::Packed, lines_of, meta_of);
+        assert_eq!(p.stats().queue_full_drops, 1);
+        assert_eq!(p.queue_len(), 8);
+    }
+
+    #[test]
+    fn pseudo_accuracy_tracked() {
+        let mut p = TreeletPrefetcher::new(
+            PrefetchHeuristic::Always,
+            VoterKind::PseudoTwoLevel,
+            0,
+            512,
+            64,
+        );
+        p.maybe_decide(0, &[vec![4, 4]], MappingMode::Packed, lines_of, meta_of);
+        let s = p.stats();
+        assert_eq!(s.pseudo_comparisons, 1);
+        assert_eq!(s.pseudo_agreements, 1);
+        assert!((s.voter_accuracy() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn area_model_matches_paper_numbers() {
+        let m = VoterAreaModel::paper_default();
+        assert_eq!(m.first_level_table_bytes(), 108);
+        assert_eq!(m.second_level_table_bytes(), 52);
+        assert_eq!(m.sequential_area_um2(), 461.0);
+        // 1 first-level table -> 512-cycle voter; 16 tables -> 32 cycles;
+        // 4 tables -> 128 cycles (all from §6.5).
+        assert_eq!(m.latency_cycles(1), 512);
+        assert_eq!(m.latency_cycles(4), 128);
+        assert_eq!(m.latency_cycles(16), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be in")]
+    fn invalid_threshold_panics() {
+        let _ = TreeletPrefetcher::new(
+            PrefetchHeuristic::Popularity(1.5),
+            VoterKind::Full,
+            0,
+            512,
+            64,
+        );
+    }
+}

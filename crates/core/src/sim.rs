@@ -1,0 +1,1496 @@
+//! The RT-unit timing simulation.
+//!
+//! Follows the paper's methodology (§5): traversal is functionally
+//! simulated to produce each ray's dependent memory-access sequence, and
+//! this cycle-level model replays those sequences through the RT unit —
+//! warp buffer, memory scheduler, operation units, treelet prefetcher,
+//! and prefetch queue — on top of the `rt-gpu-sim` memory hierarchy.
+
+use crate::config::{LayoutChoice, PrefetchConfig, SchedulerPolicy, SimConfig};
+use crate::ghb::{GhbPrefetcher, GhbStats};
+use crate::mta::{MtaPrefetcher, MtaStats};
+use crate::power::{ActivityCounts, EnergyModel, PowerReport};
+use crate::prefetch::{
+    full_vote_counts, pseudo_vote_counts, MappingMode, PrefetchEntry, PrefetcherStats,
+    TreeletPrefetcher, VoterKind,
+};
+use crate::traversal::{compile_trace, trace_ray_with, CompiledStep, RayTrace, TraversalStats};
+use crate::treelet::TreeletAssignment;
+use rt_bvh::{MemoryImage, PackOptions, TreeStats, WideBvh};
+use rt_geometry::Ray;
+use rt_gpu_sim::{
+    AccessKind, CacheStats, FillOrigin, Issue, MemorySystem, PrefetchEffect, RequestId,
+};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Everything a simulation run measures.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Total core cycles until every ray retired.
+    pub cycles: u64,
+    /// Rays simulated.
+    pub rays: usize,
+    /// Functional traversal statistics (Table 3 metrics).
+    pub traversal: TraversalStats,
+    /// Summed L1 counters (Fig. 12 breakdown).
+    pub l1: CacheStats,
+    /// L2 counters.
+    pub l2: CacheStats,
+    /// Prefetch effectiveness classification at the L1 (Fig. 20).
+    pub prefetch_effect: PrefetchEffect,
+    /// Prefetch effectiveness at the L2 (populated for L2-destination
+    /// prefetch runs).
+    pub prefetch_effect_l2: PrefetchEffect,
+    /// Treelet prefetcher counters, when enabled.
+    pub prefetcher: Option<PrefetcherStats>,
+    /// MTA comparison prefetcher counters, when enabled.
+    pub mta: Option<MtaStats>,
+    /// GHB comparison prefetcher counters, when enabled.
+    pub ghb: Option<GhbStats>,
+    /// Mean latency of demand BVH-node loads, core cycles (Fig. 1b).
+    pub node_load_latency: f64,
+    /// 99th-percentile latency of demand BVH-node loads (tail latency).
+    pub node_load_latency_p99: f64,
+    /// Mean DRAM data-bus utilization (Fig. 1a).
+    pub dram_utilization: f64,
+    /// Per-channel DRAM access counts (Fig. 15 evidence).
+    pub dram_channel_accesses: Vec<u64>,
+    /// Lines moved from L2 toward L1s (Fig. 11's L2 bandwidth).
+    pub l2_to_l1_lines: u64,
+    /// Lines moved from DRAM into L2.
+    pub dram_to_l2_lines: u64,
+    /// Dynamic activity for the power model.
+    pub activity: ActivityCounts,
+    /// Power/energy report.
+    pub power: PowerReport,
+    /// BVH statistics of the scene (Table 2).
+    pub tree: TreeStats,
+    /// Number of treelets formed (Table 2).
+    pub treelet_count: usize,
+    /// Mean fraction of live lanes per warp entering the RT unit. Lanes
+    /// are masked off when their ray has no traversal work (missed the
+    /// scene) or died in an earlier bounce generation (shader mode).
+    pub simt_efficiency: f64,
+    /// Mean fraction of RT-unit warp-buffer slots occupied over the run.
+    pub warp_buffer_occupancy: f64,
+}
+
+impl SimResult {
+    /// Speedup of this run relative to `baseline` (ratio of cycle counts;
+    /// with fixed work this equals the paper's IPC speedup).
+    pub fn speedup_over(&self, baseline: &SimResult) -> f64 {
+        baseline.cycles as f64 / self.cycles as f64
+    }
+
+    /// L2→L1 bandwidth in bytes per core cycle (Fig. 11's metric before
+    /// normalization).
+    pub fn l2_bytes_per_cycle(&self, line_bytes: u64) -> f64 {
+        self.l2_to_l1_lines as f64 * line_bytes as f64 / self.cycles as f64
+    }
+}
+
+/// Runs the full pipeline for one scene workload: treelet formation,
+/// memory layout, functional traversal, and the cycle-level RT-unit
+/// simulation.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (see [`SimConfig::validate`]),
+/// `rays` is empty, or the simulation exceeds `config.max_cycles`
+/// (a deadlock guard).
+pub fn simulate(bvh: &WideBvh, rays: &[Ray], config: &SimConfig) -> SimResult {
+    let treelets = TreeletAssignment::form_with_policy(bvh, config.treelet_bytes, config.formation);
+    simulate_with_treelets(bvh, rays, config, &treelets)
+}
+
+/// Like [`simulate`], but with an externally supplied treelet assignment
+/// — for experiments that reuse a *stale* assignment (e.g. animated
+/// scenes whose BVH was refitted without re-forming treelets).
+///
+/// The packed-layout slot size comes from the assignment's byte budget.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`simulate`], or if `treelets`
+/// does not cover `bvh`'s nodes.
+pub fn simulate_with_treelets(
+    bvh: &WideBvh,
+    rays: &[Ray],
+    config: &SimConfig,
+    treelets: &TreeletAssignment,
+) -> SimResult {
+    let mem = MemorySystem::new(config.mem, config.num_sms);
+    run_engine(bvh, rays, config, treelets, mem, true).0
+}
+
+/// Runs `batches` of rays sequentially through **one** memory hierarchy —
+/// caches stay warm between batches, as between the bounce generations of
+/// a wavefront renderer. Returns one result per batch; `cycles` is each
+/// batch's own duration, while cache/DRAM counters accumulate across the
+/// session (the prefetch-effectiveness classification is finalized only
+/// on the last batch).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`simulate`], or if `batches` is
+/// empty.
+pub fn simulate_batches(bvh: &WideBvh, batches: &[Vec<Ray>], config: &SimConfig) -> Vec<SimResult> {
+    assert!(!batches.is_empty(), "need at least one batch");
+    let treelets = TreeletAssignment::form_with_policy(bvh, config.treelet_bytes, config.formation);
+    let mut mem = Some(MemorySystem::new(config.mem, config.num_sms));
+    let mut results = Vec::with_capacity(batches.len());
+    for (i, batch) in batches.iter().enumerate() {
+        let finalize = i + 1 == batches.len();
+        let (result, returned) = run_engine(
+            bvh,
+            batch,
+            config,
+            &treelets,
+            mem.take().expect("memory system threaded through batches"),
+            finalize,
+        );
+        mem = Some(returned);
+        results.push(result);
+    }
+    results
+}
+
+fn run_engine(
+    bvh: &WideBvh,
+    rays: &[Ray],
+    config: &SimConfig,
+    treelets: &TreeletAssignment,
+    mem: MemorySystem,
+    finalize: bool,
+) -> (SimResult, MemorySystem) {
+    if let Err(e) = config.validate() {
+        panic!("invalid simulation config: {e}");
+    }
+    assert!(!rays.is_empty(), "need at least one ray");
+    assert!(
+        bvh.node_count() == treelets.as_slices().iter().map(Vec::len).sum::<usize>(),
+        "treelet assignment does not cover the BVH"
+    );
+
+    let image = match config.layout {
+        LayoutChoice::DepthFirst => MemoryImage::depth_first(bvh),
+        LayoutChoice::TreeletPacked { extra_stride } => MemoryImage::treelet_packed(
+            bvh,
+            treelets.as_slices(),
+            PackOptions {
+                slot_bytes: treelets.max_bytes(),
+                extra_stride,
+            },
+        ),
+        LayoutChoice::MappingTable => MemoryImage::depth_first(bvh).with_mapping_table(),
+    };
+
+    let trace_one =
+        |r: &Ray| trace_ray_with(bvh, treelets, r, config.traversal, config.traversal_options);
+    // Generation 0: the supplied rays. With a shader program, bounce
+    // generations follow, lane-aligned (dead lanes are None).
+    let mut all_traces: Vec<Option<RayTrace>> = rays.iter().map(|r| Some(trace_one(r))).collect();
+    if let Some(program) = config.shader {
+        let mut current: Vec<Option<Ray>> = rays.iter().copied().map(Some).collect();
+        for g in 1..=program.bounces {
+            current = crate::workloads::bounce_rays_indexed(
+                bvh,
+                &current,
+                program.bounce_kind,
+                program.seed.wrapping_add(g as u64),
+            );
+            all_traces.extend(current.iter().map(|r| r.as_ref().map(trace_one)));
+        }
+    }
+    let live_traces: Vec<RayTrace> = all_traces.iter().flatten().cloned().collect();
+    let traversal = TraversalStats::of(&live_traces);
+    let line_bytes = config.mem.line_bytes;
+    let compiled: Vec<Vec<CompiledStep>> = all_traces
+        .iter()
+        .map(|t| {
+            t.as_ref()
+                .map(|t| compile_trace(t, &image, line_bytes))
+                .unwrap_or_default()
+        })
+        .collect();
+
+    // Operation-unit activity is fixed by the functional traces.
+    let mut activity = ActivityCounts::default();
+    for steps in &compiled {
+        for s in steps {
+            if s.is_leaf {
+                activity.tri_tests += (s.lines.len() as u64).saturating_sub(1).max(1);
+            } else {
+                activity.box_tests += rt_bvh::WIDE_ARITY as u64;
+            }
+        }
+    }
+
+    // Per-treelet cache lines, front (upper levels) first. With the
+    // triangle-prefetch extension, leaf members' primitive lines follow
+    // the node lines (so PARTIAL still prioritizes upper nodes).
+    let treelet_lines: Vec<Vec<u64>> = (0..treelets.count() as u32)
+        .map(|g| {
+            let mut lines: Vec<u64> = treelets
+                .members(g)
+                .iter()
+                .map(|&n| image.node_addr(n) / line_bytes * line_bytes)
+                .collect();
+            if config.prefetch_triangles {
+                for &n in treelets.members(g) {
+                    if let rt_bvh::WideNode::Leaf { first, count, .. } = &bvh.nodes()[n as usize] {
+                        let begin = image.triangle_addr(*first);
+                        let end = begin + *count as u64 * rt_bvh::TRIANGLE_SIZE_BYTES;
+                        let mut addr = begin / line_bytes * line_bytes;
+                        while addr < end {
+                            lines.push(addr);
+                            addr += line_bytes;
+                        }
+                    }
+                }
+            }
+            let mut seen = std::collections::HashSet::new();
+            lines.retain(|l| seen.insert(*l));
+            lines
+        })
+        .collect();
+    let meta_lines: Vec<u64> = (0..treelets.count() as u32)
+        .map(|g| {
+            image
+                .mapping_entry_addr(treelets.members(g)[0])
+                .unwrap_or(0)
+                / line_bytes
+                * line_bytes
+        })
+        .collect();
+
+    let start_cycle = mem.cycle();
+    let mut engine = Engine::new(config, &compiled, treelets, treelet_lines, meta_lines, mem);
+    let end_cycle = engine.run(config.max_cycles);
+    let cycles = end_cycle - start_cycle;
+
+    let l1 = engine.mem.l1_stats_total();
+    let l2 = engine.mem.l2_stats();
+    let (prefetch_effect, prefetch_effect_l2) = if finalize {
+        (
+            engine.mem.finalize_prefetch_effect(),
+            engine.mem.finalize_l2_prefetch_effect(),
+        )
+    } else {
+        (
+            engine.mem.prefetch_effect_snapshot(),
+            PrefetchEffect::default(),
+        )
+    };
+    activity.l1_accesses = l1.demand_accesses() + l1.prefetch_probes;
+    activity.l2_accesses = l2.demand_accesses() + l2.prefetch_probes;
+    activity.dram_accesses = engine.mem.dram().total_accesses();
+    let power = EnergyModel::paper_default().evaluate(
+        &activity,
+        cycles,
+        config.num_sms,
+        config.mem.core_clock_mhz,
+    );
+
+    let prefetcher_stats = engine
+        .sms
+        .iter()
+        .filter_map(|s| s.prefetcher.as_ref())
+        .fold(None, |acc: Option<PrefetcherStats>, p| {
+            let s = p.stats();
+            Some(match acc {
+                None => s,
+                Some(mut a) => {
+                    a.decisions += s.decisions;
+                    a.treelets_enqueued += s.treelets_enqueued;
+                    a.lines_enqueued += s.lines_enqueued;
+                    a.duplicate_suppressed += s.duplicate_suppressed;
+                    a.threshold_suppressed += s.threshold_suppressed;
+                    a.queue_full_drops += s.queue_full_drops;
+                    a.pseudo_agreements += s.pseudo_agreements;
+                    a.pseudo_comparisons += s.pseudo_comparisons;
+                    a
+                }
+            })
+        });
+    let mta_stats =
+        engine
+            .sms
+            .iter()
+            .filter_map(|s| s.mta.as_ref())
+            .fold(None, |acc: Option<MtaStats>, m| {
+                let s = m.stats();
+                Some(match acc {
+                    None => s,
+                    Some(mut a) => {
+                        a.observed += s.observed;
+                        a.stride_confirmations += s.stride_confirmations;
+                        a.prefetches_enqueued += s.prefetches_enqueued;
+                        a
+                    }
+                })
+            });
+
+    let ghb_stats =
+        engine
+            .sms
+            .iter()
+            .filter_map(|s| s.ghb.as_ref())
+            .fold(None, |acc: Option<GhbStats>, g| {
+                let s = g.stats();
+                Some(match acc {
+                    None => s,
+                    Some(mut a) => {
+                        a.observed += s.observed;
+                        a.history_hits += s.history_hits;
+                        a.prefetches_enqueued += s.prefetches_enqueued;
+                        a
+                    }
+                })
+            });
+
+    let result = SimResult {
+        cycles,
+        rays: rays.len(),
+        traversal,
+        l1,
+        l2,
+        prefetch_effect,
+        prefetch_effect_l2,
+        prefetcher: prefetcher_stats,
+        mta: mta_stats,
+        ghb: ghb_stats,
+        node_load_latency: engine.mem.stats().mean_latency(AccessKind::Node),
+        node_load_latency_p99: engine
+            .mem
+            .stats()
+            .latency_histogram(AccessKind::Node)
+            .map_or(0.0, |h| h.percentile(99.0)),
+        dram_utilization: engine.mem.dram_utilization(),
+        dram_channel_accesses: engine.mem.dram().channel_accesses(),
+        l2_to_l1_lines: engine.mem.stats().l2_to_l1_lines,
+        dram_to_l2_lines: engine.mem.stats().dram_to_l2_lines,
+        activity,
+        power,
+        tree: TreeStats::of(bvh),
+        treelet_count: treelets.count(),
+        simt_efficiency: if engine.rt_entries == 0 {
+            1.0
+        } else {
+            engine.rt_live_lanes as f64 / (engine.rt_entries as f64 * config.warp_size as f64)
+        },
+        warp_buffer_occupancy: if cycles == 0 {
+            0.0
+        } else {
+            engine.occupancy_integral as f64
+                / (cycles as f64 * (config.num_sms * config.warp_buffer_size) as f64)
+        },
+    };
+    (result, engine.mem)
+}
+
+/// One traversal step as the timing model replays it: the node's
+/// treelet, whether it is a leaf, and the cache lines it fetches.
+type StepData = (u32, bool, Vec<(u64, AccessKind)>);
+
+/// A ray's replay state in the timing model.
+#[derive(Debug)]
+struct RayCtx {
+    steps: Vec<StepData>,
+    /// Per step, the treelet this ray reports to the prefetcher: the
+    /// treelet it *will traverse next* (§4.1 — the prefetcher identifies
+    /// "treelets that will be traversed next"). A ray entering treelet T
+    /// reports T (its deeper nodes are still ahead); a ray already inside
+    /// T reports the treelet it will move to after T — in hardware, the
+    /// top of its other-treelet stack.
+    vote: Vec<u32>,
+    step: usize,
+    /// Lines of the current step not yet issued (popped from the back).
+    lines_left: Vec<(u64, AccessKind)>,
+    outstanding: u32,
+    /// Warp-buffer slot currently holding this ray.
+    slot: usize,
+}
+
+impl RayCtx {
+    fn is_done(&self) -> bool {
+        self.step >= self.steps.len()
+    }
+
+    fn current_treelet(&self) -> Option<u32> {
+        self.vote.get(self.step).copied()
+    }
+
+    fn load_step_lines(&mut self) {
+        let mut lines = self.steps[self.step].2.clone();
+        lines.reverse(); // pop() yields the node line first
+        self.lines_left = lines;
+    }
+}
+
+#[derive(Debug)]
+enum ReqOwner {
+    Ray(u32),
+    PrefetchLine,
+    /// A Strict-Wait mapping load gating treelet lines.
+    PrefetchMeta(Vec<u64>),
+}
+
+#[derive(Debug)]
+struct WarpSlot {
+    arrival: u64,
+    rays: Vec<u32>,
+    active: usize,
+    ready: VecDeque<u32>,
+    /// Active rays' current-treelet counts (feeds the voter and PMR).
+    counts: HashMap<u32, u32>,
+    /// Which logical warp this is (shader mode).
+    warp_id: usize,
+    /// Which ray generation the warp is tracing (shader mode).
+    generation: u32,
+}
+
+/// A warp waiting to enter the RT unit's warp buffer.
+#[derive(Debug)]
+struct PendingWarp {
+    ready_at: u64,
+    warp_id: usize,
+    generation: u32,
+    rays: Vec<u32>,
+}
+
+/// Shader work occupying the SM's issue port before the warp's next
+/// `traceRay` (raygen or between-bounce shading).
+#[derive(Debug)]
+struct ShaderJob {
+    warp_id: usize,
+    remaining_ops: u64,
+    next_generation: u32,
+}
+
+#[derive(Debug)]
+struct SmState {
+    /// Warps waiting to enter the buffer.
+    warp_queue: VecDeque<PendingWarp>,
+    /// Shader work serialized on the SM's issue port (shader mode).
+    shader_runqueue: VecDeque<ShaderJob>,
+    slots: Vec<Option<WarpSlot>>,
+    test_heap: BinaryHeap<Reverse<(u64, u32)>>,
+    req_map: HashMap<RequestId, ReqOwner>,
+    counts_global: HashMap<u32, u32>,
+    prefetcher: Option<TreeletPrefetcher>,
+    mta: Option<MtaPrefetcher>,
+    ghb: Option<GhbPrefetcher>,
+    active_rays: usize,
+}
+
+struct Engine<'a> {
+    config: &'a SimConfig,
+    mem: MemorySystem,
+    rays: Vec<RayCtx>,
+    sms: Vec<SmState>,
+    treelet_lines: Vec<Vec<u64>>,
+    meta_lines: Vec<u64>,
+    mapping: MappingMode,
+    remaining: usize,
+    /// Lane ids (generation-0 ray indices) per logical warp.
+    warp_lanes: Vec<Vec<u32>>,
+    /// Ray generations (1 unless a shader program adds bounces).
+    generations: u32,
+    /// Generation-0 lane count; generation g's ray ids are offset by
+    /// `g * lanes_total`.
+    lanes_total: usize,
+    /// Warp-buffer entries and live lanes, for the SIMT-efficiency stat.
+    rt_entries: u64,
+    rt_live_lanes: u64,
+    /// Currently occupied warp-buffer slots (all SMs).
+    occupied_slots: usize,
+    /// Sum over cycles of occupied slots, for the occupancy stat.
+    occupancy_integral: u64,
+}
+
+impl std::fmt::Debug for Engine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("remaining", &self.remaining)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        config: &'a SimConfig,
+        compiled: &[Vec<CompiledStep>],
+        _treelets: &TreeletAssignment,
+        treelet_lines: Vec<Vec<u64>>,
+        meta_lines: Vec<u64>,
+        mem: MemorySystem,
+    ) -> Engine<'a> {
+        let mut rays: Vec<RayCtx> = compiled
+            .iter()
+            .map(|steps| {
+                let step_data: Vec<StepData> = steps
+                    .iter()
+                    .map(|s| {
+                        let lines: Vec<(u64, AccessKind)> = s
+                            .lines
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &l)| {
+                                (
+                                    l,
+                                    if i == 0 {
+                                        AccessKind::Node
+                                    } else {
+                                        AccessKind::Triangle
+                                    },
+                                )
+                            })
+                            .collect();
+                        (s.treelet, s.is_leaf, lines)
+                    })
+                    .collect();
+                // Per-step prefetcher vote: entering steps report their
+                // own treelet; interior steps report the next different
+                // treelet in the trace (the ray's pending treelet).
+                let n = step_data.len();
+                let mut next_diff = vec![0u32; n];
+                for i in (0..n).rev() {
+                    next_diff[i] = if i + 1 < n {
+                        if step_data[i + 1].0 != step_data[i].0 {
+                            step_data[i + 1].0
+                        } else {
+                            next_diff[i + 1]
+                        }
+                    } else {
+                        // A ray ending inside a treelet has no pending
+                        // treelet; it keeps reporting its own.
+                        step_data[i].0
+                    };
+                }
+                let vote: Vec<u32> = (0..n)
+                    .map(|i| {
+                        let entering = i == 0 || step_data[i - 1].0 != step_data[i].0;
+                        if entering {
+                            step_data[i].0
+                        } else {
+                            next_diff[i]
+                        }
+                    })
+                    .collect();
+                RayCtx {
+                    steps: step_data,
+                    vote,
+                    step: 0,
+                    lines_left: Vec::new(),
+                    outstanding: 0,
+                    slot: usize::MAX,
+                }
+            })
+            .collect();
+        for r in &mut rays {
+            if !r.is_done() {
+                r.load_step_lines();
+            }
+        }
+
+        let mapping = match config.prefetch {
+            PrefetchConfig::Treelet { mapping, .. } => mapping,
+            _ => MappingMode::Packed,
+        };
+        let mut sms: Vec<SmState> = (0..config.num_sms)
+            .map(|_| SmState {
+                warp_queue: VecDeque::new(),
+                shader_runqueue: VecDeque::new(),
+                slots: (0..config.warp_buffer_size).map(|_| None).collect(),
+                test_heap: BinaryHeap::new(),
+                req_map: HashMap::new(),
+                counts_global: HashMap::new(),
+                prefetcher: match config.prefetch {
+                    PrefetchConfig::Treelet {
+                        heuristic,
+                        voter,
+                        latency,
+                        ..
+                    } => Some(TreeletPrefetcher::new(
+                        heuristic,
+                        voter,
+                        latency,
+                        config.warp_buffer_rays(),
+                        config.prefetch_queue_capacity,
+                    )),
+                    _ => None,
+                },
+                mta: match config.prefetch {
+                    PrefetchConfig::Mta => {
+                        Some(MtaPrefetcher::paper_default(config.mem.line_bytes))
+                    }
+                    _ => None,
+                },
+                ghb: match config.prefetch {
+                    PrefetchConfig::Ghb => {
+                        Some(GhbPrefetcher::paper_default(config.mem.line_bytes))
+                    }
+                    _ => None,
+                },
+                active_rays: 0,
+            })
+            .collect();
+
+        // In shader mode the ray array holds all generations
+        // back-to-back; warps are formed over generation-0 lanes and
+        // re-enter the RT unit once per generation.
+        let generations = config.shader.map_or(1, |p| p.bounces + 1);
+        let lanes_total = rays.len() / generations as usize;
+        let remaining = rays.iter().filter(|r| !r.is_done()).count();
+
+        // Chunk generation-0 lanes into warps, round-robin across SMs.
+        let mut warp_lanes: Vec<Vec<u32>> = Vec::new();
+        for (w, chunk) in (0..lanes_total as u32)
+            .collect::<Vec<_>>()
+            .chunks(config.warp_size)
+            .enumerate()
+        {
+            let lanes: Vec<u32> = chunk.to_vec();
+            let sm = w % config.num_sms;
+            match config.shader {
+                None => {
+                    // Pure replay: warps become available after their
+                    // raygen stagger.
+                    let position = sms[sm].warp_queue.len() as u64;
+                    sms[sm].warp_queue.push_back(PendingWarp {
+                        ready_at: position * config.raygen_interval,
+                        warp_id: w,
+                        generation: 0,
+                        rays: lanes.clone(),
+                    });
+                }
+                Some(program) => {
+                    // Shader mode: the raygen program runs on the SM's
+                    // issue port first.
+                    if program.raygen_ops == 0 {
+                        sms[sm].warp_queue.push_back(PendingWarp {
+                            ready_at: 0,
+                            warp_id: w,
+                            generation: 0,
+                            rays: lanes.clone(),
+                        });
+                    } else {
+                        sms[sm].shader_runqueue.push_back(ShaderJob {
+                            warp_id: w,
+                            remaining_ops: program.raygen_ops,
+                            next_generation: 0,
+                        });
+                    }
+                }
+            }
+            warp_lanes.push(lanes);
+        }
+
+        Engine {
+            config,
+            mem,
+            rays,
+            sms,
+            treelet_lines,
+            meta_lines,
+            mapping,
+            remaining,
+            warp_lanes,
+            generations,
+            lanes_total,
+            rt_entries: 0,
+            rt_live_lanes: 0,
+            occupied_slots: 0,
+            occupancy_integral: 0,
+        }
+    }
+
+    /// Ray ids of `warp_id` at `generation`.
+    fn generation_rays(&self, warp_id: usize, generation: u32) -> Vec<u32> {
+        self.warp_lanes[warp_id]
+            .iter()
+            .map(|&lane| lane + generation * self.lanes_total as u32)
+            .collect()
+    }
+
+    /// Advances the SM's shader issue port by one operation; completed
+    /// jobs release their warp's next `traceRay`.
+    fn run_shader_port(&mut self, sm: usize, now: u64) {
+        let state = &mut self.sms[sm];
+        let Some(job) = state.shader_runqueue.front_mut() else {
+            return;
+        };
+        job.remaining_ops -= 1;
+        if job.remaining_ops == 0 {
+            let job = state
+                .shader_runqueue
+                .pop_front()
+                .expect("front checked above");
+            let rays = self.generation_rays(job.warp_id, job.next_generation);
+            self.sms[sm].warp_queue.push_back(PendingWarp {
+                ready_at: now,
+                warp_id: job.warp_id,
+                generation: job.next_generation,
+                rays,
+            });
+        }
+    }
+
+    /// Called when a warp finishes a generation in the RT unit: schedules
+    /// its shading + next `traceRay` if any lane survives.
+    fn warp_generation_done(&mut self, sm: usize, warp_id: usize, generation: u32) {
+        let Some(program) = self.config.shader else {
+            return;
+        };
+        let next = generation + 1;
+        if next >= self.generations {
+            return;
+        }
+        let next_rays = self.generation_rays(warp_id, next);
+        let any_live = next_rays.iter().any(|&r| !self.rays[r as usize].is_done());
+        if !any_live {
+            return;
+        }
+        if program.shade_ops == 0 {
+            self.sms[sm].warp_queue.push_back(PendingWarp {
+                ready_at: self.mem.cycle(),
+                warp_id,
+                generation: next,
+                rays: next_rays,
+            });
+        } else {
+            self.sms[sm].shader_runqueue.push_back(ShaderJob {
+                warp_id,
+                remaining_ops: program.shade_ops,
+                next_generation: next,
+            });
+        }
+    }
+
+    fn run(&mut self, max_cycles: u64) -> u64 {
+        while self.remaining > 0 {
+            for sm in 0..self.config.num_sms {
+                self.step_sm(sm);
+            }
+            self.occupancy_integral += self.occupied_slots as u64;
+            self.mem.tick();
+            assert!(
+                self.mem.cycle() < max_cycles,
+                "simulation exceeded {max_cycles} cycles with {} rays outstanding — deadlock?",
+                self.remaining
+            );
+        }
+        self.mem.cycle()
+    }
+
+    fn step_sm(&mut self, sm: usize) {
+        let now = self.mem.cycle();
+        self.run_shader_port(sm, now);
+        self.fill_warp_buffer(sm, now);
+        self.drain_completions(sm, now);
+        self.finish_tests(sm, now);
+        let issued_demand = self.schedule_demand(sm, now);
+        self.run_prefetcher(sm, now, issued_demand);
+    }
+
+    fn fill_warp_buffer(&mut self, sm: usize, now: u64) {
+        let state = &mut self.sms[sm];
+        for slot_idx in 0..state.slots.len() {
+            if state.slots[slot_idx].is_some() {
+                continue;
+            }
+            // The next warp enters only after its raygen shader issued.
+            let ready = state.warp_queue.front().is_some_and(|w| w.ready_at <= now);
+            if !ready {
+                break;
+            }
+            let Some(pending) = state.warp_queue.pop_front() else {
+                break;
+            };
+            let mut slot = WarpSlot {
+                arrival: now,
+                rays: pending.rays,
+                active: 0,
+                ready: VecDeque::new(),
+                counts: HashMap::new(),
+                warp_id: pending.warp_id,
+                generation: pending.generation,
+            };
+            for &r in &slot.rays {
+                let ray = &mut self.rays[r as usize];
+                ray.slot = slot_idx;
+                if ray.is_done() {
+                    continue;
+                }
+                slot.active += 1;
+                state.active_rays += 1;
+                slot.ready.push_back(r);
+                if let Some(t) = ray.current_treelet() {
+                    *slot.counts.entry(t).or_insert(0) += 1;
+                    *state.counts_global.entry(t).or_insert(0) += 1;
+                }
+            }
+            if slot.active > 0 {
+                self.rt_entries += 1;
+                self.rt_live_lanes += slot.active as u64;
+                self.occupied_slots += 1;
+                state.slots[slot_idx] = Some(slot);
+            } else {
+                // Every lane already dead (e.g. all rays missed the root):
+                // the warp skips the RT unit; its next generation, if any,
+                // is dead too, so nothing to schedule.
+            }
+        }
+    }
+
+    fn drain_completions(&mut self, sm: usize, now: u64) {
+        for req in self.mem.drain_completed(sm) {
+            let Some(owner) = self.sms[sm].req_map.remove(&req) else {
+                continue;
+            };
+            match owner {
+                ReqOwner::Ray(r) => {
+                    let ray = &mut self.rays[r as usize];
+                    ray.outstanding -= 1;
+                    if ray.outstanding == 0 && ray.lines_left.is_empty() && !ray.is_done() {
+                        let is_leaf = ray.steps[ray.step].1;
+                        let latency = if is_leaf {
+                            self.config.tri_test_latency
+                        } else {
+                            self.config.node_test_latency
+                        };
+                        self.sms[sm].test_heap.push(Reverse((now + latency, r)));
+                    }
+                }
+                ReqOwner::PrefetchLine => {}
+                ReqOwner::PrefetchMeta(gated) => {
+                    if let Some(p) = self.sms[sm].prefetcher.as_mut() {
+                        p.release_gated(gated);
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish_tests(&mut self, sm: usize, now: u64) {
+        while let Some(&Reverse((t, r))) = self.sms[sm].test_heap.peek() {
+            if t > now {
+                break;
+            }
+            self.sms[sm].test_heap.pop();
+            self.advance_ray(sm, r);
+        }
+    }
+
+    fn advance_ray(&mut self, sm: usize, r: u32) {
+        let ray = &mut self.rays[r as usize];
+        let old_treelet = ray.current_treelet();
+        ray.step += 1;
+        let state = &mut self.sms[sm];
+        let slot_idx = ray.slot;
+        let slot = state.slots[slot_idx]
+            .as_mut()
+            .expect("ray's warp slot must be occupied");
+        if ray.is_done() {
+            if let Some(t) = old_treelet {
+                decrement(&mut slot.counts, t);
+                decrement(&mut state.counts_global, t);
+            }
+            slot.active -= 1;
+            state.active_rays -= 1;
+            self.remaining -= 1;
+            if slot.active == 0 {
+                let (warp_id, generation) = (slot.warp_id, slot.generation);
+                state.slots[slot_idx] = None; // warp cleared from the buffer
+                self.occupied_slots -= 1;
+                self.warp_generation_done(sm, warp_id, generation);
+            }
+        } else {
+            let new_treelet = ray.current_treelet();
+            if old_treelet != new_treelet {
+                if let Some(t) = old_treelet {
+                    decrement(&mut slot.counts, t);
+                    decrement(&mut state.counts_global, t);
+                }
+                if let Some(t) = new_treelet {
+                    *slot.counts.entry(t).or_insert(0) += 1;
+                    *state.counts_global.entry(t).or_insert(0) += 1;
+                }
+            }
+            ray.load_step_lines();
+            slot.ready.push_back(r);
+        }
+    }
+
+    /// Picks a warp per the scheduling policy and issues one line.
+    /// Returns `true` if the memory scheduler was busy with demand work.
+    fn schedule_demand(&mut self, sm: usize, now: u64) -> bool {
+        let slot_idx = {
+            let state = &self.sms[sm];
+            let last_prefetched = state.prefetcher.as_ref().and_then(|p| p.last_prefetched());
+            let candidates = state
+                .slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| s.as_ref().map(|s| (i, s)))
+                .filter(|(_, s)| !s.ready.is_empty());
+            match (self.config.scheduler, last_prefetched) {
+                (SchedulerPolicy::Baseline, _) | (_, None) => {
+                    candidates.min_by_key(|(_, s)| s.arrival).map(|(i, _)| i)
+                }
+                (SchedulerPolicy::OldestMatchingRay, Some(t)) => {
+                    let mut matching: Vec<(usize, u64)> = Vec::new();
+                    let mut all: Vec<(usize, u64)> = Vec::new();
+                    for (i, s) in candidates {
+                        all.push((i, s.arrival));
+                        if s.counts.get(&t).copied().unwrap_or(0) > 0 {
+                            matching.push((i, s.arrival));
+                        }
+                    }
+                    matching
+                        .into_iter()
+                        .min_by_key(|&(_, a)| a)
+                        .or_else(|| all.into_iter().min_by_key(|&(_, a)| a))
+                        .map(|(i, _)| i)
+                }
+                (SchedulerPolicy::PrioritizeMostRays, Some(t)) => candidates
+                    .max_by_key(|(_, s)| {
+                        (s.counts.get(&t).copied().unwrap_or(0), Reverse(s.arrival))
+                    })
+                    .map(|(i, _)| i),
+            }
+        };
+        let Some(slot_idx) = slot_idx else {
+            return false;
+        };
+
+        // Issue up to `issue_width` lines from the selected warp this
+        // cycle (the RT unit processes one warp buffer entry per cycle
+        // and pushes its requests into the L1 access queue).
+        let state = &mut self.sms[sm];
+        let slot = state.slots[slot_idx]
+            .as_mut()
+            .expect("candidate slot occupied");
+        let mut issued = 0usize;
+        while issued < self.config.issue_width {
+            let Some(&r) = slot.ready.front() else {
+                break;
+            };
+            let ray = &mut self.rays[r as usize];
+            let (line, kind) = ray
+                .lines_left
+                .pop()
+                .expect("ready ray must have lines to issue");
+            let issue = self.mem.access(sm, line, FillOrigin::Demand, kind);
+            match issue {
+                Issue::Hit(req) | Issue::Pending(req) => {
+                    issued += 1;
+                    ray.outstanding += 1;
+                    state.req_map.insert(req, ReqOwner::Ray(r));
+                    if let Some(mta) = state.mta.as_mut() {
+                        mta.observe(slot_idx as u32, line);
+                    }
+                    if let Some(ghb) = state.ghb.as_mut() {
+                        // The GHB records the miss stream: L1 hits never
+                        // reach it.
+                        if matches!(issue, Issue::Pending(_)) {
+                            ghb.observe(line);
+                        }
+                    }
+                    if ray.lines_left.is_empty() {
+                        slot.ready.pop_front();
+                    }
+                }
+                Issue::Retry => {
+                    ray.lines_left.push((line, kind));
+                    break; // L1 MSHRs exhausted: stall the scheduler
+                }
+                Issue::PrefetchDropped => unreachable!("demand loads are never dropped"),
+            }
+        }
+        let _ = now;
+        issued > 0
+    }
+
+    fn run_prefetcher(&mut self, sm: usize, now: u64, issued_demand: bool) {
+        // Treelet prefetcher: sample/vote, then drain one entry when the
+        // memory scheduler is idle (§4.1).
+        let treelet_lines = &self.treelet_lines;
+        let meta_lines = &self.meta_lines;
+        let mapping = self.mapping;
+        let state = &mut self.sms[sm];
+        if let Some(p) = state.prefetcher.as_mut() {
+            let line_of = |t: u32| treelet_lines[t as usize].clone();
+            let meta_of = |t: u32| meta_lines[t as usize];
+            if p.poll(now, mapping, line_of, meta_of) && !state.counts_global.is_empty() {
+                p.set_resident_rays(state.active_rays as u32);
+                let full = full_vote_counts(&state.counts_global);
+                let chosen = match p.voter() {
+                    VoterKind::Full => full,
+                    VoterKind::PseudoTwoLevel => pseudo_vote_counts(
+                        state.slots.iter().flatten().map(|s| &s.counts),
+                        &state.counts_global,
+                    ),
+                };
+                p.submit(now, chosen, full, mapping, line_of, meta_of);
+            }
+            if !issued_demand {
+                if let Some(entry) = p.pop() {
+                    match entry {
+                        PrefetchEntry::Line(addr) => {
+                            let issue = match self.config.prefetch_destination {
+                                crate::PrefetchDestination::L1 => self.mem.access(
+                                    sm,
+                                    addr,
+                                    FillOrigin::Prefetch,
+                                    AccessKind::Prefetch,
+                                ),
+                                crate::PrefetchDestination::L2 => self.mem.prefetch_l2(addr),
+                            };
+                            match issue {
+                                Issue::Pending(req) | Issue::Hit(req) => {
+                                    state.req_map.insert(req, ReqOwner::PrefetchLine);
+                                }
+                                Issue::PrefetchDropped | Issue::Retry => {}
+                            }
+                        }
+                        PrefetchEntry::Meta { addr, gated_lines } => {
+                            match self
+                                .mem
+                                .access(sm, addr, FillOrigin::Prefetch, AccessKind::Meta)
+                            {
+                                Issue::Pending(req) | Issue::Hit(req) => {
+                                    state
+                                        .req_map
+                                        .insert(req, ReqOwner::PrefetchMeta(gated_lines));
+                                }
+                                Issue::PrefetchDropped => {
+                                    // Mapping entry already cached: the
+                                    // gated lines release immediately.
+                                    p.release_gated(gated_lines);
+                                }
+                                Issue::Retry => {}
+                            }
+                        }
+                    }
+                }
+            }
+        } else if let Some(mta) = state.mta.as_mut() {
+            if !issued_demand {
+                if let Some(addr) = mta.pop() {
+                    if let Issue::Pending(req) | Issue::Hit(req) =
+                        self.mem
+                            .access(sm, addr, FillOrigin::Prefetch, AccessKind::Prefetch)
+                    {
+                        state.req_map.insert(req, ReqOwner::PrefetchLine);
+                    }
+                }
+            }
+        } else if let Some(ghb) = state.ghb.as_mut() {
+            if !issued_demand {
+                if let Some(addr) = ghb.pop() {
+                    if let Issue::Pending(req) | Issue::Hit(req) =
+                        self.mem
+                            .access(sm, addr, FillOrigin::Prefetch, AccessKind::Prefetch)
+                    {
+                        state.req_map.insert(req, ReqOwner::PrefetchLine);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn decrement(counts: &mut HashMap<u32, u32>, key: u32) {
+    if let Some(c) = counts.get_mut(&key) {
+        *c -= 1;
+        if *c == 0 {
+            counts.remove(&key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use rt_scene::{Scene, SceneId, Workload, WorkloadKind};
+
+    fn fixture() -> (WideBvh, Vec<Ray>) {
+        let scene = Scene::build_with_detail(SceneId::Wknd, 0.3);
+        let rays = Workload::new(WorkloadKind::Primary, 8, 8).generate(&scene);
+        let bvh = WideBvh::build(scene.mesh.into_triangles());
+        (bvh, rays)
+    }
+
+    #[test]
+    fn baseline_simulation_completes() {
+        let (bvh, rays) = fixture();
+        let result = simulate(&bvh, &rays, &SimConfig::paper_baseline());
+        assert!(result.cycles > 0);
+        assert_eq!(result.rays, 64);
+        assert!(result.l1.demand_accesses() > 0);
+        assert!(result.traversal.avg_nodes_per_ray > 0.0);
+        assert!(result.prefetcher.is_none());
+        assert_eq!(result.prefetch_effect.total(), 0);
+    }
+
+    #[test]
+    fn treelet_prefetch_simulation_completes_and_prefetches() {
+        let (bvh, rays) = fixture();
+        let result = simulate(&bvh, &rays, &SimConfig::paper_treelet_prefetch());
+        assert!(result.cycles > 0);
+        let p = result.prefetcher.expect("prefetcher stats present");
+        assert!(p.decisions > 0, "prefetcher never made a decision");
+        assert!(
+            result.l1.prefetch_probes > 0,
+            "no prefetches reached the L1"
+        );
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let (bvh, rays) = fixture();
+        let a = simulate(&bvh, &rays, &SimConfig::paper_treelet_prefetch());
+        let b = simulate(&bvh, &rays, &SimConfig::paper_treelet_prefetch());
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.l1, b.l1);
+    }
+
+    #[test]
+    fn all_demand_loads_complete() {
+        // End-to-end conservation: the number of demand accesses the L1
+        // observed must equal the total lines of every compiled trace —
+        // nothing dropped, nothing duplicated.
+        let (bvh, rays) = fixture();
+        let config = SimConfig::paper_baseline();
+        let result = simulate(&bvh, &rays, &config);
+        let treelets = TreeletAssignment::form(&bvh, config.treelet_bytes);
+        let image = MemoryImage::depth_first(&bvh);
+        let expected: u64 = rays
+            .iter()
+            .map(|r| {
+                let trace = crate::traversal::trace_ray(&bvh, &treelets, r, config.traversal);
+                compile_trace(&trace, &image, config.mem.line_bytes)
+                    .iter()
+                    .map(|s| s.lines.len() as u64)
+                    .sum::<u64>()
+            })
+            .sum();
+        assert!(expected > 0);
+        assert_eq!(result.l1.demand_accesses(), expected);
+        assert!(result.node_load_latency > 0.0);
+    }
+
+    #[test]
+    fn mta_prefetcher_runs() {
+        let (bvh, rays) = fixture();
+        let mut config = SimConfig::paper_baseline();
+        config.prefetch = PrefetchConfig::Mta;
+        let result = simulate(&bvh, &rays, &config);
+        let mta = result.mta.expect("mta stats present");
+        assert!(mta.observed > 0);
+    }
+
+    #[test]
+    fn ghb_prefetcher_runs() {
+        let (bvh, rays) = fixture();
+        let mut config = SimConfig::paper_baseline();
+        config.prefetch = PrefetchConfig::Ghb;
+        let result = simulate(&bvh, &rays, &config);
+        let ghb = result.ghb.expect("ghb stats present");
+        assert!(ghb.observed > 0, "GHB never saw the miss stream");
+        // BVH pointer chasing is the pattern the GHB cannot exploit: the
+        // timely fraction stays negligible.
+        let e = result.prefetch_effect;
+        assert!(e.timely * 5 <= e.total().max(1));
+    }
+
+    #[test]
+    fn formation_policies_all_simulate() {
+        let (bvh, rays) = fixture();
+        for policy in [
+            crate::FormationPolicy::GreedyBfs,
+            crate::FormationPolicy::GreedyDfs,
+            crate::FormationPolicy::SurfaceArea,
+        ] {
+            let mut config = SimConfig::paper_treelet_prefetch();
+            config.formation = policy;
+            let result = simulate(&bvh, &rays, &config);
+            assert!(result.cycles > 0, "{policy} did not complete");
+        }
+    }
+
+    #[test]
+    fn traversal_ablations_simulate() {
+        let (bvh, rays) = fixture();
+        for (ordered, ert) in [(false, true), (true, false), (false, false)] {
+            let mut config = SimConfig::paper_baseline();
+            config.traversal_options = crate::TraversalOptions {
+                ordered_children: ordered,
+                early_termination: ert,
+            };
+            let result = simulate(&bvh, &rays, &config);
+            assert!(result.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn triangle_prefetch_extension_runs_and_fetches_more() {
+        let (bvh, rays) = fixture();
+        let nodes_only = simulate(&bvh, &rays, &SimConfig::paper_treelet_prefetch());
+        let mut config = SimConfig::paper_treelet_prefetch();
+        config.prefetch_triangles = true;
+        let with_tris = simulate(&bvh, &rays, &config);
+        assert!(with_tris.cycles > 0);
+        let p0 = nodes_only.prefetcher.unwrap();
+        let p1 = with_tris.prefetcher.unwrap();
+        assert!(
+            p1.lines_enqueued >= p0.lines_enqueued,
+            "triangle prefetch should enqueue at least as many lines"
+        );
+    }
+
+    #[test]
+    fn l2_destination_prefetch_runs() {
+        let (bvh, rays) = fixture();
+        let mut config = SimConfig::paper_treelet_prefetch();
+        config.prefetch_destination = crate::PrefetchDestination::L2;
+        let result = simulate(&bvh, &rays, &config);
+        assert!(result.cycles > 0);
+        // Prefetch effectiveness shows up at the L2, not the L1.
+        assert_eq!(result.l1.prefetch_probes, 0, "L1 must see no prefetches");
+        assert!(
+            result.prefetch_effect_l2.total() > 0,
+            "L2 must classify the prefetches"
+        );
+    }
+
+    #[test]
+    fn warp_buffer_occupancy_is_a_sane_fraction() {
+        let (bvh, rays) = fixture();
+        let r = simulate(&bvh, &rays, &SimConfig::paper_baseline());
+        assert!(r.warp_buffer_occupancy > 0.0);
+        assert!(r.warp_buffer_occupancy <= 1.0);
+        // 2 warps over 8 SMs × 16 slots: occupancy must be far below full.
+        assert!(
+            r.warp_buffer_occupancy < 0.5,
+            "occupancy {} too high for 2 warps in 128 slots",
+            r.warp_buffer_occupancy
+        );
+    }
+
+    #[test]
+    fn shader_program_with_bounces_completes() {
+        let (bvh, rays) = fixture();
+        let mut config = SimConfig::paper_treelet_prefetch();
+        config.shader = Some(crate::ShaderProgram::path_tracer());
+        let result = simulate(&bvh, &rays, &config);
+        assert!(result.cycles > 0);
+        // Bounce lanes add demand traffic beyond the primary generation.
+        let primary_only = simulate(&bvh, &rays, &SimConfig::paper_treelet_prefetch());
+        assert!(result.l1.demand_accesses() > primary_only.l1.demand_accesses());
+        // Masked lanes pull SIMT efficiency below the primary-only run
+        // (bounce generations lose the lanes that missed).
+        assert!(result.simt_efficiency > 0.0);
+        assert!(result.simt_efficiency < primary_only.simt_efficiency);
+    }
+
+    #[test]
+    fn shader_ops_serialize_on_the_issue_port() {
+        // With zero-op shaders the run matches the pure-replay setup; a
+        // heavy raygen program must lengthen it.
+        let (bvh, rays) = fixture();
+        let mut light = SimConfig::paper_baseline();
+        light.shader = Some(crate::ShaderProgram {
+            raygen_ops: 1,
+            shade_ops: 0,
+            bounces: 0,
+            bounce_kind: crate::BounceKind::Diffuse,
+            seed: 1,
+        });
+        let mut heavy = light.clone();
+        heavy.shader = Some(crate::ShaderProgram {
+            raygen_ops: 20_000,
+            shade_ops: 0,
+            bounces: 0,
+            bounce_kind: crate::BounceKind::Diffuse,
+            seed: 1,
+        });
+        let fast = simulate(&bvh, &rays, &light);
+        let slow = simulate(&bvh, &rays, &heavy);
+        assert!(
+            slow.cycles > fast.cycles + 10_000,
+            "raygen ops must serialize: {} vs {}",
+            slow.cycles,
+            fast.cycles
+        );
+        // Same traversal work either way.
+        assert_eq!(fast.l1.demand_accesses(), slow.l1.demand_accesses());
+    }
+
+    #[test]
+    fn shader_simulation_is_deterministic() {
+        let (bvh, rays) = fixture();
+        let mut config = SimConfig::paper_treelet_prefetch();
+        config.shader = Some(crate::ShaderProgram::path_tracer());
+        let a = simulate(&bvh, &rays, &config);
+        let b = simulate(&bvh, &rays, &config);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.l1, b.l1);
+        assert!((a.simt_efficiency - b.simt_efficiency).abs() < 1e-12);
+    }
+
+    #[test]
+    fn raygen_stagger_delays_completion() {
+        // One SM so that the fixture's two warps actually queue behind
+        // each other.
+        let (bvh, rays) = fixture();
+        let mut base_cfg = SimConfig::paper_baseline();
+        base_cfg.num_sms = 1;
+        let immediate = simulate(&bvh, &rays, &base_cfg);
+        let mut staggered_cfg = base_cfg.clone();
+        // Longer than the whole immediate run, so the second warp cannot
+        // hide inside it.
+        staggered_cfg.raygen_interval = 2 * immediate.cycles;
+        let staggered = simulate(&bvh, &rays, &staggered_cfg);
+        assert!(
+            staggered.cycles > immediate.cycles,
+            "stagger must lengthen the run: {} vs {}",
+            staggered.cycles,
+            immediate.cycles
+        );
+        // Same functional work either way.
+        assert_eq!(
+            staggered.l1.demand_accesses(),
+            immediate.l1.demand_accesses()
+        );
+    }
+
+    #[test]
+    fn warm_batches_share_the_cache() {
+        // Running the same rays twice in one session: the second batch
+        // hits the warm caches and completes much faster.
+        let (bvh, rays) = fixture();
+        let results = simulate_batches(
+            &bvh,
+            &[rays.clone(), rays.clone()],
+            &SimConfig::paper_baseline(),
+        );
+        assert_eq!(results.len(), 2);
+        assert!(
+            results[1].cycles * 2 < results[0].cycles,
+            "warm batch not faster: {} vs {}",
+            results[1].cycles,
+            results[0].cycles
+        );
+        // Cache counters accumulate: the second result's totals exceed
+        // the first's.
+        assert!(results[1].l1.demand_accesses() > results[0].l1.demand_accesses());
+    }
+
+    #[test]
+    fn batched_equals_single_for_one_batch() {
+        let (bvh, rays) = fixture();
+        let single = simulate(&bvh, &rays, &SimConfig::paper_treelet_prefetch());
+        let batched = simulate_batches(
+            &bvh,
+            std::slice::from_ref(&rays),
+            &SimConfig::paper_treelet_prefetch(),
+        );
+        assert_eq!(single.cycles, batched[0].cycles);
+        assert_eq!(single.l1, batched[0].l1);
+        assert_eq!(single.prefetch_effect, batched[0].prefetch_effect);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one batch")]
+    fn empty_batches_panic() {
+        let (bvh, _) = fixture();
+        let _ = simulate_batches(&bvh, &[], &SimConfig::paper_baseline());
+    }
+
+    #[test]
+    fn stale_treelets_still_simulate_after_refit() {
+        // Animated-scene scenario: deform the triangles, refit the BVH,
+        // keep the frame-0 treelet assignment. Topology is unchanged, so
+        // the assignment stays valid and the simulation completes.
+        let (mut bvh, rays) = fixture();
+        let treelets = TreeletAssignment::form(&bvh, 512);
+        let fresh =
+            simulate_with_treelets(&bvh, &rays, &SimConfig::paper_treelet_prefetch(), &treelets);
+        let deformed: Vec<rt_geometry::Triangle> = bvh
+            .triangles()
+            .iter()
+            .map(|t| {
+                let wobble = |v: rt_geometry::Vec3| {
+                    rt_geometry::Vec3::new(v.x, v.y + 0.25 * (v.x * 2.0).sin(), v.z)
+                };
+                rt_geometry::Triangle::new(wobble(t.v0), wobble(t.v1), wobble(t.v2))
+            })
+            .collect();
+        bvh.refit(deformed);
+        let stale =
+            simulate_with_treelets(&bvh, &rays, &SimConfig::paper_treelet_prefetch(), &treelets);
+        assert!(fresh.cycles > 0 && stale.cycles > 0);
+    }
+
+    #[test]
+    fn mapping_table_modes_run() {
+        let (bvh, rays) = fixture();
+        for mode in [MappingMode::LooseWait, MappingMode::StrictWait] {
+            let config = SimConfig::paper_treelet_prefetch().with_mapping_mode(mode);
+            let result = simulate(&bvh, &rays, &config);
+            assert!(result.cycles > 0, "{mode:?} did not complete");
+        }
+    }
+
+    #[test]
+    fn schedulers_all_complete() {
+        let (bvh, rays) = fixture();
+        for sched in [
+            SchedulerPolicy::Baseline,
+            SchedulerPolicy::OldestMatchingRay,
+            SchedulerPolicy::PrioritizeMostRays,
+        ] {
+            let config = SimConfig::paper_treelet_prefetch().with_scheduler(sched);
+            let result = simulate(&bvh, &rays, &config);
+            assert!(result.cycles > 0, "{sched} did not complete");
+        }
+    }
+
+    #[test]
+    fn dram_sees_traffic_on_cold_caches() {
+        let (bvh, rays) = fixture();
+        let result = simulate(&bvh, &rays, &SimConfig::paper_baseline());
+        assert!(result.dram_to_l2_lines > 0);
+        assert!(result.dram_utilization > 0.0);
+        assert_eq!(result.dram_channel_accesses.len(), 4);
+    }
+
+    #[test]
+    fn power_report_is_positive() {
+        let (bvh, rays) = fixture();
+        let result = simulate(&bvh, &rays, &SimConfig::paper_baseline());
+        assert!(result.power.avg_power_w > 0.0);
+        assert!(result.power.dynamic_nj > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid simulation config")]
+    fn invalid_config_panics() {
+        let (bvh, rays) = fixture();
+        let mut config = SimConfig::paper_treelet_prefetch();
+        config.layout = LayoutChoice::DepthFirst; // incompatible with Packed mapping
+        let _ = simulate(&bvh, &rays, &config);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one ray")]
+    fn empty_rays_panic() {
+        let (bvh, _) = fixture();
+        let _ = simulate(&bvh, &[], &SimConfig::paper_baseline());
+    }
+}

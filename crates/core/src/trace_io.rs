@@ -1,0 +1,283 @@
+//! Serialization of compiled memory-access traces.
+//!
+//! The per-ray dependent cache-line sequences the timing model replays
+//! are the natural interchange artifact for memory-system studies: dump
+//! them here to feed other cache/DRAM simulators, or to inspect exactly
+//! what the RT unit fetches.
+//!
+//! Format (line-oriented text; `#` starts a comment):
+//!
+//! ```text
+//! ray 0
+//! step node=17 treelet=2 leaf=0 lines=100000040
+//! step node=63 treelet=9 leaf=1 lines=100000fc0,100002000,100002040
+//! ray 1
+//! ...
+//! ```
+//!
+//! Addresses are hexadecimal without `0x`. Steps are dependent: within a
+//! ray, step *i+1* cannot issue until step *i*'s lines returned.
+
+use crate::traversal::CompiledStep;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Error from trace parsing.
+#[derive(Debug)]
+pub enum ParseTraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line, with its 1-based number and a description.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseTraceError::Io(e) => write!(f, "i/o error reading trace: {e}"),
+            ParseTraceError::Malformed { line, message } => {
+                write!(f, "malformed trace at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseTraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseTraceError::Io(e) => Some(e),
+            ParseTraceError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for ParseTraceError {
+    fn from(e: io::Error) -> Self {
+        ParseTraceError::Io(e)
+    }
+}
+
+/// Writes compiled traces in the text format.
+///
+/// # Errors
+///
+/// Propagates writer failures.
+pub fn write_traces<W: Write>(mut w: W, traces: &[Vec<CompiledStep>]) -> io::Result<()> {
+    writeln!(
+        w,
+        "# treelet-rt compiled memory trace, {} rays",
+        traces.len()
+    )?;
+    for (i, steps) in traces.iter().enumerate() {
+        writeln!(w, "ray {i}")?;
+        for s in steps {
+            write!(
+                w,
+                "step node={} treelet={} leaf={} lines=",
+                s.node,
+                s.treelet,
+                u8::from(s.is_leaf)
+            )?;
+            for (k, line) in s.lines.iter().enumerate() {
+                if k > 0 {
+                    w.write_all(b",")?;
+                }
+                write!(w, "{line:x}")?;
+            }
+            writeln!(w)?;
+        }
+    }
+    Ok(())
+}
+
+/// Parses traces written by [`write_traces`].
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] on I/O failure or malformed input.
+pub fn read_traces<R: BufRead>(r: R) -> Result<Vec<Vec<CompiledStep>>, ParseTraceError> {
+    let mut traces: Vec<Vec<CompiledStep>> = Vec::new();
+    for (idx, line) in r.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let text = line.trim();
+        if text.is_empty() || text.starts_with('#') {
+            continue;
+        }
+        let malformed = |message: String| ParseTraceError::Malformed {
+            line: line_no,
+            message,
+        };
+        if let Some(index_text) = text.strip_prefix("ray ") {
+            let index: usize = index_text
+                .trim()
+                .parse()
+                .map_err(|e| malformed(format!("bad ray index: {e}")))?;
+            if index != traces.len() {
+                return Err(malformed(format!(
+                    "ray {index} out of order (expected {})",
+                    traces.len()
+                )));
+            }
+            traces.push(Vec::new());
+        } else if let Some(rest) = text.strip_prefix("step ") {
+            let current = traces
+                .last_mut()
+                .ok_or_else(|| malformed("step before any ray".into()))?;
+            let mut node = None;
+            let mut treelet = None;
+            let mut leaf = None;
+            let mut lines = None;
+            for field in rest.split_whitespace() {
+                let (key, value) = field
+                    .split_once('=')
+                    .ok_or_else(|| malformed(format!("field {field:?} has no '='")))?;
+                match key {
+                    "node" => {
+                        node = Some(value.parse().map_err(|e| malformed(format!("node: {e}")))?)
+                    }
+                    "treelet" => {
+                        treelet = Some(
+                            value
+                                .parse()
+                                .map_err(|e| malformed(format!("treelet: {e}")))?,
+                        )
+                    }
+                    "leaf" => {
+                        leaf = Some(match value {
+                            "0" => false,
+                            "1" => true,
+                            other => {
+                                return Err(malformed(format!("leaf must be 0/1, got {other}")))
+                            }
+                        })
+                    }
+                    "lines" => {
+                        let mut parsed = Vec::new();
+                        for addr in value.split(',') {
+                            parsed.push(
+                                u64::from_str_radix(addr, 16)
+                                    .map_err(|e| malformed(format!("address {addr:?}: {e}")))?,
+                            );
+                        }
+                        lines = Some(parsed);
+                    }
+                    other => return Err(malformed(format!("unknown field {other:?}"))),
+                }
+            }
+            current.push(CompiledStep {
+                node: node.ok_or_else(|| malformed("missing node".into()))?,
+                treelet: treelet.ok_or_else(|| malformed("missing treelet".into()))?,
+                is_leaf: leaf.ok_or_else(|| malformed("missing leaf".into()))?,
+                lines: lines.ok_or_else(|| malformed("missing lines".into()))?,
+            });
+        } else {
+            return Err(malformed(format!("unrecognized line {text:?}")));
+        }
+    }
+    Ok(traces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Vec<CompiledStep>> {
+        vec![
+            vec![
+                CompiledStep {
+                    node: 0,
+                    treelet: 0,
+                    lines: vec![0x1_0000_0000],
+                    is_leaf: false,
+                },
+                CompiledStep {
+                    node: 9,
+                    treelet: 3,
+                    lines: vec![0x1_0000_0240, 0x1_0001_0000, 0x1_0001_0040],
+                    is_leaf: true,
+                },
+            ],
+            vec![],
+            vec![CompiledStep {
+                node: 2,
+                treelet: 1,
+                lines: vec![0x1_0000_0080],
+                is_leaf: false,
+            }],
+        ]
+    }
+
+    #[test]
+    fn round_trip_preserves_traces() {
+        let traces = sample();
+        let mut buffer = Vec::new();
+        write_traces(&mut buffer, &traces).unwrap();
+        let parsed = read_traces(buffer.as_slice()).unwrap();
+        assert_eq!(parsed, traces);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# header\n\nray 0\n# inner comment\nstep node=1 treelet=2 leaf=0 lines=40\n";
+        let parsed = read_traces(text.as_bytes()).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0][0].lines, vec![0x40]);
+    }
+
+    #[test]
+    fn out_of_order_ray_errors() {
+        let text = "ray 1\n";
+        let err = read_traces(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("out of order"));
+    }
+
+    #[test]
+    fn step_before_ray_errors() {
+        let text = "step node=1 treelet=2 leaf=0 lines=40\n";
+        assert!(read_traces(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn missing_field_errors_with_line_number() {
+        let text = "ray 0\nstep node=1 leaf=0 lines=40\n";
+        let err = read_traces(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+        assert!(err.to_string().contains("treelet"));
+    }
+
+    #[test]
+    fn bad_hex_address_errors() {
+        let text = "ray 0\nstep node=1 treelet=2 leaf=0 lines=zz\n";
+        assert!(read_traces(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn real_scene_traces_round_trip() {
+        use crate::traversal::{compile_trace, trace_ray, TraversalAlgorithm};
+        use crate::treelet::TreeletAssignment;
+        let scene = rt_scene::Scene::build_with_detail(rt_scene::SceneId::Wknd, 0.3);
+        let rays = rt_scene::Workload::new(rt_scene::WorkloadKind::Primary, 8, 8).generate(&scene);
+        let bvh = rt_bvh::WideBvh::build(scene.mesh.into_triangles());
+        let treelets = TreeletAssignment::form(&bvh, 512);
+        let image = rt_bvh::MemoryImage::depth_first(&bvh);
+        let traces: Vec<Vec<CompiledStep>> = rays
+            .iter()
+            .map(|r| {
+                compile_trace(
+                    &trace_ray(&bvh, &treelets, r, TraversalAlgorithm::TwoStackTreelet),
+                    &image,
+                    64,
+                )
+            })
+            .collect();
+        let mut buffer = Vec::new();
+        write_traces(&mut buffer, &traces).unwrap();
+        assert_eq!(read_traces(buffer.as_slice()).unwrap(), traces);
+    }
+}

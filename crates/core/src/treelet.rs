@@ -1,0 +1,501 @@
+//! Treelet formation (paper §3.1).
+//!
+//! Treelets are connected subtrees of the BVH, formed greedily from the
+//! root: nodes are added breadth-first to the current treelet until its
+//! byte budget is exhausted; every node still waiting on the traversal
+//! queue then becomes the root of a future treelet. Because formation is
+//! greedy, upper-level treelets tend to be full-size — which the paper
+//! exploits, since upper levels are accessed most.
+
+use rt_bvh::{WideBvh, NODE_SIZE_BYTES};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// The paper's default maximum treelet size in bytes (512 B = 8 nodes).
+pub const DEFAULT_TREELET_BYTES: u64 = 512;
+
+/// How nodes are ordered while greedily growing a treelet.
+///
+/// The paper forms treelets breadth-first (§3.1); its future-work section
+/// (§8) suggests "optimizing treelet formation with statistical metrics".
+/// The two extra policies implement that exploration:
+///
+/// - [`FormationPolicy::GreedyDfs`] grows depth-first, producing deeper,
+///   narrower treelets (more pointer-chase coverage per treelet, fewer
+///   sibling nodes),
+/// - [`FormationPolicy::SurfaceArea`] grows by largest bounding-box
+///   surface area first — surface area is proportional to the probability
+///   a random ray intersects the node (the SAH argument), so treelets
+///   preferentially absorb the nodes rays are most likely to touch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FormationPolicy {
+    /// Breadth-first growth — the paper's algorithm.
+    #[default]
+    GreedyBfs,
+    /// Depth-first growth (deeper treelets).
+    GreedyDfs,
+    /// Largest-surface-area-first growth (SAH-weighted).
+    SurfaceArea,
+}
+
+impl fmt::Display for FormationPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FormationPolicy::GreedyBfs => "greedy-bfs",
+            FormationPolicy::GreedyDfs => "greedy-dfs",
+            FormationPolicy::SurfaceArea => "surface-area",
+        })
+    }
+}
+
+/// A partition of a BVH's nodes into treelets.
+///
+/// # Examples
+///
+/// ```
+/// use rt_bvh::WideBvh;
+/// use rt_geometry::{Triangle, Vec3};
+/// use treelet_rt::TreeletAssignment;
+///
+/// let tris: Vec<Triangle> = (0..32)
+///     .map(|i| {
+///         let x = i as f32;
+///         Triangle::new(
+///             Vec3::new(x, 0.0, 0.0),
+///             Vec3::new(x + 0.5, 0.0, 0.0),
+///             Vec3::new(x, 0.5, 0.0),
+///         )
+///     })
+///     .collect();
+/// let bvh = WideBvh::build(tris);
+/// let treelets = TreeletAssignment::form(&bvh, 512);
+/// assert_eq!(treelets.of_node(bvh.root()), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeletAssignment {
+    /// Treelet membership lists, in formation order. `treelets[g][0]` is
+    /// treelet `g`'s root node; members follow in breadth-first order.
+    treelets: Vec<Vec<u32>>,
+    /// Treelet id of each node.
+    of_node: Vec<u32>,
+    /// Maximum treelet size in bytes used during formation.
+    max_bytes: u64,
+}
+
+impl TreeletAssignment {
+    /// Forms treelets over `bvh` with the greedy algorithm of §3.1.
+    ///
+    /// `max_bytes` is the treelet byte budget (the paper sweeps 256 B to
+    /// 2048 B; 512 B is the default).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_bytes` is smaller than one 64-byte node.
+    pub fn form(bvh: &WideBvh, max_bytes: u64) -> TreeletAssignment {
+        TreeletAssignment::form_with_policy(bvh, max_bytes, FormationPolicy::GreedyBfs)
+    }
+
+    /// Forms treelets with an explicit growth [`FormationPolicy`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_bytes` is smaller than one 64-byte node.
+    pub fn form_with_policy(
+        bvh: &WideBvh,
+        max_bytes: u64,
+        policy: FormationPolicy,
+    ) -> TreeletAssignment {
+        assert!(
+            max_bytes >= NODE_SIZE_BYTES,
+            "a treelet must fit at least one node"
+        );
+        let n = bvh.node_count();
+        let mut of_node = vec![u32::MAX; n];
+        let mut treelets: Vec<Vec<u32>> = Vec::new();
+        // pendingTreelets: roots of treelets not yet formed.
+        let mut pending: VecDeque<u32> = VecDeque::new();
+        pending.push_back(bvh.root());
+        while let Some(root) = pending.pop_front() {
+            let id = treelets.len() as u32;
+            let mut members = Vec::new();
+            let mut remaining = max_bytes;
+            // Within-treelet work list. The pop discipline is the policy:
+            // BFS pops the front (upper-level nodes land at the front of
+            // the treelet — the property the PARTIAL heuristic relies
+            // on), DFS pops the back, SurfaceArea pops the largest node.
+            let mut queue: VecDeque<u32> = VecDeque::new();
+            queue.push_back(root);
+            while !queue.is_empty() {
+                let node = match policy {
+                    FormationPolicy::GreedyBfs => queue.pop_front().expect("checked non-empty"),
+                    FormationPolicy::GreedyDfs => queue.pop_back().expect("checked non-empty"),
+                    FormationPolicy::SurfaceArea => {
+                        let best = queue
+                            .iter()
+                            .enumerate()
+                            .max_by(|a, b| {
+                                let sa = bvh.nodes()[*a.1 as usize].aabb().surface_area();
+                                let sb = bvh.nodes()[*b.1 as usize].aabb().surface_area();
+                                sa.total_cmp(&sb)
+                            })
+                            .map(|(i, _)| i)
+                            .expect("checked non-empty");
+                        queue.remove(best).expect("index in range")
+                    }
+                };
+                if remaining >= NODE_SIZE_BYTES {
+                    remaining -= NODE_SIZE_BYTES;
+                    of_node[node as usize] = id;
+                    members.push(node);
+                    for child in bvh.nodes()[node as usize].child_nodes() {
+                        queue.push_back(child);
+                    }
+                } else {
+                    // No space left: this node and everything still queued
+                    // become future treelet roots.
+                    pending.push_back(node);
+                }
+            }
+            treelets.push(members);
+        }
+        debug_assert!(of_node.iter().all(|&t| t != u32::MAX));
+        TreeletAssignment {
+            treelets,
+            of_node,
+            max_bytes,
+        }
+    }
+
+    /// Number of treelets.
+    pub fn count(&self) -> usize {
+        self.treelets.len()
+    }
+
+    /// Treelet id of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn of_node(&self, node: u32) -> u32 {
+        self.of_node[node as usize]
+    }
+
+    /// Members of treelet `id`, root first, in breadth-first order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn members(&self, id: u32) -> &[u32] {
+        &self.treelets[id as usize]
+    }
+
+    /// The membership lists of all treelets, indexed by treelet id.
+    pub fn as_slices(&self) -> &[Vec<u32>] {
+        &self.treelets
+    }
+
+    /// Byte budget treelets were formed with.
+    pub fn max_bytes(&self) -> u64 {
+        self.max_bytes
+    }
+
+    /// Occupied bytes of treelet `id`.
+    pub fn occupied_bytes(&self, id: u32) -> u64 {
+        self.treelets[id as usize].len() as u64 * NODE_SIZE_BYTES
+    }
+
+    /// Mean fraction of the byte budget that treelets actually occupy.
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.treelets.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = (0..self.count() as u32)
+            .map(|t| self.occupied_bytes(t))
+            .sum();
+        total as f64 / (self.max_bytes as f64 * self.count() as f64)
+    }
+
+    /// `true` if `a` and `b` are in the same treelet (the child-bit test of
+    /// Algorithm 1, line 13).
+    pub fn same_treelet(&self, a: u32, b: u32) -> bool {
+        self.of_node(a) == self.of_node(b)
+    }
+}
+
+impl fmt::Display for TreeletAssignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} treelets (max {} B, {:.0}% mean occupancy)",
+            self.count(),
+            self.max_bytes,
+            self.mean_occupancy() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_geometry::{Triangle, Vec3};
+
+    fn grid_bvh(n: usize) -> WideBvh {
+        let tris: Vec<Triangle> = (0..n)
+            .map(|i| {
+                let x = (i % 32) as f32 * 2.0;
+                let z = (i / 32) as f32 * 2.0;
+                Triangle::new(
+                    Vec3::new(x, 0.0, z),
+                    Vec3::new(x + 1.0, 0.0, z),
+                    Vec3::new(x, 1.0, z),
+                )
+            })
+            .collect();
+        WideBvh::build(tris)
+    }
+
+    #[test]
+    fn every_node_is_assigned_exactly_once() {
+        let bvh = grid_bvh(300);
+        let a = TreeletAssignment::form(&bvh, 512);
+        let mut seen = vec![false; bvh.node_count()];
+        for g in 0..a.count() as u32 {
+            for &m in a.members(g) {
+                assert!(!seen[m as usize], "node {m} in two treelets");
+                seen[m as usize] = true;
+                assert_eq!(a.of_node(m), g);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn treelets_respect_byte_budget() {
+        let bvh = grid_bvh(300);
+        for bytes in [256u64, 512, 1024, 2048] {
+            let a = TreeletAssignment::form(&bvh, bytes);
+            for g in 0..a.count() as u32 {
+                assert!(a.occupied_bytes(g) <= bytes);
+                assert!(!a.members(g).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn treelets_are_connected() {
+        // Every member except the treelet root must have its parent in the
+        // same treelet (treelets are connected subtrees).
+        let bvh = grid_bvh(300);
+        let a = TreeletAssignment::form(&bvh, 512);
+        let mut parent = vec![u32::MAX; bvh.node_count()];
+        for (i, node) in bvh.nodes().iter().enumerate() {
+            for c in node.child_nodes() {
+                parent[c as usize] = i as u32;
+            }
+        }
+        for g in 0..a.count() as u32 {
+            let members = a.members(g);
+            let root = members[0];
+            for &m in &members[1..] {
+                let p = parent[m as usize];
+                assert_ne!(p, u32::MAX);
+                assert_eq!(
+                    a.of_node(p),
+                    g,
+                    "non-root member {m} of treelet {g} has parent outside (root {root})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn root_treelet_is_zero_and_contains_bvh_root() {
+        let bvh = grid_bvh(100);
+        let a = TreeletAssignment::form(&bvh, 512);
+        assert_eq!(a.of_node(bvh.root()), 0);
+        assert_eq!(a.members(0)[0], bvh.root());
+    }
+
+    #[test]
+    fn greedy_formation_fills_upper_treelets() {
+        // The first-formed (upper) treelet should be at full budget for a
+        // tree with plenty of nodes.
+        let bvh = grid_bvh(1000);
+        let a = TreeletAssignment::form(&bvh, 512);
+        assert_eq!(a.occupied_bytes(0), 512);
+    }
+
+    #[test]
+    fn members_are_in_breadth_first_order() {
+        // The root's children must appear before any grandchild.
+        let bvh = grid_bvh(1000);
+        let a = TreeletAssignment::form(&bvh, 512);
+        let members = a.members(0);
+        let root_children: Vec<u32> = bvh.nodes()[0].child_nodes().collect();
+        let pos = |n: u32| members.iter().position(|&m| m == n);
+        for &c in &root_children {
+            if let (Some(pc), Some(p0)) = (pos(c), pos(members[0])) {
+                assert!(pc > p0);
+            }
+        }
+        // All members at positions 1..=k (k = root child count present in
+        // this treelet) are root children.
+        let in_treelet_children = root_children
+            .iter()
+            .filter(|&&c| a.of_node(c) == 0)
+            .count()
+            .min(members.len() - 1);
+        for &member in members.iter().take(in_treelet_children + 1).skip(1) {
+            assert!(
+                root_children.contains(&member),
+                "member {member} is not a root child (BFS order violated)"
+            );
+        }
+    }
+
+    #[test]
+    fn occupancy_decreases_with_budget() {
+        // Counts are not monotone in the budget (a big first treelet cuts
+        // a wide BFS frontier into many tiny treelets — the same effect
+        // that gives the paper's ROBOT an average of ~2 nodes per 512 B
+        // treelet), but mean occupancy must fall as budgets grow.
+        let bvh = grid_bvh(500);
+        let occupancies: Vec<f64> = [64u64, 256, 512, 1024, 2048]
+            .iter()
+            .map(|&b| TreeletAssignment::form(&bvh, b).mean_occupancy())
+            .collect();
+        for w in occupancies.windows(2) {
+            assert!(
+                w[0] >= w[1] - 1e-12,
+                "occupancy increased with budget: {occupancies:?}"
+            );
+        }
+        // The one-node budget is perfectly occupied.
+        assert!((occupancies[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_node_tree_is_one_treelet() {
+        let bvh = grid_bvh(1);
+        let a = TreeletAssignment::form(&bvh, 512);
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.members(0), &[0]);
+        assert!((a.mean_occupancy() - 64.0 / 512.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn minimum_budget_one_node_per_treelet() {
+        let bvh = grid_bvh(50);
+        let a = TreeletAssignment::form(&bvh, 64);
+        assert_eq!(a.count(), bvh.node_count());
+        for g in 0..a.count() as u32 {
+            assert_eq!(a.members(g).len(), 1);
+        }
+    }
+
+    #[test]
+    fn all_policies_produce_valid_partitions() {
+        let bvh = grid_bvh(400);
+        for policy in [
+            FormationPolicy::GreedyBfs,
+            FormationPolicy::GreedyDfs,
+            FormationPolicy::SurfaceArea,
+        ] {
+            let a = TreeletAssignment::form_with_policy(&bvh, 512, policy);
+            let mut seen = vec![false; bvh.node_count()];
+            for g in 0..a.count() as u32 {
+                assert!(a.occupied_bytes(g) <= 512, "{policy}: treelet over budget");
+                for &m in a.members(g) {
+                    assert!(!seen[m as usize], "{policy}: node {m} twice");
+                    seen[m as usize] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "{policy}: nodes unassigned");
+        }
+    }
+
+    #[test]
+    fn dfs_policy_forms_deeper_treelets_than_bfs() {
+        // Depth of a treelet = longest root-to-member path within it.
+        let bvh = grid_bvh(1000);
+        let mut parent = vec![u32::MAX; bvh.node_count()];
+        for (i, node) in bvh.nodes().iter().enumerate() {
+            for c in node.child_nodes() {
+                parent[c as usize] = i as u32;
+            }
+        }
+        let treelet_depth = |a: &TreeletAssignment| -> f64 {
+            let mut total = 0usize;
+            for g in 0..a.count() as u32 {
+                let members = a.members(g);
+                let mut deepest = 1usize;
+                for &m in members {
+                    let mut d = 1;
+                    let mut cur = m;
+                    while parent[cur as usize] != u32::MAX && a.of_node(parent[cur as usize]) == g {
+                        cur = parent[cur as usize];
+                        d += 1;
+                    }
+                    deepest = deepest.max(d);
+                }
+                total += deepest;
+            }
+            total as f64 / a.count() as f64
+        };
+        let bfs = TreeletAssignment::form_with_policy(&bvh, 512, FormationPolicy::GreedyBfs);
+        let dfs = TreeletAssignment::form_with_policy(&bvh, 512, FormationPolicy::GreedyDfs);
+        assert!(
+            treelet_depth(&dfs) >= treelet_depth(&bfs),
+            "DFS treelets should be at least as deep on average"
+        );
+    }
+
+    #[test]
+    fn surface_area_policy_prefers_large_nodes() {
+        // The first treelet under SurfaceArea must have mean member
+        // surface area >= the BFS one's (it picks the biggest nodes).
+        let bvh = grid_bvh(600);
+        let mean_sa = |members: &[u32]| {
+            members
+                .iter()
+                .map(|&m| bvh.nodes()[m as usize].aabb().surface_area() as f64)
+                .sum::<f64>()
+                / members.len() as f64
+        };
+        let bfs = TreeletAssignment::form_with_policy(&bvh, 512, FormationPolicy::GreedyBfs);
+        let sa = TreeletAssignment::form_with_policy(&bvh, 512, FormationPolicy::SurfaceArea);
+        assert!(mean_sa(sa.members(0)) >= mean_sa(bfs.members(0)) * 0.99);
+    }
+
+    #[test]
+    fn policy_display_names() {
+        assert_eq!(FormationPolicy::GreedyBfs.to_string(), "greedy-bfs");
+        assert_eq!(FormationPolicy::GreedyDfs.to_string(), "greedy-dfs");
+        assert_eq!(FormationPolicy::SurfaceArea.to_string(), "surface-area");
+        assert_eq!(FormationPolicy::default(), FormationPolicy::GreedyBfs);
+    }
+
+    #[test]
+    fn same_treelet_helper() {
+        let bvh = grid_bvh(200);
+        let a = TreeletAssignment::form(&bvh, 512);
+        let members = a.members(0);
+        if members.len() >= 2 {
+            assert!(a.same_treelet(members[0], members[1]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn budget_below_node_size_panics() {
+        let bvh = grid_bvh(10);
+        let _ = TreeletAssignment::form(&bvh, 32);
+    }
+
+    #[test]
+    fn display_reports_count() {
+        let bvh = grid_bvh(100);
+        let a = TreeletAssignment::form(&bvh, 512);
+        assert!(a.to_string().contains("treelets"));
+    }
+}

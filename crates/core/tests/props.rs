@@ -1,0 +1,161 @@
+//! Property-based tests for treelet formation, the traversal algorithms,
+//! and trace compilation.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rt_bvh::{MemoryImage, WideBvh, NODE_SIZE_BYTES};
+use rt_geometry::{Ray, Triangle, Vec3};
+use treelet_rt::{compile_trace, trace_ray, TraversalAlgorithm, TreeletAssignment};
+
+fn coord() -> impl Strategy<Value = f32> {
+    -40.0f32..40.0
+}
+
+fn triangle() -> impl Strategy<Value = Triangle> {
+    (
+        coord(),
+        coord(),
+        coord(),
+        -3.0f32..3.0,
+        -3.0f32..3.0,
+        -3.0f32..3.0,
+    )
+        .prop_map(|(x, y, z, a, b, c)| {
+            let p = Vec3::new(x, y, z);
+            Triangle::new(
+                p,
+                p + Vec3::new(a, b.abs() + 0.1, c),
+                p + Vec3::new(b, c, a.abs() + 0.1),
+            )
+        })
+}
+
+fn soup() -> impl Strategy<Value = Vec<Triangle>> {
+    vec(triangle(), 1..100)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn formation_partitions_every_tree(tris in soup(), budget_nodes in 1u64..16) {
+        let bvh = WideBvh::build(tris);
+        let budget = budget_nodes * NODE_SIZE_BYTES;
+        let a = TreeletAssignment::form(&bvh, budget);
+        let mut seen = vec![false; bvh.node_count()];
+        for g in 0..a.count() as u32 {
+            prop_assert!(a.occupied_bytes(g) <= budget);
+            prop_assert!(!a.members(g).is_empty());
+            for &m in a.members(g) {
+                prop_assert!(!seen[m as usize], "node {} twice", m);
+                seen[m as usize] = true;
+                prop_assert_eq!(a.of_node(m), g);
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn formation_produces_connected_treelets(tris in soup()) {
+        let bvh = WideBvh::build(tris);
+        let a = TreeletAssignment::form(&bvh, 512);
+        let mut parent = vec![u32::MAX; bvh.node_count()];
+        for (i, node) in bvh.nodes().iter().enumerate() {
+            for c in node.child_nodes() {
+                parent[c as usize] = i as u32;
+            }
+        }
+        for g in 0..a.count() as u32 {
+            for &m in &a.members(g)[1..] {
+                prop_assert_eq!(a.of_node(parent[m as usize]), g);
+            }
+        }
+    }
+
+    #[test]
+    fn both_traversals_find_the_same_closest_hit(
+        tris in soup(),
+        ox in coord(), oy in coord(), oz in coord(),
+        dx in -1.0f32..1.0, dy in -1.0f32..1.0, dz in -1.0f32..1.0,
+    ) {
+        prop_assume!(dx.abs() + dy.abs() + dz.abs() > 0.1);
+        let bvh = WideBvh::build(tris);
+        let a = TreeletAssignment::form(&bvh, 512);
+        let ray = Ray::new(Vec3::new(ox, oy, oz), Vec3::new(dx, dy, dz));
+        let dfs = trace_ray(&bvh, &a, &ray, TraversalAlgorithm::BaselineDfs);
+        let two = trace_ray(&bvh, &a, &ray, TraversalAlgorithm::TwoStackTreelet);
+        prop_assert_eq!(dfs.hit.primitive, two.hit.primitive);
+        if dfs.hit.is_hit() {
+            prop_assert!((dfs.hit.t - two.hit.t).abs() < 1e-3 * dfs.hit.t.max(1.0));
+        }
+    }
+
+    #[test]
+    fn two_stack_never_reenters_a_treelet(
+        tris in soup(),
+        ox in coord(), oy in coord(), oz in coord(),
+        dx in -1.0f32..1.0, dy in -1.0f32..1.0, dz in -1.0f32..1.0,
+    ) {
+        prop_assume!(dx.abs() + dy.abs() + dz.abs() > 0.1);
+        let bvh = WideBvh::build(tris);
+        let a = TreeletAssignment::form(&bvh, 512);
+        let ray = Ray::new(Vec3::new(ox, oy, oz), Vec3::new(dx, dy, dz));
+        let trace = trace_ray(&bvh, &a, &ray, TraversalAlgorithm::TwoStackTreelet);
+        let mut seen = std::collections::HashSet::new();
+        let mut last = u32::MAX;
+        for s in &trace.steps {
+            if s.treelet != last {
+                prop_assert!(seen.insert(s.treelet), "treelet {} re-entered", s.treelet);
+                last = s.treelet;
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_traces_are_line_aligned_and_deduplicated(
+        tris in soup(),
+        ox in coord(), oy in coord(), oz in coord(),
+    ) {
+        let bvh = WideBvh::build(tris);
+        let a = TreeletAssignment::form(&bvh, 512);
+        let image = MemoryImage::depth_first(&bvh);
+        let target = bvh.root_aabb().center();
+        let dir = target - Vec3::new(ox, oy, oz);
+        prop_assume!(dir.length_squared() > 1e-3);
+        let ray = Ray::new(Vec3::new(ox, oy, oz), dir);
+        let trace = trace_ray(&bvh, &a, &ray, TraversalAlgorithm::BaselineDfs);
+        for step in compile_trace(&trace, &image, 64) {
+            prop_assert!(!step.lines.is_empty());
+            prop_assert_eq!(step.lines[0], image.node_addr(step.node) / 64 * 64);
+            let mut sorted = step.lines.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), step.lines.len(), "duplicate lines in step");
+            prop_assert!(step.lines.iter().all(|l| l % 64 == 0));
+        }
+    }
+
+    #[test]
+    fn traversal_visits_are_bounded_by_node_count(
+        tris in soup(),
+        ox in coord(), oy in coord(), oz in coord(),
+        dx in -1.0f32..1.0, dy in -1.0f32..1.0, dz in -1.0f32..1.0,
+    ) {
+        // With early termination, neither algorithm may visit a node more
+        // than once per ray, so visits <= node count.
+        prop_assume!(dx.abs() + dy.abs() + dz.abs() > 0.1);
+        let bvh = WideBvh::build(tris);
+        let a = TreeletAssignment::form(&bvh, 512);
+        let ray = Ray::new(Vec3::new(ox, oy, oz), Vec3::new(dx, dy, dz));
+        for algo in [TraversalAlgorithm::BaselineDfs, TraversalAlgorithm::TwoStackTreelet] {
+            let trace = trace_ray(&bvh, &a, &ray, algo);
+            prop_assert!(trace.nodes_visited() <= bvh.node_count());
+            // No node may appear twice in a single trace.
+            let mut nodes: Vec<u32> = trace.steps.iter().map(|s| s.node).collect();
+            nodes.sort_unstable();
+            let before = nodes.len();
+            nodes.dedup();
+            prop_assert_eq!(nodes.len(), before, "node visited twice in {}", algo);
+        }
+    }
+}

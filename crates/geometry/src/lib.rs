@@ -1,0 +1,41 @@
+//! Geometry primitives for the treelet-prefetching ray tracing stack.
+//!
+//! This crate provides the small, allocation-free building blocks shared by
+//! every other crate in the workspace:
+//!
+//! - [`Vec3`] — three-component `f32` vector,
+//! - [`Ray`] / [`HitRecord`] — parametric rays and closest-hit bookkeeping,
+//! - [`Aabb`] — axis-aligned bounding boxes with the slab intersection test,
+//! - [`Triangle`] — triangles with the Möller–Trumbore intersection test.
+//!
+//! # Examples
+//!
+//! Trace a ray against a triangle's bounding box, then the triangle itself —
+//! the same two tests the RT unit's operation units perform in the paper:
+//!
+//! ```
+//! use rt_geometry::{Aabb, Ray, Triangle, Vec3};
+//!
+//! let tri = Triangle::new(
+//!     Vec3::new(-1.0, -1.0, 5.0),
+//!     Vec3::new(1.0, -1.0, 5.0),
+//!     Vec3::new(0.0, 1.0, 5.0),
+//! );
+//! let ray = Ray::new(Vec3::ZERO, Vec3::Z);
+//! let aabb = tri.aabb();
+//! assert!(aabb.intersect(&ray, ray.inv_direction()).is_some());
+//! assert_eq!(tri.intersect(&ray), Some(5.0));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod aabb;
+mod ray;
+mod triangle;
+mod vec3;
+
+pub use aabb::Aabb;
+pub use ray::{HitRecord, Ray};
+pub use triangle::Triangle;
+pub use vec3::Vec3;

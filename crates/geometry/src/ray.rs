@@ -1,0 +1,197 @@
+//! Rays and ray-interval bookkeeping.
+
+use crate::Vec3;
+use std::fmt;
+
+/// A half-open parametric ray `origin + t * direction` for `t` in
+/// `[t_min, t_max]`.
+///
+/// Rays carry their valid parametric interval so that traversal can shrink
+/// `t_max` as closer hits are found (early ray termination).
+///
+/// # Examples
+///
+/// ```
+/// use rt_geometry::{Ray, Vec3};
+///
+/// let ray = Ray::new(Vec3::ZERO, Vec3::X);
+/// assert_eq!(ray.at(2.0), Vec3::new(2.0, 0.0, 0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ray {
+    /// Ray origin.
+    pub origin: Vec3,
+    /// Ray direction. Not required to be normalized; `t` values are
+    /// expressed in units of the direction's length.
+    pub direction: Vec3,
+    /// Minimum valid `t` (used to avoid self-intersection).
+    pub t_min: f32,
+    /// Maximum valid `t`. Shrunk by traversal as closer hits are found.
+    pub t_max: f32,
+}
+
+impl Ray {
+    /// Creates a ray with the default interval `[1e-4, +inf)`.
+    ///
+    /// The small positive `t_min` avoids re-intersecting the surface a
+    /// secondary ray was spawned from.
+    #[inline]
+    pub fn new(origin: Vec3, direction: Vec3) -> Self {
+        Ray {
+            origin,
+            direction,
+            t_min: 1e-4,
+            t_max: f32::INFINITY,
+        }
+    }
+
+    /// Creates a ray with an explicit parametric interval.
+    #[inline]
+    pub fn with_interval(origin: Vec3, direction: Vec3, t_min: f32, t_max: f32) -> Self {
+        Ray {
+            origin,
+            direction,
+            t_min,
+            t_max,
+        }
+    }
+
+    /// Point on the ray at parameter `t`.
+    #[inline]
+    pub fn at(&self, t: f32) -> Vec3 {
+        self.origin + self.direction * t
+    }
+
+    /// Precomputed reciprocal direction for the AABB slab test.
+    ///
+    /// Zero direction components map to infinities, which the slab test
+    /// handles correctly via IEEE semantics.
+    #[inline]
+    pub fn inv_direction(&self) -> Vec3 {
+        self.direction.recip()
+    }
+}
+
+impl fmt::Display for Ray {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Ray[{} -> {}, t in [{}, {}]]",
+            self.origin, self.direction, self.t_min, self.t_max
+        )
+    }
+}
+
+/// Record of the closest intersection found so far for a ray.
+///
+/// `t` starts at `f32::INFINITY` and decreases monotonically as closer
+/// primitives are found; `primitive` identifies the closest-hit primitive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HitRecord {
+    /// Parametric distance of the closest hit, `f32::INFINITY` if none.
+    pub t: f32,
+    /// Index of the hit primitive, if any.
+    pub primitive: Option<u32>,
+}
+
+impl HitRecord {
+    /// A record representing "no hit yet".
+    pub const MISS: HitRecord = HitRecord {
+        t: f32::INFINITY,
+        primitive: None,
+    };
+
+    /// Creates an empty record (no hit).
+    #[inline]
+    pub fn new() -> Self {
+        HitRecord::MISS
+    }
+
+    /// `true` if some primitive has been hit.
+    #[inline]
+    pub fn is_hit(&self) -> bool {
+        self.primitive.is_some()
+    }
+
+    /// Records `(t, primitive)` if it is closer than the current hit.
+    /// Returns `true` if the record was updated.
+    #[inline]
+    pub fn update(&mut self, t: f32, primitive: u32) -> bool {
+        if t < self.t {
+            self.t = t;
+            self.primitive = Some(primitive);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl Default for HitRecord {
+    fn default() -> Self {
+        HitRecord::MISS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ray_evaluation() {
+        let r = Ray::new(Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 2.0, 0.0));
+        assert_eq!(r.at(0.0), Vec3::new(1.0, 0.0, 0.0));
+        assert_eq!(r.at(1.5), Vec3::new(1.0, 3.0, 0.0));
+    }
+
+    #[test]
+    fn default_interval_guards_self_intersection() {
+        let r = Ray::new(Vec3::ZERO, Vec3::X);
+        assert!(r.t_min > 0.0);
+        assert_eq!(r.t_max, f32::INFINITY);
+    }
+
+    #[test]
+    fn with_interval_sets_bounds() {
+        let r = Ray::with_interval(Vec3::ZERO, Vec3::X, 0.5, 9.0);
+        assert_eq!(r.t_min, 0.5);
+        assert_eq!(r.t_max, 9.0);
+    }
+
+    #[test]
+    fn inv_direction_matches_recip() {
+        let r = Ray::new(Vec3::ZERO, Vec3::new(2.0, 0.0, -0.5));
+        let inv = r.inv_direction();
+        assert_eq!(inv.x, 0.5);
+        assert!(inv.y.is_infinite());
+        assert_eq!(inv.z, -2.0);
+    }
+
+    #[test]
+    fn hit_record_updates_only_when_closer() {
+        let mut rec = HitRecord::new();
+        assert!(!rec.is_hit());
+        assert!(rec.update(5.0, 10));
+        assert_eq!(rec.t, 5.0);
+        assert_eq!(rec.primitive, Some(10));
+        // Farther hit does not replace.
+        assert!(!rec.update(7.0, 11));
+        assert_eq!(rec.primitive, Some(10));
+        // Closer hit replaces.
+        assert!(rec.update(2.0, 12));
+        assert_eq!(rec.primitive, Some(12));
+        assert_eq!(rec.t, 2.0);
+    }
+
+    #[test]
+    fn hit_record_default_is_miss() {
+        assert_eq!(HitRecord::default(), HitRecord::MISS);
+        assert!(!HitRecord::MISS.is_hit());
+    }
+
+    #[test]
+    fn ray_display_is_nonempty() {
+        let s = Ray::new(Vec3::ZERO, Vec3::X).to_string();
+        assert!(s.contains("Ray"));
+    }
+}

@@ -1,0 +1,631 @@
+//! Cycle-level cache model with MSHRs, LRU replacement, and
+//! prefetch-provenance tracking.
+//!
+//! The cache distinguishes lines brought in by demand loads from lines
+//! brought in by prefetches so the simulator can reproduce the paper's
+//! L1 breakdown (Fig. 12) and prefetch-effectiveness classification
+//! (Fig. 20).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// Who caused a line to be (or be being) fetched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FillOrigin {
+    /// An ordinary demand load.
+    Demand,
+    /// The treelet (or comparison) prefetcher.
+    Prefetch,
+}
+
+/// Outcome of a cache probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeOutcome {
+    /// The line is resident; `filled_by_prefetch` reports its provenance
+    /// at the time of the hit.
+    Hit {
+        /// `true` if the line was brought in by a prefetch and this is a
+        /// demand read of prefetched data.
+        filled_by_prefetch: bool,
+    },
+    /// The line is being fetched already; the access is merged into the
+    /// existing MSHR entry.
+    PendingHit,
+    /// The line is absent; a new MSHR entry was allocated and the caller
+    /// must forward the request upstream.
+    Miss,
+    /// The line is absent and no MSHR entry is available; the caller must
+    /// retry later.
+    NoMshr,
+}
+
+/// Replacement organization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Organization {
+    /// One set holding `lines` ways (the paper's fully associative L1).
+    FullyAssociative,
+    /// `sets` sets of `ways` lines each (the paper's 16-way L2).
+    SetAssociative {
+        /// Number of sets; the set index is `(addr / line) % sets`.
+        sets: u64,
+    },
+}
+
+/// Classification counters for prefetch effectiveness (paper Fig. 20).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefetchEffect {
+    /// Prefetch found the line already present or pending from a demand
+    /// load.
+    pub too_late: u64,
+    /// A demand load merged with an in-flight prefetch (pending hit on a
+    /// prefetch).
+    pub late: u64,
+    /// A demand load hit a resident line brought in by a prefetch.
+    pub timely: u64,
+    /// The prefetched line was evicted unread and later demanded again.
+    pub early: u64,
+    /// Prefetched lines never read by any demand load.
+    pub unused: u64,
+}
+
+impl PrefetchEffect {
+    /// Total classified prefetches.
+    pub fn total(&self) -> u64 {
+        self.too_late + self.late + self.timely + self.early + self.unused
+    }
+}
+
+/// Demand access counters (paper Fig. 12 breakdown).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand hits on lines brought in by prefetches.
+    pub demand_hits_on_prefetch: u64,
+    /// Demand hits on lines brought in by demand loads.
+    pub demand_hits_on_demand: u64,
+    /// Demand accesses merged into an in-flight fetch.
+    pub demand_pending_hits: u64,
+    /// Demand misses that allocated an MSHR.
+    pub demand_misses: u64,
+    /// Prefetch probes issued to this cache.
+    pub prefetch_probes: u64,
+    /// Prefetch probes that allocated an MSHR (actual prefetch fills
+    /// requested upstream).
+    pub prefetch_misses: u64,
+    /// Accesses rejected because the MSHR file was full.
+    pub mshr_rejections: u64,
+    /// Lines evicted.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// All demand accesses that probed the cache.
+    pub fn demand_accesses(&self) -> u64 {
+        self.demand_hits_on_prefetch
+            + self.demand_hits_on_demand
+            + self.demand_pending_hits
+            + self.demand_misses
+    }
+
+    /// Demand hit rate (hits / accesses), zero when idle.
+    pub fn demand_hit_rate(&self) -> f64 {
+        let total = self.demand_accesses();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.demand_hits_on_prefetch + self.demand_hits_on_demand) as f64 / total as f64
+    }
+}
+
+#[derive(Debug)]
+struct Line {
+    last_use: u64,
+    origin: FillOrigin,
+    /// For prefetched lines: has any demand load read it yet?
+    read_by_demand: bool,
+}
+
+#[derive(Debug)]
+struct MshrEntry {
+    origin: FillOrigin,
+    /// Set when a demand access merged with an in-flight prefetch (used to
+    /// classify the prefetch as Late on fill).
+    demand_merged: bool,
+}
+
+/// A cycle-level cache with MSHRs.
+///
+/// The cache stores *presence* only — data movement is modeled by the
+/// surrounding memory system. Probes and fills are driven by the caller.
+///
+/// # Examples
+///
+/// ```
+/// use rt_gpu_sim::{Cache, FillOrigin, Organization, ProbeOutcome};
+///
+/// let mut cache = Cache::new(4, Organization::FullyAssociative, 8, 64);
+/// assert_eq!(cache.probe(0x1000, FillOrigin::Demand, 1), ProbeOutcome::Miss);
+/// cache.fill(0x1000, 2);
+/// assert!(matches!(
+///     cache.probe(0x1000, FillOrigin::Demand, 3),
+///     ProbeOutcome::Hit { .. }
+/// ));
+/// ```
+#[derive(Debug)]
+pub struct Cache {
+    lines: HashMap<u64, Line>,
+    capacity_lines: usize,
+    organization: Organization,
+    ways: usize,
+    line_bytes: u64,
+    mshrs: HashMap<u64, MshrEntry>,
+    mshr_capacity: usize,
+    /// Lazy min-heap of (last_use, line) for fully associative eviction.
+    lru_heap: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Per-set membership for set-associative eviction.
+    set_members: Vec<Vec<u64>>,
+    /// Prefetched lines evicted before any demand read; a later demand
+    /// miss on one of these reclassifies the prefetch as Early.
+    evicted_unread: HashSet<u64>,
+    stats: CacheStats,
+    effect: PrefetchEffect,
+}
+
+impl Cache {
+    /// Creates a cache of `capacity_lines` lines.
+    ///
+    /// For [`Organization::SetAssociative`], `capacity_lines` must be a
+    /// multiple of `sets`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_lines` or `mshr_capacity` is zero, or the
+    /// set-associative shape does not divide evenly.
+    pub fn new(
+        capacity_lines: usize,
+        organization: Organization,
+        mshr_capacity: usize,
+        line_bytes: u64,
+    ) -> Cache {
+        assert!(capacity_lines > 0, "cache must hold at least one line");
+        assert!(mshr_capacity > 0, "cache needs at least one MSHR");
+        let (ways, set_count) = match organization {
+            Organization::FullyAssociative => (capacity_lines, 1),
+            Organization::SetAssociative { sets } => {
+                assert!(
+                    sets > 0 && (capacity_lines as u64).is_multiple_of(sets),
+                    "capacity must divide evenly into sets"
+                );
+                ((capacity_lines as u64 / sets) as usize, sets as usize)
+            }
+        };
+        Cache {
+            lines: HashMap::with_capacity(capacity_lines),
+            capacity_lines,
+            organization,
+            ways,
+            line_bytes,
+            mshrs: HashMap::new(),
+            mshr_capacity,
+            lru_heap: BinaryHeap::new(),
+            set_members: vec![Vec::new(); set_count],
+            evicted_unread: HashSet::new(),
+            stats: CacheStats::default(),
+            effect: PrefetchEffect::default(),
+        }
+    }
+
+    /// Line-aligned address of `addr`.
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr / self.line_bytes * self.line_bytes
+    }
+
+    fn set_of(&self, line: u64) -> usize {
+        match self.organization {
+            Organization::FullyAssociative => 0,
+            Organization::SetAssociative { sets } => ((line / self.line_bytes) % sets) as usize,
+        }
+    }
+
+    /// Probes the cache for the line containing `addr` at time `now`.
+    ///
+    /// On [`ProbeOutcome::Miss`] an MSHR entry is allocated and the caller
+    /// must send the fetch upstream, then call [`Cache::fill`] when data
+    /// returns. Prefetch probes that find the line present or pending are
+    /// dropped (classified *too late*) — the caller should not forward
+    /// them.
+    pub fn probe(&mut self, addr: u64, origin: FillOrigin, now: u64) -> ProbeOutcome {
+        let line = self.line_of(addr);
+        if origin == FillOrigin::Prefetch {
+            self.stats.prefetch_probes += 1;
+        }
+        if let Some(entry) = self.lines.get_mut(&line) {
+            entry.last_use = now;
+            if let Organization::FullyAssociative = self.organization {
+                self.lru_heap.push(Reverse((now, line)));
+            }
+            match origin {
+                FillOrigin::Demand => {
+                    let on_prefetch = entry.origin == FillOrigin::Prefetch;
+                    if on_prefetch && !entry.read_by_demand {
+                        entry.read_by_demand = true;
+                        self.effect.timely += 1;
+                    }
+                    if on_prefetch {
+                        self.stats.demand_hits_on_prefetch += 1;
+                    } else {
+                        self.stats.demand_hits_on_demand += 1;
+                    }
+                    ProbeOutcome::Hit {
+                        filled_by_prefetch: on_prefetch,
+                    }
+                }
+                FillOrigin::Prefetch => {
+                    self.effect.too_late += 1;
+                    ProbeOutcome::Hit {
+                        filled_by_prefetch: entry.origin == FillOrigin::Prefetch,
+                    }
+                }
+            }
+        } else if let Some(mshr) = self.mshrs.get_mut(&line) {
+            match origin {
+                FillOrigin::Demand => {
+                    self.stats.demand_pending_hits += 1;
+                    if mshr.origin == FillOrigin::Prefetch && !mshr.demand_merged {
+                        mshr.demand_merged = true;
+                        self.effect.late += 1;
+                    }
+                }
+                FillOrigin::Prefetch => {
+                    self.effect.too_late += 1;
+                }
+            }
+            ProbeOutcome::PendingHit
+        } else {
+            if self.mshrs.len() >= self.mshr_capacity {
+                self.stats.mshr_rejections += 1;
+                return ProbeOutcome::NoMshr;
+            }
+            match origin {
+                FillOrigin::Demand => {
+                    self.stats.demand_misses += 1;
+                    // A demand miss on a line whose prefetched copy was
+                    // evicted unread: the prefetch was Early.
+                    if self.evicted_unread.remove(&line) {
+                        self.effect.early += 1;
+                    }
+                }
+                FillOrigin::Prefetch => self.stats.prefetch_misses += 1,
+            }
+            self.mshrs.insert(
+                line,
+                MshrEntry {
+                    origin,
+                    demand_merged: false,
+                },
+            );
+            ProbeOutcome::Miss
+        }
+    }
+
+    /// Installs the line containing `addr`, completing its MSHR entry.
+    /// Evicts an LRU victim if the cache (or set) is full. Returns the
+    /// evicted line, if any.
+    pub fn fill(&mut self, addr: u64, now: u64) -> Option<u64> {
+        let line = self.line_of(addr);
+        let mshr = self.mshrs.remove(&line);
+        if self.lines.contains_key(&line) {
+            return None; // already resident (e.g. racing fills)
+        }
+        let origin = mshr.as_ref().map_or(FillOrigin::Demand, |m| m.origin);
+        // A prefetch whose in-flight window absorbed a demand load counts
+        // as read the moment it lands (the demand consumes it).
+        let read_by_demand = mshr.as_ref().is_some_and(|m| m.demand_merged);
+        let victim = self.evict_if_needed(line);
+        self.lines.insert(
+            line,
+            Line {
+                last_use: now,
+                origin,
+                read_by_demand,
+            },
+        );
+        match self.organization {
+            Organization::FullyAssociative => self.lru_heap.push(Reverse((now, line))),
+            Organization::SetAssociative { .. } => {
+                let set = self.set_of(line);
+                self.set_members[set].push(line);
+            }
+        }
+        victim
+    }
+
+    fn evict_if_needed(&mut self, incoming: u64) -> Option<u64> {
+        let victim = match self.organization {
+            Organization::FullyAssociative => {
+                if self.lines.len() < self.capacity_lines {
+                    return None;
+                }
+                // Lazy heap: pop until an entry matches the line's current
+                // last_use.
+                loop {
+                    let Reverse((ts, line)) = self
+                        .lru_heap
+                        .pop()
+                        .expect("LRU heap empty while cache is full");
+                    if let Some(entry) = self.lines.get(&line) {
+                        if entry.last_use == ts {
+                            break line;
+                        }
+                    }
+                }
+            }
+            Organization::SetAssociative { .. } => {
+                let set = self.set_of(incoming);
+                if self.set_members[set].len() < self.ways {
+                    return None;
+                }
+                let (pos, &victim) = self.set_members[set]
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &l)| self.lines[&l].last_use)
+                    .expect("set unexpectedly empty");
+                self.set_members[set].swap_remove(pos);
+                victim
+            }
+        };
+        let entry = self.lines.remove(&victim).expect("victim must be resident");
+        self.stats.evictions += 1;
+        if entry.origin == FillOrigin::Prefetch && !entry.read_by_demand {
+            self.evicted_unread.insert(victim);
+        }
+        Some(victim)
+    }
+
+    /// Whether the line containing `addr` is resident.
+    pub fn contains(&self, addr: u64) -> bool {
+        self.lines.contains_key(&self.line_of(addr))
+    }
+
+    /// Whether the line containing `addr` has an in-flight MSHR entry.
+    pub fn is_pending(&self, addr: u64) -> bool {
+        self.mshrs.contains_key(&self.line_of(addr))
+    }
+
+    /// Number of resident lines.
+    pub fn resident_lines(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Number of allocated MSHR entries.
+    pub fn mshrs_in_use(&self) -> usize {
+        self.mshrs.len()
+    }
+
+    /// Demand/prefetch access counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Prefetch effectiveness counters. Call [`Cache::finalize_effect`]
+    /// at end of simulation to classify still-unread prefetched lines as
+    /// unused.
+    pub fn effect(&self) -> PrefetchEffect {
+        self.effect
+    }
+
+    /// Classifies remaining unread prefetched lines (resident or evicted)
+    /// as *unused* and returns the final effectiveness counters.
+    pub fn finalize_effect(&mut self) -> PrefetchEffect {
+        let resident_unread = self
+            .lines
+            .values()
+            .filter(|l| l.origin == FillOrigin::Prefetch && !l.read_by_demand)
+            .count() as u64;
+        // In-flight prefetches with no merged demand are also unused.
+        let inflight_unread = self
+            .mshrs
+            .values()
+            .filter(|m| m.origin == FillOrigin::Prefetch && !m.demand_merged)
+            .count() as u64;
+        self.effect.unused += resident_unread + inflight_unread + self.evicted_unread.len() as u64;
+        self.evicted_unread.clear();
+        self.effect
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache() -> Cache {
+        Cache::new(4, Organization::FullyAssociative, 8, 64)
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = small_cache();
+        assert_eq!(c.probe(0x100, FillOrigin::Demand, 1), ProbeOutcome::Miss);
+        assert!(c.is_pending(0x100));
+        c.fill(0x100, 2);
+        assert!(!c.is_pending(0x100));
+        assert_eq!(
+            c.probe(0x13f, FillOrigin::Demand, 3), // same line as 0x100
+            ProbeOutcome::Hit {
+                filled_by_prefetch: false
+            }
+        );
+        let s = c.stats();
+        assert_eq!(s.demand_misses, 1);
+        assert_eq!(s.demand_hits_on_demand, 1);
+    }
+
+    #[test]
+    fn pending_hit_merges() {
+        let mut c = small_cache();
+        assert_eq!(c.probe(0x100, FillOrigin::Demand, 1), ProbeOutcome::Miss);
+        assert_eq!(
+            c.probe(0x100, FillOrigin::Demand, 2),
+            ProbeOutcome::PendingHit
+        );
+        assert_eq!(c.stats().demand_pending_hits, 1);
+        assert_eq!(c.mshrs_in_use(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = small_cache();
+        for (i, addr) in [0x000u64, 0x040, 0x080, 0x0c0].iter().enumerate() {
+            c.probe(*addr, FillOrigin::Demand, i as u64);
+            c.fill(*addr, i as u64);
+        }
+        // Touch 0x000 to refresh it.
+        c.probe(0x000, FillOrigin::Demand, 10);
+        // New line evicts 0x040 (oldest untouched).
+        c.probe(0x100, FillOrigin::Demand, 11);
+        let victim = c.fill(0x100, 12);
+        assert_eq!(victim, Some(0x040));
+        assert!(c.contains(0x000));
+        assert!(!c.contains(0x040));
+    }
+
+    #[test]
+    fn set_associative_evicts_within_set() {
+        // 4 lines, 2 sets => 2 ways per set. Lines 0x00,0x80 map to set 0;
+        // 0x40,0xc0 to set 1 (64-byte lines).
+        let mut c = Cache::new(4, Organization::SetAssociative { sets: 2 }, 8, 64);
+        for (i, addr) in [0x000u64, 0x080, 0x100].iter().enumerate() {
+            c.probe(*addr, FillOrigin::Demand, i as u64);
+            let v = c.fill(*addr, i as u64);
+            if *addr == 0x100 {
+                // Third line in set 0 evicts the set-0 LRU (0x000) even
+                // though set 1 is empty.
+                assert_eq!(v, Some(0x000));
+            } else {
+                assert_eq!(v, None);
+            }
+        }
+    }
+
+    #[test]
+    fn mshr_capacity_rejects() {
+        let mut c = Cache::new(4, Organization::FullyAssociative, 2, 64);
+        assert_eq!(c.probe(0x000, FillOrigin::Demand, 1), ProbeOutcome::Miss);
+        assert_eq!(c.probe(0x040, FillOrigin::Demand, 1), ProbeOutcome::Miss);
+        assert_eq!(c.probe(0x080, FillOrigin::Demand, 1), ProbeOutcome::NoMshr);
+        assert_eq!(c.stats().mshr_rejections, 1);
+    }
+
+    #[test]
+    fn timely_prefetch_classification() {
+        let mut c = small_cache();
+        assert_eq!(c.probe(0x100, FillOrigin::Prefetch, 1), ProbeOutcome::Miss);
+        c.fill(0x100, 5);
+        assert_eq!(
+            c.probe(0x100, FillOrigin::Demand, 6),
+            ProbeOutcome::Hit {
+                filled_by_prefetch: true
+            }
+        );
+        assert_eq!(c.effect().timely, 1);
+        assert_eq!(c.stats().demand_hits_on_prefetch, 1);
+        // Second demand hit does not double-count timeliness.
+        c.probe(0x100, FillOrigin::Demand, 7);
+        assert_eq!(c.effect().timely, 1);
+    }
+
+    #[test]
+    fn late_prefetch_classification() {
+        let mut c = small_cache();
+        c.probe(0x100, FillOrigin::Prefetch, 1);
+        assert_eq!(
+            c.probe(0x100, FillOrigin::Demand, 2),
+            ProbeOutcome::PendingHit
+        );
+        assert_eq!(c.effect().late, 1);
+        // On fill, the line counts as consumed; finalize adds no unused.
+        c.fill(0x100, 3);
+        let eff = c.finalize_effect();
+        assert_eq!(eff.unused, 0);
+    }
+
+    #[test]
+    fn too_late_prefetch_classification() {
+        let mut c = small_cache();
+        c.probe(0x100, FillOrigin::Demand, 1);
+        c.fill(0x100, 2);
+        // Prefetch probing a demand-resident line: too late.
+        c.probe(0x100, FillOrigin::Prefetch, 3);
+        assert_eq!(c.effect().too_late, 1);
+        // Prefetch probing a demand-pending line: also too late.
+        c.probe(0x200, FillOrigin::Demand, 4);
+        c.probe(0x200, FillOrigin::Prefetch, 5);
+        assert_eq!(c.effect().too_late, 2);
+    }
+
+    #[test]
+    fn early_prefetch_classification() {
+        let mut c = small_cache();
+        // Prefetch a line, never read it, force it out, then demand it.
+        c.probe(0x100, FillOrigin::Prefetch, 1);
+        c.fill(0x100, 1);
+        for (i, addr) in [0x200u64, 0x240, 0x280, 0x2c0].iter().enumerate() {
+            c.probe(*addr, FillOrigin::Demand, 2 + i as u64);
+            c.fill(*addr, 2 + i as u64);
+        }
+        assert!(!c.contains(0x100), "prefetched line should be evicted");
+        c.probe(0x100, FillOrigin::Demand, 100);
+        assert_eq!(c.effect().early, 1);
+    }
+
+    #[test]
+    fn unused_prefetch_classification() {
+        let mut c = small_cache();
+        c.probe(0x100, FillOrigin::Prefetch, 1);
+        c.fill(0x100, 1);
+        c.probe(0x140, FillOrigin::Prefetch, 2);
+        c.fill(0x140, 2);
+        let eff = c.finalize_effect();
+        assert_eq!(eff.unused, 2);
+        assert_eq!(eff.total(), 2);
+    }
+
+    #[test]
+    fn evicted_unread_without_later_demand_is_unused() {
+        let mut c = small_cache();
+        c.probe(0x100, FillOrigin::Prefetch, 1);
+        c.fill(0x100, 1);
+        for (i, addr) in [0x200u64, 0x240, 0x280, 0x2c0].iter().enumerate() {
+            c.probe(*addr, FillOrigin::Demand, 2 + i as u64);
+            c.fill(*addr, 2 + i as u64);
+        }
+        assert!(!c.contains(0x100));
+        assert_eq!(c.finalize_effect().unused, 1);
+    }
+
+    #[test]
+    fn hit_rate_accounts_all_demand_flavors() {
+        let mut c = small_cache();
+        c.probe(0x100, FillOrigin::Demand, 1); // miss
+        c.fill(0x100, 2);
+        c.probe(0x100, FillOrigin::Demand, 3); // hit
+        let s = c.stats();
+        assert_eq!(s.demand_accesses(), 2);
+        assert!((s.demand_hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prefetch_counters() {
+        let mut c = small_cache();
+        c.probe(0x100, FillOrigin::Prefetch, 1);
+        c.probe(0x140, FillOrigin::Prefetch, 1);
+        let s = c.stats();
+        assert_eq!(s.prefetch_probes, 2);
+        assert_eq!(s.prefetch_misses, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one line")]
+    fn zero_capacity_panics() {
+        let _ = Cache::new(0, Organization::FullyAssociative, 1, 64);
+    }
+}

@@ -1,0 +1,916 @@
+//! The full memory hierarchy: per-SM L1 caches, a shared L2, and
+//! multi-channel DRAM, advanced cycle by cycle in the core clock domain.
+//!
+//! Matches the paper's Table 1 configuration by default: 64 KB fully
+//! associative LRU L1 at 20 cycles, 3 MB 16-way LRU L2 at 160 cycles,
+//! 1365 MHz core / 3500 MHz memory clocks, 4 DRAM channels with a 256-byte
+//! partition stride.
+
+use crate::cache::{Cache, CacheStats, FillOrigin, Organization, PrefetchEffect, ProbeOutcome};
+use crate::dram::{Dram, DramConfig};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Unique identifier of an accepted memory access.
+pub type RequestId = u64;
+
+/// What kind of data a request fetches (for latency accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A BVH node record.
+    Node,
+    /// Triangle (primitive) data.
+    Triangle,
+    /// Prefetcher metadata (the node-to-treelet mapping table).
+    Meta,
+    /// A prefetch of any data.
+    Prefetch,
+}
+
+/// Result of issuing an access this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Issue {
+    /// L1 hit; the completion will be delivered after the L1 latency.
+    Hit(RequestId),
+    /// Miss or merged with an in-flight fetch; completion delivered when
+    /// the line arrives.
+    Pending(RequestId),
+    /// A prefetch that found its line already present or in flight and
+    /// was dropped.
+    PrefetchDropped,
+    /// Resources (MSHRs) are exhausted; retry on a later cycle.
+    Retry,
+}
+
+impl Issue {
+    /// The request id, if the access was accepted.
+    pub fn request_id(&self) -> Option<RequestId> {
+        match self {
+            Issue::Hit(id) | Issue::Pending(id) => Some(*id),
+            _ => None,
+        }
+    }
+}
+
+/// Memory hierarchy configuration (paper Table 1 defaults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemConfig {
+    /// Cache line size in bytes.
+    pub line_bytes: u64,
+    /// L1 capacity in lines (per SM).
+    pub l1_lines: usize,
+    /// L1 MSHR entries (per SM).
+    pub l1_mshrs: usize,
+    /// L1 hit latency in core cycles.
+    pub l1_latency: u64,
+    /// L2 capacity in lines (shared).
+    pub l2_lines: usize,
+    /// L2 sets (ways = lines / sets).
+    pub l2_sets: u64,
+    /// L2 MSHR entries.
+    pub l2_mshrs: usize,
+    /// L2 access latency in core cycles (includes interconnect).
+    pub l2_latency: u64,
+    /// Number of L2 memory partitions (the paper's L2 is "divided into
+    /// multiple memory partitions"); each partition services probes
+    /// independently.
+    pub l2_partitions: usize,
+    /// Address interleave between partitions, bytes.
+    pub l2_partition_stride: u64,
+    /// L2 probes serviced per partition per core cycle.
+    pub l2_ports: usize,
+    /// Core / interconnect / L2 clock in MHz.
+    pub core_clock_mhz: u64,
+    /// Memory clock in MHz.
+    pub mem_clock_mhz: u64,
+    /// DRAM parameters.
+    pub dram: DramConfig,
+}
+
+impl MemConfig {
+    /// The paper's Table 1 configuration.
+    pub fn paper_default() -> Self {
+        MemConfig {
+            line_bytes: 64,
+            l1_lines: 1024, // 64 KB
+            l1_mshrs: 64,
+            l1_latency: 20,
+            l2_lines: 49_152, // 3 MB
+            l2_sets: 3_072,   // 16-way
+            l2_mshrs: 1_024,
+            l2_latency: 160,
+            l2_partitions: 4,
+            l2_partition_stride: 256,
+            l2_ports: 1,
+            core_clock_mhz: 1_365,
+            mem_clock_mhz: 3_500,
+            dram: DramConfig::paper_default(),
+        }
+    }
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig::paper_default()
+    }
+}
+
+/// Latency histogram with fixed-width bins (plus an overflow bin),
+/// supporting mean and percentile queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// Bin width in cycles.
+    bin_cycles: u64,
+    /// Counts per bin; the last bin collects overflows.
+    bins: Vec<u64>,
+    count: u64,
+    total: u64,
+}
+
+impl LatencyHistogram {
+    /// 64 bins of 64 cycles each covers the 0–4096-cycle range the RT
+    /// unit's loads land in; slower completions go to the overflow bin.
+    fn new() -> Self {
+        LatencyHistogram {
+            bin_cycles: 64,
+            bins: vec![0; 65],
+            count: 0,
+            total: 0,
+        }
+    }
+
+    fn record(&mut self, latency: u64) {
+        let bin = ((latency / self.bin_cycles) as usize).min(self.bins.len() - 1);
+        self.bins[bin] += 1;
+        self.count += 1;
+        self.total += latency;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in cycles (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+
+    /// Latency at percentile `p` in `[0, 100]`, reported as the upper
+    /// bound of the containing bin (0.0 when empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (self.count as f64 * p / 100.0).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.bins.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return ((i + 1) as u64 * self.bin_cycles) as f64;
+            }
+        }
+        (self.bins.len() as u64 * self.bin_cycles) as f64
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+/// Aggregate latency / traffic statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemStats {
+    /// Completion latency histograms per kind.
+    latency: HashMap<AccessKind, LatencyHistogram>,
+    /// Lines transferred from L2 toward an L1 (hits and miss fills).
+    pub l2_to_l1_lines: u64,
+    /// Lines transferred from DRAM into L2.
+    pub dram_to_l2_lines: u64,
+}
+
+impl MemStats {
+    /// Mean completion latency of requests of `kind`, in core cycles.
+    pub fn mean_latency(&self, kind: AccessKind) -> f64 {
+        self.latency.get(&kind).map_or(0.0, LatencyHistogram::mean)
+    }
+
+    /// Number of completed requests of `kind`.
+    pub fn completed(&self, kind: AccessKind) -> u64 {
+        self.latency.get(&kind).map_or(0, LatencyHistogram::count)
+    }
+
+    /// The latency histogram of `kind`, if any request of that kind
+    /// completed.
+    pub fn latency_histogram(&self, kind: AccessKind) -> Option<&LatencyHistogram> {
+        self.latency.get(&kind)
+    }
+
+    fn record(&mut self, kind: AccessKind, latency: u64) {
+        self.latency.entry(kind).or_default().record(latency);
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// Deliver an L1-hit completion.
+    L1HitDone { sm: usize, req: RequestId },
+    /// An L1 miss (or direct L2 prefetch) reaches the L2 probe queue.
+    L2Arrive {
+        who: L2Requester,
+        line: u64,
+        origin: FillOrigin,
+    },
+    /// An L2 hit (or DRAM fill) delivers the line into an L1.
+    L1Fill { sm: usize, line: u64 },
+    /// An L2 miss issues to DRAM.
+    DramSend { line: u64 },
+}
+
+/// Who is waiting on an L2 line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum L2Requester {
+    /// An L1 miss from this SM: the line is forwarded into its L1.
+    Sm(usize),
+    /// A prefetch targeting the L2 itself (no L1 fill).
+    L2Prefetch,
+}
+
+/// The memory hierarchy. One instance serves all SMs.
+///
+/// Drive it by calling [`MemorySystem::access`] at most a few times per
+/// SM per cycle, then [`MemorySystem::tick`] once per core cycle, then
+/// draining completions with [`MemorySystem::drain_completed`].
+#[derive(Debug)]
+pub struct MemorySystem {
+    config: MemConfig,
+    cycle: u64,
+    next_req: RequestId,
+    next_seq: u64,
+    l1: Vec<Cache>,
+    l2: Cache,
+    dram: Dram,
+    events: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    event_pool: Vec<Event>,
+    /// Per-partition L2 probe queues.
+    l2_queues: Vec<VecDeque<(L2Requester, u64, FillOrigin)>>,
+    /// Requests waiting for an L1 line: (sm, line) -> request ids.
+    l1_waiters: HashMap<(usize, u64), Vec<RequestId>>,
+    /// SMs waiting for an L2 line.
+    l2_waiters: HashMap<u64, Vec<usize>>,
+    /// DRAM in-flight lines (avoids duplicate sends).
+    dram_pending: HashMap<u64, ()>,
+    /// Issue metadata per live request.
+    meta: HashMap<RequestId, (AccessKind, u64)>,
+    completed_out: Vec<Vec<RequestId>>,
+    stats: MemStats,
+}
+
+impl MemorySystem {
+    /// Creates the hierarchy for `num_sms` streaming multiprocessors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sms` is zero or the configuration is inconsistent.
+    pub fn new(config: MemConfig, num_sms: usize) -> MemorySystem {
+        assert!(num_sms > 0, "need at least one SM");
+        let l1 = (0..num_sms)
+            .map(|_| {
+                Cache::new(
+                    config.l1_lines,
+                    Organization::FullyAssociative,
+                    config.l1_mshrs,
+                    config.line_bytes,
+                )
+            })
+            .collect();
+        let l2 = Cache::new(
+            config.l2_lines,
+            Organization::SetAssociative {
+                sets: config.l2_sets,
+            },
+            config.l2_mshrs,
+            config.line_bytes,
+        );
+        MemorySystem {
+            l1,
+            l2,
+            dram: Dram::new(config.dram),
+            config,
+            cycle: 0,
+            next_req: 0,
+            next_seq: 0,
+            events: BinaryHeap::new(),
+            event_pool: Vec::new(),
+            l2_queues: (0..config.l2_partitions).map(|_| VecDeque::new()).collect(),
+            l1_waiters: HashMap::new(),
+            l2_waiters: HashMap::new(),
+            dram_pending: HashMap::new(),
+            meta: HashMap::new(),
+            completed_out: vec![Vec::new(); num_sms],
+            stats: MemStats::default(),
+        }
+    }
+
+    /// Current core cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Cache line size.
+    pub fn line_bytes(&self) -> u64 {
+        self.config.line_bytes
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &MemConfig {
+        &self.config
+    }
+
+    fn schedule(&mut self, at: u64, event: Event) {
+        let idx = self.event_pool.len();
+        self.event_pool.push(event);
+        self.events.push(Reverse((at, self.next_seq, idx)));
+        self.next_seq += 1;
+    }
+
+    /// Issues an access from `sm` for the line containing `addr`.
+    ///
+    /// `origin` distinguishes demand loads from prefetches (which may be
+    /// dropped); `kind` labels the request for latency statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sm` is out of range.
+    pub fn access(&mut self, sm: usize, addr: u64, origin: FillOrigin, kind: AccessKind) -> Issue {
+        let line = self.l1[sm].line_of(addr);
+        match self.l1[sm].probe(addr, origin, self.cycle) {
+            ProbeOutcome::Hit { .. } => {
+                if origin == FillOrigin::Prefetch {
+                    return Issue::PrefetchDropped;
+                }
+                let req = self.alloc_req(kind);
+                self.schedule(
+                    self.cycle + self.config.l1_latency,
+                    Event::L1HitDone { sm, req },
+                );
+                Issue::Hit(req)
+            }
+            ProbeOutcome::PendingHit => {
+                if origin == FillOrigin::Prefetch {
+                    return Issue::PrefetchDropped;
+                }
+                let req = self.alloc_req(kind);
+                self.l1_waiters.entry((sm, line)).or_default().push(req);
+                Issue::Pending(req)
+            }
+            ProbeOutcome::Miss => {
+                let req = self.alloc_req(kind);
+                self.l1_waiters.entry((sm, line)).or_default().push(req);
+                self.schedule(
+                    self.cycle + self.config.l1_latency,
+                    Event::L2Arrive {
+                        who: L2Requester::Sm(sm),
+                        line,
+                        origin,
+                    },
+                );
+                Issue::Pending(req)
+            }
+            ProbeOutcome::NoMshr => Issue::Retry,
+        }
+    }
+
+    fn alloc_req(&mut self, kind: AccessKind) -> RequestId {
+        let req = self.next_req;
+        self.next_req += 1;
+        self.meta.insert(req, (kind, self.cycle));
+        req
+    }
+
+    /// Issues a prefetch of the line containing `addr` directly into the
+    /// shared L2, bypassing the L1s (an alternative prefetch destination
+    /// that avoids L1 pollution). The line is installed when DRAM
+    /// responds; no completion is delivered.
+    ///
+    /// Returns [`Issue::PrefetchDropped`] if the line is already resident
+    /// or in flight at the L2.
+    pub fn prefetch_l2(&mut self, addr: u64) -> Issue {
+        let line = self.l2.line_of(addr);
+        if self.l2.contains(line) || self.l2.is_pending(line) {
+            // Count the dropped probe for effectiveness accounting.
+            let _ = self.l2.probe(line, FillOrigin::Prefetch, self.cycle);
+            return Issue::PrefetchDropped;
+        }
+        self.schedule(
+            self.cycle,
+            Event::L2Arrive {
+                who: L2Requester::L2Prefetch,
+                line,
+                origin: FillOrigin::Prefetch,
+            },
+        );
+        let req = self.alloc_req(AccessKind::Prefetch);
+        // L2 prefetches complete silently; drop the metadata now so the
+        // request is not counted as outstanding.
+        self.meta.remove(&req);
+        Issue::Pending(req)
+    }
+
+    /// Advances the hierarchy by one core cycle.
+    pub fn tick(&mut self) {
+        self.cycle += 1;
+        // 1. Fire due events.
+        while let Some(&Reverse((t, _, idx))) = self.events.peek() {
+            if t > self.cycle {
+                break;
+            }
+            self.events.pop();
+            let event = self.event_pool[idx];
+            self.handle_event(event);
+        }
+        // 2. Service each L2 partition's probe queue (bounded ports per
+        // partition per cycle).
+        for partition in 0..self.l2_queues.len() {
+            'ports: for _ in 0..self.config.l2_ports {
+                let Some(&(who, line, origin)) = self.l2_queues[partition].front() else {
+                    break;
+                };
+                match self.l2.probe(line, origin, self.cycle) {
+                    ProbeOutcome::Hit { .. } => {
+                        self.l2_queues[partition].pop_front();
+                        if let L2Requester::Sm(sm) = who {
+                            self.stats.l2_to_l1_lines += 1;
+                            self.schedule(
+                                self.cycle + self.config.l2_latency,
+                                Event::L1Fill { sm, line },
+                            );
+                        }
+                    }
+                    ProbeOutcome::PendingHit => {
+                        self.l2_queues[partition].pop_front();
+                        if let L2Requester::Sm(sm) = who {
+                            self.add_l2_waiter(line, sm);
+                        }
+                    }
+                    ProbeOutcome::Miss => {
+                        self.l2_queues[partition].pop_front();
+                        if let L2Requester::Sm(sm) = who {
+                            self.add_l2_waiter(line, sm);
+                        }
+                        self.schedule(
+                            self.cycle + self.config.l2_latency,
+                            Event::DramSend { line },
+                        );
+                    }
+                    // Head-of-line stall in this partition; retry next
+                    // cycle.
+                    ProbeOutcome::NoMshr => break 'ports,
+                }
+            }
+        }
+        // 3. Drain DRAM completions.
+        let mem_now = self.mem_cycles(self.cycle);
+        for line in self.dram.drain_completed(mem_now) {
+            self.dram_pending.remove(&line);
+            self.stats.dram_to_l2_lines += 1;
+            self.l2.fill(line, self.cycle);
+            if let Some(sms) = self.l2_waiters.remove(&line) {
+                for sm in sms {
+                    self.stats.l2_to_l1_lines += 1;
+                    self.schedule(self.cycle, Event::L1Fill { sm, line });
+                }
+            }
+        }
+    }
+
+    fn add_l2_waiter(&mut self, line: u64, sm: usize) {
+        let waiters = self.l2_waiters.entry(line).or_default();
+        if !waiters.contains(&sm) {
+            waiters.push(sm);
+        }
+    }
+
+    fn handle_event(&mut self, event: Event) {
+        match event {
+            Event::L1HitDone { sm, req } => self.complete(sm, req),
+            Event::L2Arrive { who, line, origin } => {
+                let p = self.l2_partition_of(line);
+                self.l2_queues[p].push_back((who, line, origin));
+            }
+            Event::L1Fill { sm, line } => {
+                self.l1[sm].fill(line, self.cycle);
+                if let Some(reqs) = self.l1_waiters.remove(&(sm, line)) {
+                    for req in reqs {
+                        self.complete(sm, req);
+                    }
+                }
+            }
+            Event::DramSend { line } => {
+                if self.dram_pending.insert(line, ()).is_none() {
+                    let mem_now = self.mem_cycles(self.cycle);
+                    self.dram.enqueue(line, line, mem_now);
+                }
+            }
+        }
+    }
+
+    fn complete(&mut self, sm: usize, req: RequestId) {
+        if let Some((kind, issued)) = self.meta.remove(&req) {
+            self.stats.record(kind, self.cycle - issued);
+        }
+        self.completed_out[sm].push(req);
+    }
+
+    /// L2 partition servicing `line`.
+    fn l2_partition_of(&self, line: u64) -> usize {
+        ((line / self.config.l2_partition_stride) % self.l2_queues.len() as u64) as usize
+    }
+
+    /// Converts a core-cycle count into memory-clock cycles.
+    pub fn mem_cycles(&self, core_cycles: u64) -> u64 {
+        (core_cycles as u128 * self.config.mem_clock_mhz as u128
+            / self.config.core_clock_mhz as u128) as u64
+    }
+
+    /// Requests completed for `sm` since the last drain.
+    pub fn drain_completed(&mut self, sm: usize) -> Vec<RequestId> {
+        std::mem::take(&mut self.completed_out[sm])
+    }
+
+    /// `true` while any request is in flight anywhere in the hierarchy.
+    pub fn busy(&self) -> bool {
+        !self.meta.is_empty()
+            || self.l2_queues.iter().any(|q| !q.is_empty())
+            || self.dram.in_flight() > 0
+            || !self.events.is_empty()
+    }
+
+    /// Latency / traffic statistics.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Demand/prefetch counters of one L1.
+    pub fn l1_stats(&self, sm: usize) -> CacheStats {
+        self.l1[sm].stats()
+    }
+
+    /// Summed L1 counters across SMs.
+    pub fn l1_stats_total(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for c in &self.l1 {
+            let s = c.stats();
+            total.demand_hits_on_prefetch += s.demand_hits_on_prefetch;
+            total.demand_hits_on_demand += s.demand_hits_on_demand;
+            total.demand_pending_hits += s.demand_pending_hits;
+            total.demand_misses += s.demand_misses;
+            total.prefetch_probes += s.prefetch_probes;
+            total.prefetch_misses += s.prefetch_misses;
+            total.mshr_rejections += s.mshr_rejections;
+            total.evictions += s.evictions;
+        }
+        total
+    }
+
+    /// L2 counters.
+    pub fn l2_stats(&self) -> CacheStats {
+        self.l2.stats()
+    }
+
+    /// Sums the prefetch-effectiveness counters across all L1s *without*
+    /// finalizing (still-unread prefetched lines are not yet classified
+    /// as unused) — for mid-session snapshots.
+    pub fn prefetch_effect_snapshot(&self) -> PrefetchEffect {
+        let mut total = PrefetchEffect::default();
+        for c in &self.l1 {
+            let e = c.effect();
+            total.too_late += e.too_late;
+            total.late += e.late;
+            total.timely += e.timely;
+            total.early += e.early;
+            total.unused += e.unused;
+        }
+        total
+    }
+
+    /// Finalizes and sums the prefetch-effectiveness classification across
+    /// all L1s (call once, at end of simulation).
+    pub fn finalize_prefetch_effect(&mut self) -> PrefetchEffect {
+        let mut total = PrefetchEffect::default();
+        for c in &mut self.l1 {
+            let e = c.finalize_effect();
+            total.too_late += e.too_late;
+            total.late += e.late;
+            total.timely += e.timely;
+            total.early += e.early;
+            total.unused += e.unused;
+        }
+        total
+    }
+
+    /// Finalizes the L2's prefetch-effectiveness classification (for runs
+    /// that prefetch into the L2).
+    pub fn finalize_l2_prefetch_effect(&mut self) -> PrefetchEffect {
+        self.l2.finalize_effect()
+    }
+
+    /// DRAM device (utilization, per-channel counters).
+    pub fn dram(&self) -> &Dram {
+        &self.dram
+    }
+
+    /// Mean DRAM data-bus utilization so far (Fig. 1a metric).
+    pub fn dram_utilization(&self) -> f64 {
+        let mem_now = self.mem_cycles(self.cycle);
+        if mem_now == 0 {
+            0.0
+        } else {
+            self.dram.utilization(mem_now)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys() -> MemorySystem {
+        MemorySystem::new(MemConfig::paper_default(), 2)
+    }
+
+    fn run_until_complete(ms: &mut MemorySystem, sm: usize, req: RequestId, limit: u64) -> u64 {
+        for _ in 0..limit {
+            ms.tick();
+            if ms.drain_completed(sm).contains(&req) {
+                return ms.cycle();
+            }
+        }
+        panic!("request {req} did not complete within {limit} cycles");
+    }
+
+    #[test]
+    fn l1_hit_completes_after_l1_latency() {
+        let mut ms = sys();
+        // Warm the line.
+        let issue = ms.access(0, 0x2_0000, FillOrigin::Demand, AccessKind::Node);
+        let req = issue.request_id().unwrap();
+        run_until_complete(&mut ms, 0, req, 2_000);
+        let start = ms.cycle();
+        let issue = ms.access(0, 0x2_0000, FillOrigin::Demand, AccessKind::Node);
+        assert!(matches!(issue, Issue::Hit(_)));
+        let done = run_until_complete(&mut ms, 0, issue.request_id().unwrap(), 100);
+        assert_eq!(done - start, 20);
+    }
+
+    #[test]
+    fn cold_miss_goes_through_l2_and_dram() {
+        let mut ms = sys();
+        let issue = ms.access(0, 0x4_0000, FillOrigin::Demand, AccessKind::Node);
+        assert!(matches!(issue, Issue::Pending(_)));
+        let done = run_until_complete(&mut ms, 0, issue.request_id().unwrap(), 5_000);
+        // Must include L1 + L2 + DRAM latency: strictly more than L1+L2.
+        assert!(done > 180, "completed suspiciously fast: {done}");
+        assert_eq!(ms.stats().dram_to_l2_lines, 1);
+        assert!(ms.stats().mean_latency(AccessKind::Node) > 180.0);
+    }
+
+    #[test]
+    fn second_sm_hits_in_l2_after_first_fills_it() {
+        let mut ms = sys();
+        let a = ms.access(0, 0x8_0000, FillOrigin::Demand, AccessKind::Node);
+        run_until_complete(&mut ms, 0, a.request_id().unwrap(), 5_000);
+        let dram_before = ms.stats().dram_to_l2_lines;
+        let b = ms.access(1, 0x8_0000, FillOrigin::Demand, AccessKind::Node);
+        run_until_complete(&mut ms, 1, b.request_id().unwrap(), 5_000);
+        // No extra DRAM traffic: the L2 served SM 1.
+        assert_eq!(ms.stats().dram_to_l2_lines, dram_before);
+    }
+
+    #[test]
+    fn same_line_requests_merge_in_l1_mshr() {
+        let mut ms = sys();
+        let a = ms.access(0, 0x10_0000, FillOrigin::Demand, AccessKind::Node);
+        let b = ms.access(0, 0x10_0020, FillOrigin::Demand, AccessKind::Node); // same 64B line
+        assert!(matches!(a, Issue::Pending(_)));
+        assert!(matches!(b, Issue::Pending(_)));
+        let ra = a.request_id().unwrap();
+        let rb = b.request_id().unwrap();
+        let mut got = Vec::new();
+        for _ in 0..5_000 {
+            ms.tick();
+            got.extend(ms.drain_completed(0));
+            if got.len() == 2 {
+                break;
+            }
+        }
+        assert!(got.contains(&ra) && got.contains(&rb));
+        assert_eq!(ms.stats().dram_to_l2_lines, 1);
+        assert_eq!(ms.l1_stats(0).demand_pending_hits, 1);
+    }
+
+    #[test]
+    fn prefetch_then_demand_is_timely_hit() {
+        let mut ms = sys();
+        let p = ms.access(0, 0x20_0000, FillOrigin::Prefetch, AccessKind::Prefetch);
+        let rp = p.request_id().unwrap();
+        run_until_complete(&mut ms, 0, rp, 5_000);
+        let d = ms.access(0, 0x20_0000, FillOrigin::Demand, AccessKind::Node);
+        assert!(matches!(d, Issue::Hit(_)));
+        assert_eq!(ms.l1_stats(0).demand_hits_on_prefetch, 1);
+        let eff = ms.finalize_prefetch_effect();
+        assert_eq!(eff.timely, 1);
+        assert_eq!(eff.unused, 0);
+    }
+
+    #[test]
+    fn duplicate_prefetch_is_dropped() {
+        let mut ms = sys();
+        let p1 = ms.access(0, 0x30_0000, FillOrigin::Prefetch, AccessKind::Prefetch);
+        assert!(matches!(p1, Issue::Pending(_)));
+        let p2 = ms.access(0, 0x30_0000, FillOrigin::Prefetch, AccessKind::Prefetch);
+        assert_eq!(p2, Issue::PrefetchDropped);
+    }
+
+    #[test]
+    fn mshr_exhaustion_returns_retry() {
+        let mut cfg = MemConfig::paper_default();
+        cfg.l1_mshrs = 2;
+        let mut ms = MemorySystem::new(cfg, 1);
+        assert!(ms
+            .access(0, 0x0, FillOrigin::Demand, AccessKind::Node)
+            .request_id()
+            .is_some());
+        assert!(ms
+            .access(0, 0x40, FillOrigin::Demand, AccessKind::Node)
+            .request_id()
+            .is_some());
+        assert_eq!(
+            ms.access(0, 0x80, FillOrigin::Demand, AccessKind::Node),
+            Issue::Retry
+        );
+    }
+
+    #[test]
+    fn busy_goes_false_after_drain() {
+        let mut ms = sys();
+        let a = ms.access(0, 0x123_4560, FillOrigin::Demand, AccessKind::Triangle);
+        assert!(ms.busy());
+        run_until_complete(&mut ms, 0, a.request_id().unwrap(), 5_000);
+        // A few extra ticks to let bookkeeping settle.
+        for _ in 0..4 {
+            ms.tick();
+        }
+        assert!(!ms.busy());
+    }
+
+    #[test]
+    fn l2_prefetch_installs_into_l2_only() {
+        let mut ms = sys();
+        let issue = ms.prefetch_l2(0x77_0000);
+        assert!(matches!(issue, Issue::Pending(_)));
+        for _ in 0..3_000 {
+            ms.tick();
+        }
+        // The line now hits in L2 (the next L1 miss is served without
+        // DRAM), but the L1 itself was never filled.
+        let dram_before = ms.stats().dram_to_l2_lines;
+        assert_eq!(dram_before, 1);
+        let d = ms.access(0, 0x77_0000, FillOrigin::Demand, AccessKind::Node);
+        assert!(matches!(d, Issue::Pending(_)), "L1 must miss");
+        let req = d.request_id().unwrap();
+        run_until_complete(&mut ms, 0, req, 2_000);
+        assert_eq!(ms.stats().dram_to_l2_lines, dram_before, "L2 must serve it");
+    }
+
+    #[test]
+    fn duplicate_l2_prefetch_is_dropped() {
+        let mut ms = sys();
+        assert!(matches!(ms.prefetch_l2(0x88_0000), Issue::Pending(_)));
+        for _ in 0..3_000 {
+            ms.tick();
+        }
+        assert_eq!(ms.prefetch_l2(0x88_0000), Issue::PrefetchDropped);
+    }
+
+    #[test]
+    fn l2_prefetch_effect_classifies_timely() {
+        let mut ms = sys();
+        ms.prefetch_l2(0x99_0000);
+        for _ in 0..3_000 {
+            ms.tick();
+        }
+        let d = ms.access(0, 0x99_0000, FillOrigin::Demand, AccessKind::Node);
+        run_until_complete(&mut ms, 0, d.request_id().unwrap(), 2_000);
+        let eff = ms.finalize_l2_prefetch_effect();
+        assert_eq!(eff.timely, 1);
+    }
+
+    #[test]
+    fn l2_partitions_serve_in_parallel() {
+        // Two misses on different partitions complete in the same window;
+        // with one partition port each, two misses on the SAME partition
+        // still both complete (queued), just not dropped.
+        let mut ms = sys();
+        let a = ms.access(0, 0x40_0000, FillOrigin::Demand, AccessKind::Node); // partition 0
+        let b = ms.access(0, 0x40_0100, FillOrigin::Demand, AccessKind::Node); // partition 1
+        let c = ms.access(1, 0x41_0000, FillOrigin::Demand, AccessKind::Node); // partition 0
+        let mut want: Vec<_> = [a, b, c].iter().filter_map(|i| i.request_id()).collect();
+        assert_eq!(want.len(), 3);
+        for _ in 0..5_000 {
+            ms.tick();
+            for sm in 0..2 {
+                for done in ms.drain_completed(sm) {
+                    want.retain(|&r| r != done);
+                }
+            }
+            if want.is_empty() {
+                break;
+            }
+        }
+        assert!(want.is_empty(), "requests stuck: {want:?}");
+    }
+
+    #[test]
+    fn latency_histogram_mean_and_percentiles() {
+        let mut h = LatencyHistogram::default();
+        for lat in [10u64, 20, 30, 40, 5000] {
+            h.record(lat);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.mean() - 1020.0).abs() < 1e-9);
+        // 4 of 5 samples are in the first bin (0..64): p50/p80 -> 64.
+        assert_eq!(h.percentile(50.0), 64.0);
+        assert_eq!(h.percentile(80.0), 64.0);
+        // The overflow sample dominates the tail.
+        assert!(h.percentile(99.0) >= 4096.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(99.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in")]
+    fn out_of_range_percentile_panics() {
+        LatencyHistogram::default().percentile(101.0);
+    }
+
+    #[test]
+    fn system_exposes_node_latency_histogram() {
+        let mut ms = sys();
+        let a = ms.access(0, 0xabc_0000, FillOrigin::Demand, AccessKind::Node);
+        run_until_complete(&mut ms, 0, a.request_id().unwrap(), 5_000);
+        let hist = ms.stats().latency_histogram(AccessKind::Node).unwrap();
+        assert_eq!(hist.count(), 1);
+        assert!(hist.percentile(100.0) >= hist.mean());
+    }
+
+    #[test]
+    fn mem_cycle_conversion_uses_clock_ratio() {
+        let ms = sys();
+        // 3500/1365 ≈ 2.564 memory cycles per core cycle.
+        assert_eq!(ms.mem_cycles(1365), 3500);
+        assert_eq!(ms.mem_cycles(0), 0);
+    }
+
+    #[test]
+    fn latency_stats_track_kinds_separately() {
+        let mut ms = sys();
+        let a = ms.access(0, 0x50_0000, FillOrigin::Demand, AccessKind::Node);
+        run_until_complete(&mut ms, 0, a.request_id().unwrap(), 5_000);
+        assert_eq!(ms.stats().completed(AccessKind::Node), 1);
+        assert_eq!(ms.stats().completed(AccessKind::Triangle), 0);
+    }
+
+    #[test]
+    fn dram_utilization_nonzero_after_misses() {
+        let mut ms = sys();
+        for i in 0..8u64 {
+            ms.access(
+                0,
+                0x60_0000 + i * 4096,
+                FillOrigin::Demand,
+                AccessKind::Node,
+            );
+        }
+        for _ in 0..3_000 {
+            ms.tick();
+        }
+        assert!(ms.dram_utilization() > 0.0);
+    }
+}

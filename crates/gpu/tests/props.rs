@@ -1,0 +1,166 @@
+//! Property-based tests for the cache and DRAM models.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rt_gpu_sim::{
+    AccessKind, Cache, Dram, DramConfig, FillOrigin, MemConfig, MemorySystem, Organization,
+    ProbeOutcome,
+};
+
+/// A random access script: (line index, is_prefetch).
+fn script() -> impl Strategy<Value = Vec<(u8, bool)>> {
+    vec((0u8..32, any::<bool>()), 1..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cache_occupancy_never_exceeds_capacity(ops in script()) {
+        let mut cache = Cache::new(8, Organization::FullyAssociative, 64, 64);
+        for (i, (line, prefetch)) in ops.iter().enumerate() {
+            let addr = *line as u64 * 64;
+            let origin = if *prefetch { FillOrigin::Prefetch } else { FillOrigin::Demand };
+            if cache.probe(addr, origin, i as u64) == ProbeOutcome::Miss {
+                cache.fill(addr, i as u64);
+            }
+            prop_assert!(cache.resident_lines() <= 8);
+        }
+    }
+
+    #[test]
+    fn fill_then_probe_always_hits(ops in script()) {
+        let mut cache = Cache::new(16, Organization::SetAssociative { sets: 4 }, 64, 64);
+        for (i, (line, _)) in ops.iter().enumerate() {
+            let addr = *line as u64 * 64;
+            if cache.probe(addr, FillOrigin::Demand, i as u64) == ProbeOutcome::Miss {
+                cache.fill(addr, i as u64);
+                let hits = matches!(
+                    cache.probe(addr, FillOrigin::Demand, i as u64),
+                    ProbeOutcome::Hit { .. }
+                );
+                prop_assert!(hits);
+            }
+        }
+    }
+
+    #[test]
+    fn mshr_count_is_bounded(ops in script()) {
+        let mut cache = Cache::new(64, Organization::FullyAssociative, 4, 64);
+        for (i, (line, _)) in ops.iter().enumerate() {
+            let addr = *line as u64 * 64;
+            let _ = cache.probe(addr, FillOrigin::Demand, i as u64);
+            prop_assert!(cache.mshrs_in_use() <= 4);
+        }
+    }
+
+    #[test]
+    fn effectiveness_classification_is_complete(ops in script()) {
+        // Every prefetch probe ends up in exactly one class once the run
+        // is finalized: too_late (dropped) or one of the fill classes.
+        let mut cache = Cache::new(8, Organization::FullyAssociative, 64, 64);
+        for (i, (line, prefetch)) in ops.iter().enumerate() {
+            let addr = *line as u64 * 64;
+            let origin = if *prefetch { FillOrigin::Prefetch } else { FillOrigin::Demand };
+            if cache.probe(addr, origin, i as u64) == ProbeOutcome::Miss {
+                cache.fill(addr, i as u64);
+            }
+        }
+        let stats = cache.stats();
+        let effect = cache.finalize_effect();
+        // timely + late + early + unused counts distinct prefetch *fills*;
+        // too_late counts dropped probes. Together they never exceed the
+        // number of prefetch probes, and dropped + actually-fetched probes
+        // cover them all.
+        prop_assert_eq!(
+            effect.too_late + stats.prefetch_misses,
+            stats.prefetch_probes
+        );
+        prop_assert!(effect.timely + effect.late + effect.early + effect.unused
+            <= stats.prefetch_misses + effect.early);
+    }
+
+    #[test]
+    fn memory_system_never_loses_requests(
+        pattern in vec((0u64..256, 0usize..2, any::<bool>()), 1..150)
+    ) {
+        // Fuzz the full hierarchy with interleaved demand loads and
+        // prefetches from two SMs: every accepted demand request must
+        // complete, even under MSHR backpressure (Retry).
+        let mut cfg = MemConfig::paper_default();
+        cfg.l1_mshrs = 4; // force backpressure
+        cfg.l2_mshrs = 8;
+        let mut ms = MemorySystem::new(cfg, 2);
+        let mut outstanding: Vec<(usize, u64)> = Vec::new();
+        let mut issued = 0u64;
+        let mut retries = 0u64;
+        for &(block, sm, prefetch) in &pattern {
+            let addr = block * 64;
+            let origin = if prefetch { FillOrigin::Prefetch } else { FillOrigin::Demand };
+            match ms.access(sm, addr, origin, AccessKind::Node) {
+                rt_gpu_sim::Issue::Hit(req) | rt_gpu_sim::Issue::Pending(req) => {
+                    if origin == FillOrigin::Demand {
+                        outstanding.push((sm, req));
+                        issued += 1;
+                    }
+                }
+                rt_gpu_sim::Issue::Retry => retries += 1,
+                rt_gpu_sim::Issue::PrefetchDropped => {}
+            }
+            ms.tick();
+            for sm in 0..2 {
+                for done in ms.drain_completed(sm) {
+                    outstanding.retain(|&(s, r)| !(s == sm && r == done));
+                }
+            }
+        }
+        // Drain everything.
+        for _ in 0..20_000 {
+            if outstanding.is_empty() {
+                break;
+            }
+            ms.tick();
+            for sm in 0..2 {
+                for done in ms.drain_completed(sm) {
+                    outstanding.retain(|&(s, r)| !(s == sm && r == done));
+                }
+            }
+        }
+        prop_assert!(
+            outstanding.is_empty(),
+            "{} of {} demand requests never completed ({} retries)",
+            outstanding.len(),
+            issued,
+            retries
+        );
+    }
+
+    #[test]
+    fn dram_completion_respects_service_latency(
+        addrs in vec(0u64..4096, 1..64)
+    ) {
+        let config = DramConfig::paper_default();
+        let mut dram = Dram::new(config);
+        for (i, a) in addrs.iter().enumerate() {
+            dram.enqueue(i as u64, a * 64, 0);
+        }
+        // Nothing can complete before the fixed service latency.
+        prop_assert!(dram.drain_completed(config.service_latency - 1).is_empty());
+        // Everything completes eventually.
+        let horizon = config.service_latency + addrs.len() as u64 * config.burst_cycles;
+        let done = dram.drain_completed(horizon);
+        prop_assert_eq!(done.len(), addrs.len());
+        prop_assert_eq!(dram.in_flight(), 0);
+    }
+
+    #[test]
+    fn dram_channel_counts_conserve_requests(addrs in vec(0u64..100_000, 1..100)) {
+        let mut dram = Dram::new(DramConfig::paper_default());
+        for (i, a) in addrs.iter().enumerate() {
+            dram.enqueue(i as u64, *a, 0);
+        }
+        let per: u64 = dram.channel_accesses().iter().sum();
+        prop_assert_eq!(per, addrs.len() as u64);
+        prop_assert_eq!(dram.total_accesses(), addrs.len() as u64);
+    }
+}

@@ -1,0 +1,36 @@
+//! Procedural evaluation scenes and ray workloads for the treelet
+//! prefetching reproduction.
+//!
+//! The paper evaluates on sixteen LumiBench scenes (Table 2). Those assets
+//! are not redistributable, so this crate generates *procedural stand-ins*
+//! with the same names and the same relative BVH-scale ordering. See
+//! `DESIGN.md` at the repository root for the substitution rationale.
+//!
+//! # Examples
+//!
+//! Build a scene and generate the paper's default 32×32 primary-ray
+//! workload:
+//!
+//! ```
+//! use rt_scene::{Scene, SceneId, Workload};
+//!
+//! let scene = Scene::build_with_detail(SceneId::Wknd, 0.3);
+//! let rays = Workload::paper_default().generate(&scene);
+//! assert_eq!(rays.len(), 1024);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod camera;
+pub mod generators;
+mod mesh;
+mod obj;
+mod rays;
+mod scenes;
+
+pub use camera::Camera;
+pub use mesh::Mesh;
+pub use obj::{load_obj, parse_obj, write_obj, ParseObjError};
+pub use rays::{Workload, WorkloadKind};
+pub use scenes::{PaperSceneStats, Scene, SceneId};

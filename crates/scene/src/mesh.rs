@@ -1,0 +1,196 @@
+//! Triangle mesh container and transformation helpers.
+
+use rt_geometry::{Aabb, Triangle, Vec3};
+
+/// A bag of triangles forming a scene or object.
+///
+/// `Mesh` is intentionally simple: the BVH builder consumes triangles by
+/// value and all scene generators produce meshes by appending primitives.
+///
+/// # Examples
+///
+/// ```
+/// use rt_scene::Mesh;
+/// use rt_geometry::{Triangle, Vec3};
+///
+/// let mut mesh = Mesh::new();
+/// mesh.push(Triangle::new(Vec3::ZERO, Vec3::X, Vec3::Y));
+/// assert_eq!(mesh.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Mesh {
+    triangles: Vec<Triangle>,
+}
+
+impl Mesh {
+    /// Creates an empty mesh.
+    pub fn new() -> Self {
+        Mesh::default()
+    }
+
+    /// Creates a mesh from a vector of triangles.
+    pub fn from_triangles(triangles: Vec<Triangle>) -> Self {
+        Mesh { triangles }
+    }
+
+    /// Number of triangles.
+    pub fn len(&self) -> usize {
+        self.triangles.len()
+    }
+
+    /// `true` if the mesh holds no triangles.
+    pub fn is_empty(&self) -> bool {
+        self.triangles.is_empty()
+    }
+
+    /// Appends one triangle.
+    pub fn push(&mut self, tri: Triangle) {
+        self.triangles.push(tri);
+    }
+
+    /// Appends all triangles of `other`.
+    pub fn append(&mut self, other: &Mesh) {
+        self.triangles.extend_from_slice(&other.triangles);
+    }
+
+    /// Borrows the triangles.
+    pub fn triangles(&self) -> &[Triangle] {
+        &self.triangles
+    }
+
+    /// Consumes the mesh, returning its triangles.
+    pub fn into_triangles(self) -> Vec<Triangle> {
+        self.triangles
+    }
+
+    /// Bounding box of all triangles (empty box for an empty mesh).
+    pub fn aabb(&self) -> Aabb {
+        let mut b = Aabb::empty();
+        for t in &self.triangles {
+            b.grow_box(&t.aabb());
+        }
+        b
+    }
+
+    /// Returns a copy translated by `offset`.
+    pub fn translated(&self, offset: Vec3) -> Mesh {
+        self.mapped(|v| v + offset)
+    }
+
+    /// Returns a copy scaled component-wise by `factors` about the origin.
+    pub fn scaled(&self, factors: Vec3) -> Mesh {
+        self.mapped(|v| v * factors)
+    }
+
+    /// Returns a copy rotated about the Y axis by `angle` radians.
+    pub fn rotated_y(&self, angle: f32) -> Mesh {
+        let (s, c) = angle.sin_cos();
+        self.mapped(|v| Vec3::new(c * v.x + s * v.z, v.y, -s * v.x + c * v.z))
+    }
+
+    /// Returns a copy with every vertex transformed by `f`.
+    pub fn mapped<F: Fn(Vec3) -> Vec3>(&self, f: F) -> Mesh {
+        Mesh {
+            triangles: self
+                .triangles
+                .iter()
+                .map(|t| Triangle::new(f(t.v0), f(t.v1), f(t.v2)))
+                .collect(),
+        }
+    }
+}
+
+impl FromIterator<Triangle> for Mesh {
+    fn from_iter<I: IntoIterator<Item = Triangle>>(iter: I) -> Self {
+        Mesh {
+            triangles: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Triangle> for Mesh {
+    fn extend<I: IntoIterator<Item = Triangle>>(&mut self, iter: I) {
+        self.triangles.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tri_at(x: f32) -> Triangle {
+        Triangle::new(
+            Vec3::new(x, 0.0, 0.0),
+            Vec3::new(x + 1.0, 0.0, 0.0),
+            Vec3::new(x, 1.0, 0.0),
+        )
+    }
+
+    #[test]
+    fn empty_mesh() {
+        let m = Mesh::new();
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+        assert!(m.aabb().is_empty());
+    }
+
+    #[test]
+    fn push_and_append() {
+        let mut a = Mesh::new();
+        a.push(tri_at(0.0));
+        let mut b = Mesh::new();
+        b.push(tri_at(5.0));
+        b.push(tri_at(6.0));
+        a.append(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn aabb_covers_all_triangles() {
+        let m: Mesh = vec![tri_at(0.0), tri_at(10.0)].into_iter().collect();
+        let b = m.aabb();
+        assert_eq!(b.min.x, 0.0);
+        assert_eq!(b.max.x, 11.0);
+    }
+
+    #[test]
+    fn translation_moves_aabb() {
+        let m = Mesh::from_triangles(vec![tri_at(0.0)]);
+        let t = m.translated(Vec3::new(0.0, 5.0, 0.0));
+        assert_eq!(t.aabb().min.y, 5.0);
+        // Original unchanged.
+        assert_eq!(m.aabb().min.y, 0.0);
+    }
+
+    #[test]
+    fn scaling_scales_extent() {
+        let m = Mesh::from_triangles(vec![tri_at(0.0)]);
+        let s = m.scaled(Vec3::splat(2.0));
+        assert_eq!(s.aabb().extent(), m.aabb().extent() * 2.0);
+    }
+
+    #[test]
+    fn rotation_preserves_triangle_count_and_area() {
+        let m = Mesh::from_triangles(vec![tri_at(0.0)]);
+        let r = m.rotated_y(std::f32::consts::FRAC_PI_2);
+        assert_eq!(r.len(), 1);
+        let a0 = m.triangles()[0].area();
+        let a1 = r.triangles()[0].area();
+        assert!((a0 - a1).abs() < 1e-5);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut m: Mesh = (0..3).map(|i| tri_at(i as f32)).collect();
+        m.extend((3..5).map(|i| tri_at(i as f32)));
+        assert_eq!(m.len(), 5);
+    }
+
+    #[test]
+    fn into_triangles_round_trip() {
+        let m = Mesh::from_triangles(vec![tri_at(1.0)]);
+        let v = m.into_triangles();
+        assert_eq!(v.len(), 1);
+    }
+}

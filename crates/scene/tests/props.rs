@@ -1,0 +1,88 @@
+//! Property-based tests for scene generation, workloads, and OBJ I/O.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rt_geometry::{Triangle, Vec3};
+use rt_scene::{parse_obj, write_obj, Camera, Mesh, Scene, SceneId, Workload, WorkloadKind};
+
+fn coord() -> impl Strategy<Value = f32> {
+    -1000.0f32..1000.0
+}
+
+fn triangle() -> impl Strategy<Value = Triangle> {
+    (
+        coord(),
+        coord(),
+        coord(),
+        coord(),
+        coord(),
+        coord(),
+        coord(),
+        coord(),
+        coord(),
+    )
+        .prop_map(|(a, b, c, d, e, f, g, h, i)| {
+            Triangle::new(Vec3::new(a, b, c), Vec3::new(d, e, f), Vec3::new(g, h, i))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn obj_write_parse_round_trip(tris in vec(triangle(), 0..40)) {
+        let mesh = Mesh::from_triangles(tris);
+        let mut text = Vec::new();
+        write_obj(&mut text, &mesh).unwrap();
+        let parsed = parse_obj(text.as_slice()).unwrap();
+        prop_assert_eq!(parsed.triangles(), mesh.triangles());
+    }
+
+    #[test]
+    fn mesh_translation_moves_aabb_exactly(
+        tris in vec(triangle(), 1..20),
+        dx in coord(), dy in coord(), dz in coord()
+    ) {
+        let mesh = Mesh::from_triangles(tris);
+        let offset = Vec3::new(dx, dy, dz);
+        let moved = mesh.translated(offset);
+        let a = mesh.aabb();
+        let b = moved.aabb();
+        // Component-wise translation within float tolerance.
+        let tol = 1e-2 * (1.0 + offset.length() + a.extent().length());
+        prop_assert!((b.min - (a.min + offset)).length() <= tol);
+        prop_assert!((b.max - (a.max + offset)).length() <= tol);
+    }
+
+    #[test]
+    fn camera_rays_are_unit_and_deterministic(
+        ex in -50.0f32..50.0, ey in 1.0f32..50.0, ez in -50.0f32..50.0,
+        px in 0u32..16, py in 0u32..16
+    ) {
+        let eye = Vec3::new(ex, ey + 60.0, ez);
+        let cam = Camera::look_at(eye, Vec3::ZERO, Vec3::Y, 1.0, 1.0);
+        let a = cam.ray(px, py, 16, 16);
+        let b = cam.ray(px, py, 16, 16);
+        prop_assert_eq!(a, b);
+        prop_assert!((a.direction.length() - 1.0).abs() < 1e-4);
+        prop_assert_eq!(a.origin, eye);
+    }
+
+    #[test]
+    fn workloads_are_deterministic_per_seed(seed in any::<u64>()) {
+        let scene = Scene::build_with_detail(SceneId::Ship, 0.25);
+        let w = Workload::new(WorkloadKind::Diffuse, 4, 4).with_seed(seed);
+        prop_assert_eq!(w.generate(&scene), w.generate(&scene));
+    }
+
+    #[test]
+    fn scene_detail_never_produces_empty_or_nonfinite(detail in 0.1f32..0.5) {
+        // A cheap scene across a detail range: always non-empty, always
+        // finite geometry.
+        let scene = Scene::build_with_detail(SceneId::Wknd, detail);
+        prop_assert!(!scene.mesh.is_empty());
+        for t in scene.mesh.triangles() {
+            prop_assert!(t.v0.is_finite() && t.v1.is_finite() && t.v2.is_finite());
+        }
+    }
+}

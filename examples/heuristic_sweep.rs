@@ -1,0 +1,55 @@
+//! Sweeps the prefetch heuristics, schedulers, and treelet sizes on one
+//! scene — a compact version of the paper's design-space exploration
+//! (Figs. 10, 13, 19) for interactive use.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example heuristic_sweep [SCENE]
+//! ```
+
+use treelet_prefetching::scene::{SceneId, Workload};
+use treelet_prefetching::treelet::{Bench, PrefetchHeuristic, SchedulerPolicy, SimConfig};
+
+fn main() {
+    let scene = std::env::args()
+        .nth(1)
+        .and_then(|s| SceneId::from_name(&s))
+        .unwrap_or(SceneId::Crnvl);
+    println!("sweeping treelet prefetch design space on {scene} ...");
+    let bench = Bench::prepare(scene, 1.0, Workload::paper_default());
+    let base = bench.run(&SimConfig::paper_baseline());
+    println!("baseline: {} cycles\n", base.cycles);
+
+    println!("-- heuristics (PMR scheduler, 512 B treelets) --");
+    for h in [
+        PrefetchHeuristic::Always,
+        PrefetchHeuristic::Popularity(0.25),
+        PrefetchHeuristic::Popularity(0.5),
+        PrefetchHeuristic::Popularity(0.75),
+        PrefetchHeuristic::Partial,
+    ] {
+        let r = bench.run(&SimConfig::paper_treelet_prefetch().with_heuristic(h));
+        println!("{:<16} {:>7.3}x", h.to_string(), r.speedup_over(&base));
+    }
+
+    println!("\n-- schedulers (ALWAYS heuristic) --");
+    for s in [
+        SchedulerPolicy::Baseline,
+        SchedulerPolicy::OldestMatchingRay,
+        SchedulerPolicy::PrioritizeMostRays,
+    ] {
+        let r = bench.run(&SimConfig::paper_treelet_prefetch().with_scheduler(s));
+        println!("{:<16} {:>7.3}x", s.to_string(), r.speedup_over(&base));
+    }
+
+    println!("\n-- treelet sizes (ALWAYS, PMR) --");
+    for bytes in [256u64, 512, 1024, 2048] {
+        let r = bench.run(&SimConfig::paper_treelet_prefetch().with_treelet_bytes(bytes));
+        println!(
+            "{:<16} {:>7.3}x",
+            format!("{bytes} B"),
+            r.speedup_over(&base)
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Simulates a wavefront path tracer: the primary generation plus two
+//! bounce generations, each batch run through the RT unit, comparing the
+//! baseline and treelet-prefetching configurations per generation.
+//!
+//! Bounce generations get progressively less coherent — the regime the
+//! paper's §2.4 motivates treelet prefetching with.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example path_trace_sim [SCENE] [DETAIL]
+//! ```
+
+use treelet_prefetching::bvh::WideBvh;
+use treelet_prefetching::scene::{Scene, SceneId, Workload};
+use treelet_prefetching::treelet::{
+    bounce_rays, direction_coherence, simulate, simulate_batches, BounceKind, SimConfig,
+};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scene_id = args
+        .next()
+        .and_then(|s| SceneId::from_name(&s))
+        .unwrap_or(SceneId::Crnvl);
+    let detail: f32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1.0);
+
+    println!("wavefront path-trace simulation on {scene_id} (detail {detail})");
+    let scene = Scene::build_with_detail(scene_id, detail);
+    let primary = Workload::paper_default().generate(&scene);
+    let bvh = WideBvh::build(scene.mesh.into_triangles());
+
+    // Build three generations: primary, first diffuse bounce, second
+    // diffuse bounce.
+    let bounce1 = bounce_rays(&bvh, &primary, BounceKind::Diffuse, 0xb0);
+    let bounce2 = bounce_rays(&bvh, &bounce1, BounceKind::Diffuse, 0xb1);
+    let generations = [
+        ("primary", &primary),
+        ("bounce 1", &bounce1),
+        ("bounce 2", &bounce2),
+    ];
+
+    println!(
+        "\n{:<9} {:>6} {:>10} {:>11} {:>11} {:>9}",
+        "gen", "rays", "coherence", "base cyc", "pf cyc", "speedup"
+    );
+    let mut total_base = 0u64;
+    let mut total_pf = 0u64;
+    for (name, rays) in generations {
+        if rays.is_empty() {
+            println!("{name:<9} {:>6} (no surviving rays)", 0);
+            continue;
+        }
+        let base = simulate(&bvh, rays, &SimConfig::paper_baseline());
+        let pf = simulate(&bvh, rays, &SimConfig::paper_treelet_prefetch());
+        total_base += base.cycles;
+        total_pf += pf.cycles;
+        println!(
+            "{:<9} {:>6} {:>10.3} {:>11} {:>11} {:>8.3}x",
+            name,
+            rays.len(),
+            direction_coherence(rays),
+            base.cycles,
+            pf.cycles,
+            pf.speedup_over(&base)
+        );
+    }
+    println!(
+        "\nwhole frame (cold caches per generation): {} -> {} cycles ({:.3}x)",
+        total_base,
+        total_pf,
+        total_base as f64 / total_pf as f64
+    );
+
+    // A real wavefront renderer keeps the caches warm between
+    // generations: run the same three batches through one session.
+    let batches: Vec<Vec<_>> = generations
+        .iter()
+        .filter(|(_, rays)| !rays.is_empty())
+        .map(|(_, rays)| rays.to_vec())
+        .collect();
+    let warm_base: u64 = simulate_batches(&bvh, &batches, &SimConfig::paper_baseline())
+        .iter()
+        .map(|r| r.cycles)
+        .sum();
+    let warm_pf: u64 = simulate_batches(&bvh, &batches, &SimConfig::paper_treelet_prefetch())
+        .iter()
+        .map(|r| r.cycles)
+        .sum();
+    println!(
+        "whole frame (warm caches across generations): {} -> {} cycles ({:.3}x)",
+        warm_base,
+        warm_pf,
+        warm_base as f64 / warm_pf as f64
+    );
+}

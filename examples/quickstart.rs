@@ -1,0 +1,71 @@
+//! Quickstart: build one scene, simulate the baseline RT unit and the
+//! treelet-prefetching RT unit, and print the headline comparison.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example quickstart [SCENE] [DETAIL]
+//! ```
+//!
+//! where `SCENE` is a paper scene name (default `BUNNY`) and `DETAIL` a
+//! positive scale factor (default `1.0`).
+
+use treelet_prefetching::scene::{SceneId, Workload};
+use treelet_prefetching::treelet::{Bench, SimConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scene = args
+        .next()
+        .and_then(|s| SceneId::from_name(&s))
+        .unwrap_or(SceneId::Bunny);
+    let detail: f32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1.0);
+
+    println!("preparing {scene} at detail {detail} ...");
+    let bench = Bench::prepare(scene, detail, Workload::paper_default());
+    let stats = bench.tree_stats();
+    println!(
+        "BVH: {} triangles, {} nodes, depth {}, {:.2} MB",
+        stats.triangle_count,
+        stats.node_count,
+        stats.max_depth,
+        stats.total_mb()
+    );
+
+    let baseline = bench.run(&SimConfig::paper_baseline());
+    let traversal = bench.run(&SimConfig::paper_treelet_traversal_only());
+    let prefetch = bench.run(&SimConfig::paper_treelet_prefetch());
+
+    println!(
+        "\n{:<28} {:>12} {:>9}",
+        "configuration", "cycles", "speedup"
+    );
+    for (name, r) in [
+        ("baseline RT unit", &baseline),
+        ("treelet traversal only", &traversal),
+        ("treelet traversal+prefetch", &prefetch),
+    ] {
+        println!(
+            "{:<28} {:>12} {:>8.3}x",
+            name,
+            r.cycles,
+            r.speedup_over(&baseline)
+        );
+    }
+    println!(
+        "\ndemand BVH-load latency: {:.0} -> {:.0} cycles ({:+.0}%)",
+        baseline.node_load_latency,
+        prefetch.node_load_latency,
+        (prefetch.node_load_latency / baseline.node_load_latency - 1.0) * 100.0
+    );
+    println!(
+        "DRAM utilization: {:.1}% -> {:.1}%",
+        baseline.dram_utilization * 100.0,
+        prefetch.dram_utilization * 100.0
+    );
+    let e = prefetch.prefetch_effect;
+    println!(
+        "prefetch effectiveness: {} timely, {} late, {} too late, {} early, {} unused",
+        e.timely, e.late, e.too_late, e.early, e.unused
+    );
+}

@@ -1,0 +1,98 @@
+//! Renders an evaluation scene to a PPM image using the same BVH the
+//! simulator traverses — demonstrating that the stack is a working ray
+//! tracer, not just an address-trace generator.
+//!
+//! Primary rays find the closest hit; shading is a simple headlight model
+//! (N·V) plus a shadow ray toward a light above the scene, so both
+//! closest-hit and any-hit style queries are exercised.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example render_scene [SCENE] [SIZE] [OUT.ppm]
+//! ```
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use treelet_prefetching::bvh::WideBvh;
+use treelet_prefetching::geometry::{Ray, Vec3};
+use treelet_prefetching::scene::{Scene, SceneId};
+
+fn main() -> std::io::Result<()> {
+    let mut args = std::env::args().skip(1);
+    let scene_id = args
+        .next()
+        .and_then(|s| SceneId::from_name(&s))
+        .unwrap_or(SceneId::Wknd);
+    let size: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(256);
+    let out_path = args
+        .next()
+        .unwrap_or_else(|| format!("{scene_id}.ppm").to_lowercase());
+
+    println!("rendering {scene_id} at {size}x{size} -> {out_path}");
+    let scene = Scene::build_with_detail(scene_id, 1.0);
+    let aabb = scene.mesh.aabb();
+    let light = aabb.center() + Vec3::new(0.3, 1.0, 0.2) * aabb.extent().length();
+    let bvh = WideBvh::build(scene.mesh.clone().into_triangles());
+
+    let mut pixels = vec![0u8; (size * size * 3) as usize];
+    let mut hits = 0u64;
+    for py in 0..size {
+        for px in 0..size {
+            let ray = scene.camera.ray(px, size - 1 - py, size, size);
+            let hit = bvh.intersect(&ray);
+            let color = match hit.primitive {
+                Some(prim) => {
+                    hits += 1;
+                    let tri = bvh.triangles()[prim as usize];
+                    let n = {
+                        let n = tri.normal();
+                        if n.length_squared() > 1e-12 {
+                            n.normalized()
+                        } else {
+                            Vec3::Y
+                        }
+                    };
+                    // Headlight shading: brightness from facing ratio.
+                    let facing = n.dot(-ray.direction).abs();
+                    let p = ray.at(hit.t);
+                    // Shadow ray toward the light (an any-hit query).
+                    let to_light = (light - p).normalized();
+                    let shadow = Ray::new(p + n * 1e-3, to_light);
+                    let lit = if bvh.intersect(&shadow).is_hit() {
+                        0.45
+                    } else {
+                        1.0
+                    };
+                    let v = 0.15 + 0.85 * facing * lit;
+                    // Tint by primitive id so structure is visible.
+                    let tint = Vec3::new(
+                        0.6 + 0.4 * ((prim % 7) as f32 / 6.0),
+                        0.6 + 0.4 * ((prim % 11) as f32 / 10.0),
+                        0.6 + 0.4 * ((prim % 13) as f32 / 12.0),
+                    );
+                    tint * v
+                }
+                None => {
+                    // Sky gradient.
+                    let t = 0.5 * (ray.direction.y + 1.0);
+                    Vec3::new(1.0, 1.0, 1.0).lerp(Vec3::new(0.4, 0.6, 0.9), t)
+                }
+            };
+            let idx = ((py * size + px) * 3) as usize;
+            pixels[idx] = (color.x.clamp(0.0, 1.0) * 255.0) as u8;
+            pixels[idx + 1] = (color.y.clamp(0.0, 1.0) * 255.0) as u8;
+            pixels[idx + 2] = (color.z.clamp(0.0, 1.0) * 255.0) as u8;
+        }
+    }
+
+    let mut out = BufWriter::new(File::create(&out_path)?);
+    writeln!(out, "P6\n{size} {size}\n255")?;
+    out.write_all(&pixels)?;
+    println!(
+        "done: {hits}/{} primary rays hit geometry ({:.0}%)",
+        (size as u64).pow(2),
+        hits as f64 / (size as f64 * size as f64) * 100.0
+    );
+    Ok(())
+}

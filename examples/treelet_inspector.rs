@@ -1,0 +1,84 @@
+//! Inspects treelet formation on a scene: counts, occupancy, and the
+//! size histogram, across the paper's treelet byte budgets — plus one
+//! ray's treelet-visit sequence under both traversal algorithms, showing
+//! the clustering the two-stack algorithm creates.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example treelet_inspector [SCENE]
+//! ```
+
+use treelet_prefetching::bvh::WideBvh;
+use treelet_prefetching::scene::{Scene, SceneId, Workload};
+use treelet_prefetching::treelet::{
+    trace_ray, TraversalAlgorithm, TreeletAssignment, TreeletMetrics,
+};
+
+fn main() {
+    let scene_id = std::env::args()
+        .nth(1)
+        .and_then(|s| SceneId::from_name(&s))
+        .unwrap_or(SceneId::Bunny);
+    let scene = Scene::build_with_detail(scene_id, 1.0);
+    let rays = Workload::paper_default().generate(&scene);
+    let bvh = WideBvh::build(scene.mesh.into_triangles());
+    println!(
+        "{scene_id}: {} nodes, depth {}",
+        bvh.node_count(),
+        bvh.depth()
+    );
+
+    println!(
+        "\n{:>8} {:>10} {:>10} {:>28}",
+        "budget", "treelets", "occupancy", "size histogram (nodes)"
+    );
+    for bytes in [256u64, 512, 1024, 2048] {
+        let a = TreeletAssignment::form(&bvh, bytes);
+        let max_nodes = (bytes / 64) as usize;
+        let mut histogram = vec![0usize; max_nodes + 1];
+        for g in 0..a.count() as u32 {
+            histogram[a.members(g).len()] += 1;
+        }
+        let hist: Vec<String> = histogram
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter(|(_, &c)| c > 0)
+            .map(|(sz, &c)| format!("{sz}:{c}"))
+            .collect();
+        println!(
+            "{:>7}B {:>10} {:>9.1}% {:>28}",
+            bytes,
+            a.count(),
+            a.mean_occupancy() * 100.0,
+            hist.join(" ")
+        );
+        println!("         {}", TreeletMetrics::of(&bvh, &a));
+    }
+
+    // Show one hit ray's treelet sequence under both algorithms.
+    let treelets = TreeletAssignment::form(&bvh, 512);
+    let ray = rays
+        .iter()
+        .find(|r| bvh.intersect(r).is_hit())
+        .expect("some primary ray should hit");
+    println!("\ntreelet visit sequence of one ray (treelet ids):");
+    for (name, algo) in [
+        ("DFS      ", TraversalAlgorithm::BaselineDfs),
+        ("two-stack", TraversalAlgorithm::TwoStackTreelet),
+    ] {
+        let trace = trace_ray(&bvh, &treelets, ray, algo);
+        let seq: Vec<String> = trace.steps.iter().map(|s| s.treelet.to_string()).collect();
+        let switches = trace
+            .steps
+            .windows(2)
+            .filter(|w| w[0].treelet != w[1].treelet)
+            .count();
+        println!(
+            "{name} ({:>3} visits, {switches:>2} treelet switches): {}",
+            trace.nodes_visited(),
+            seq.join(" ")
+        );
+    }
+}

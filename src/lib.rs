@@ -1,0 +1,22 @@
+//! Umbrella crate for the *Treelet Prefetching For Ray Tracing* (MICRO 2023)
+//! reproduction.
+//!
+//! This crate re-exports the workspace members so that examples and
+//! integration tests can use a single dependency:
+//!
+//! - [`geometry`] — vectors, rays, AABBs, triangles,
+//! - [`scene`] — procedural evaluation scenes and ray workloads,
+//! - [`bvh`] — BVH construction, 64-byte node records, memory layouts,
+//! - [`gpu`] — cycle-level caches, interconnect, and DRAM substrate,
+//! - [`treelet`] — the paper's contribution: treelet formation, two-stack
+//!   traversal, the hardware treelet prefetcher, and the RT-unit timing
+//!   model.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! reproduced tables and figures.
+
+pub use rt_bvh as bvh;
+pub use rt_geometry as geometry;
+pub use rt_gpu_sim as gpu;
+pub use rt_scene as scene;
+pub use treelet_rt as treelet;

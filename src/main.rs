@@ -1,0 +1,548 @@
+//! `treelet-sim` — command-line front end for the treelet-prefetching
+//! simulator.
+//!
+//! ```text
+//! treelet-prefetching scenes
+//! treelet-prefetching stats --scene CAR [--detail 1.0] [--treelet-bytes 512]
+//! treelet-prefetching run   --scene CAR [--detail 1.0] [--res 32]
+//!                           [--config baseline|traversal|prefetch]
+//!                           [--heuristic always|partial|pop:<t>]
+//!                           [--scheduler baseline|omr|pmr]
+//!                           [--treelet-bytes N] [--workload primary|diffuse|shadow]
+//!                           [--obj path.obj] [--compare]
+//! ```
+
+use std::process::ExitCode;
+use treelet_prefetching::bvh::MemoryImage;
+use treelet_prefetching::bvh::{TreeStats, WideBvh};
+use treelet_prefetching::scene::{load_obj, Camera, Scene, SceneId, Workload, WorkloadKind};
+use treelet_prefetching::treelet::{
+    compile_trace, simulate, trace_ray, write_traces, PrefetchHeuristic, SchedulerPolicy,
+    SimConfig, TreeletAssignment,
+};
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+enum Command {
+    Scenes,
+    Stats(Options),
+    Run(Options),
+    Trace(Options, String),
+    Help,
+}
+
+/// Options shared by `stats` and `run`.
+#[derive(Debug, Clone, PartialEq)]
+struct Options {
+    scene: SceneId,
+    obj: Option<String>,
+    detail: f32,
+    res: u32,
+    config: ConfigKind,
+    heuristic: Option<PrefetchHeuristic>,
+    scheduler: Option<SchedulerPolicy>,
+    treelet_bytes: u64,
+    workload: WorkloadKind,
+    compare: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConfigKind {
+    Baseline,
+    TraversalOnly,
+    Prefetch,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            scene: SceneId::Bunny,
+            obj: None,
+            detail: 1.0,
+            res: 32,
+            config: ConfigKind::Prefetch,
+            heuristic: None,
+            scheduler: None,
+            treelet_bytes: 512,
+            workload: WorkloadKind::Primary,
+            compare: false,
+        }
+    }
+}
+
+/// Parses the full argument vector (excluding `argv[0]`).
+fn parse_args(args: &[String]) -> Result<Command, String> {
+    let Some(sub) = args.first() else {
+        return Ok(Command::Help);
+    };
+    match sub.as_str() {
+        "scenes" => Ok(Command::Scenes),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "stats" => Ok(Command::Stats(parse_options(&args[1..])?)),
+        "run" => Ok(Command::Run(parse_options(&args[1..])?)),
+        "trace" => {
+            // The last `--out FILE` pair is extracted; the rest are the
+            // shared options.
+            let mut rest: Vec<String> = Vec::new();
+            let mut out = None;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                if a == "--out" {
+                    out = Some(
+                        it.next()
+                            .ok_or_else(|| "--out needs a value".to_string())?
+                            .clone(),
+                    );
+                } else {
+                    rest.push(a.clone());
+                }
+            }
+            let out = out.ok_or_else(|| "trace requires --out FILE".to_string())?;
+            Ok(Command::Trace(parse_options(&rest)?, out))
+        }
+        other => Err(format!("unknown subcommand {other:?}; try `help`")),
+    }
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut options = Options::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--scene" => {
+                let v = value("--scene")?;
+                options.scene = SceneId::from_name(v)
+                    .ok_or_else(|| format!("unknown scene {v:?}; see `scenes`"))?;
+            }
+            "--obj" => options.obj = Some(value("--obj")?.clone()),
+            "--detail" => {
+                options.detail = value("--detail")?
+                    .parse()
+                    .map_err(|e| format!("bad --detail: {e}"))?;
+                if options.detail <= 0.0 || options.detail.is_nan() {
+                    return Err("--detail must be positive".into());
+                }
+            }
+            "--res" => {
+                options.res = value("--res")?
+                    .parse()
+                    .map_err(|e| format!("bad --res: {e}"))?;
+                if options.res == 0 {
+                    return Err("--res must be positive".into());
+                }
+            }
+            "--config" => {
+                options.config = match value("--config")?.as_str() {
+                    "baseline" => ConfigKind::Baseline,
+                    "traversal" => ConfigKind::TraversalOnly,
+                    "prefetch" => ConfigKind::Prefetch,
+                    other => return Err(format!("unknown --config {other:?}")),
+                };
+            }
+            "--heuristic" => {
+                let v = value("--heuristic")?;
+                options.heuristic = Some(parse_heuristic(v)?);
+            }
+            "--scheduler" => {
+                options.scheduler = Some(match value("--scheduler")?.as_str() {
+                    "baseline" => SchedulerPolicy::Baseline,
+                    "omr" => SchedulerPolicy::OldestMatchingRay,
+                    "pmr" => SchedulerPolicy::PrioritizeMostRays,
+                    other => return Err(format!("unknown --scheduler {other:?}")),
+                });
+            }
+            "--treelet-bytes" => {
+                options.treelet_bytes = value("--treelet-bytes")?
+                    .parse()
+                    .map_err(|e| format!("bad --treelet-bytes: {e}"))?;
+            }
+            "--workload" => {
+                options.workload = match value("--workload")?.as_str() {
+                    "primary" => WorkloadKind::Primary,
+                    "diffuse" => WorkloadKind::Diffuse,
+                    "shadow" => WorkloadKind::Shadow,
+                    other => return Err(format!("unknown --workload {other:?}")),
+                };
+            }
+            "--compare" => options.compare = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(options)
+}
+
+fn parse_heuristic(text: &str) -> Result<PrefetchHeuristic, String> {
+    match text {
+        "always" => Ok(PrefetchHeuristic::Always),
+        "partial" => Ok(PrefetchHeuristic::Partial),
+        other => {
+            if let Some(t) = other.strip_prefix("pop:") {
+                let threshold: f32 = t.parse().map_err(|e| format!("bad threshold: {e}"))?;
+                if !(0.0..=1.0).contains(&threshold) {
+                    return Err("threshold must be in [0, 1]".into());
+                }
+                Ok(PrefetchHeuristic::Popularity(threshold))
+            } else {
+                Err(format!(
+                    "unknown heuristic {other:?} (always | partial | pop:<t>)"
+                ))
+            }
+        }
+    }
+}
+
+fn build_config(options: &Options) -> SimConfig {
+    let mut config = match options.config {
+        ConfigKind::Baseline => SimConfig::paper_baseline(),
+        ConfigKind::TraversalOnly => SimConfig::paper_treelet_traversal_only(),
+        ConfigKind::Prefetch => SimConfig::paper_treelet_prefetch(),
+    }
+    .with_treelet_bytes(options.treelet_bytes);
+    if let Some(h) = options.heuristic {
+        config = config.with_heuristic(h);
+    }
+    if let Some(s) = options.scheduler {
+        config = config.with_scheduler(s);
+    }
+    config
+}
+
+/// Builds the workload geometry: either a named procedural scene or a
+/// user OBJ framed by the same camera logic.
+fn build_scene(options: &Options) -> Result<Scene, String> {
+    match &options.obj {
+        None => Ok(Scene::build_with_detail(options.scene, options.detail)),
+        Some(path) => {
+            let mesh = load_obj(path).map_err(|e| e.to_string())?;
+            if mesh.is_empty() {
+                return Err(format!("{path}: no triangles found"));
+            }
+            let aabb = mesh.aabb();
+            let center = aabb.center();
+            let radius = aabb.extent().length().max(1.0);
+            let eye = center
+                + treelet_prefetching::geometry::Vec3::new(0.55, 0.4, 0.73).normalized() * radius;
+            let camera = Camera::look_at(
+                eye,
+                center,
+                treelet_prefetching::geometry::Vec3::Y,
+                50.0_f32.to_radians(),
+                1.0,
+            );
+            Ok(Scene {
+                id: options.scene,
+                mesh,
+                camera,
+            })
+        }
+    }
+}
+
+fn cmd_scenes() {
+    println!(
+        "{:<7} {:>12} {:>7} {:>12}",
+        "Scene", "paper MB", "depth", "treelets"
+    );
+    for id in SceneId::ALL {
+        let p = id.paper_stats();
+        println!(
+            "{:<7} {:>12.1} {:>7} {:>12}",
+            id.name(),
+            p.tree_size_mb,
+            p.tree_depth,
+            p.total_treelets
+        );
+    }
+}
+
+fn cmd_stats(options: &Options) -> Result<(), String> {
+    let scene = build_scene(options)?;
+    let bvh = WideBvh::build(scene.mesh.into_triangles());
+    let stats = TreeStats::of(&bvh);
+    let treelets = TreeletAssignment::form(&bvh, options.treelet_bytes);
+    println!(
+        "scene:     {}",
+        options.obj.as_deref().unwrap_or(options.scene.name())
+    );
+    println!("triangles: {}", stats.triangle_count);
+    println!(
+        "nodes:     {} ({} internal, {} leaf)",
+        stats.node_count, stats.internal_count, stats.leaf_count
+    );
+    println!("depth:     {}", stats.max_depth);
+    println!("size:      {:.2} MB", stats.total_mb());
+    println!(
+        "treelets:  {} at {} B max ({:.0}% mean occupancy)",
+        treelets.count(),
+        options.treelet_bytes,
+        treelets.mean_occupancy() * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_run(options: &Options) -> Result<(), String> {
+    let scene = build_scene(options)?;
+    let rays = Workload::new(options.workload, options.res, options.res).generate(&scene);
+    let bvh = WideBvh::build(scene.mesh.into_triangles());
+    let config = build_config(options);
+    let result = simulate(&bvh, &rays, &config);
+    if options.compare {
+        let base = simulate(&bvh, &rays, &SimConfig::paper_baseline());
+        println!(
+            "baseline: {:>10} cycles | selected: {:>10} cycles | speedup {:.3}x",
+            base.cycles,
+            result.cycles,
+            result.speedup_over(&base)
+        );
+    } else {
+        println!("cycles:            {}", result.cycles);
+    }
+    println!("rays:              {}", result.rays);
+    println!(
+        "avg nodes/ray:     {:.1}",
+        result.traversal.avg_nodes_per_ray
+    );
+    println!("node load latency: {:.0} cycles", result.node_load_latency);
+    println!(
+        "L1 hit rate:       {:.1}%",
+        result.l1.demand_hit_rate() * 100.0
+    );
+    println!("DRAM utilization:  {:.1}%", result.dram_utilization * 100.0);
+    println!("avg power:         {:.2} W", result.power.avg_power_w);
+    if result.prefetch_effect.total() > 0 {
+        let e = result.prefetch_effect;
+        println!(
+            "prefetches:        {} timely, {} late, {} too late, {} early, {} unused",
+            e.timely, e.late, e.too_late, e.early, e.unused
+        );
+    }
+    Ok(())
+}
+
+fn cmd_trace(options: &Options, out_path: &str) -> Result<(), String> {
+    use treelet_prefetching::treelet::TraversalAlgorithm;
+    let scene = build_scene(options)?;
+    let rays = Workload::new(options.workload, options.res, options.res).generate(&scene);
+    let bvh = WideBvh::build(scene.mesh.into_triangles());
+    let config = build_config(options);
+    let treelets = TreeletAssignment::form(&bvh, options.treelet_bytes);
+    let image = match config.traversal {
+        // The trace dump pairs the algorithm with its natural layout.
+        TraversalAlgorithm::BaselineDfs => MemoryImage::depth_first(&bvh),
+        TraversalAlgorithm::TwoStackTreelet => MemoryImage::treelet_packed(
+            &bvh,
+            treelets.as_slices(),
+            treelet_prefetching::bvh::PackOptions {
+                slot_bytes: options.treelet_bytes,
+                extra_stride: 0,
+            },
+        ),
+    };
+    let traces: Vec<_> = rays
+        .iter()
+        .map(|r| compile_trace(&trace_ray(&bvh, &treelets, r, config.traversal), &image, 64))
+        .collect();
+    let file = std::fs::File::create(out_path).map_err(|e| format!("{out_path}: {e}"))?;
+    write_traces(std::io::BufWriter::new(file), &traces).map_err(|e| e.to_string())?;
+    let steps: usize = traces.iter().map(Vec::len).sum();
+    println!(
+        "wrote {} rays / {} steps ({}) to {out_path}",
+        traces.len(),
+        steps,
+        config.traversal
+    );
+    Ok(())
+}
+
+fn print_help() {
+    println!(
+        "treelet-prefetching — RT-unit treelet prefetching simulator (MICRO 2023 reproduction)
+
+USAGE:
+  treelet-prefetching scenes
+  treelet-prefetching stats --scene CAR [--detail 1.0] [--treelet-bytes 512] [--obj path.obj]
+  treelet-prefetching trace --scene CAR --out trace.txt [--config traversal] [--res 32]
+  treelet-prefetching run   --scene CAR [--detail 1.0] [--res 32]
+                            [--config baseline|traversal|prefetch]
+                            [--heuristic always|partial|pop:<t>]
+                            [--scheduler baseline|omr|pmr]
+                            [--treelet-bytes N]
+                            [--workload primary|diffuse|shadow]
+                            [--obj path.obj] [--compare]"
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match parse_args(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = match command {
+        Command::Help => {
+            print_help();
+            Ok(())
+        }
+        Command::Scenes => {
+            cmd_scenes();
+            Ok(())
+        }
+        Command::Stats(options) => cmd_stats(&options),
+        Command::Run(options) => cmd_run(&options),
+        Command::Trace(options, out) => cmd_trace(&options, &out),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<Command, String> {
+        let owned: Vec<String> = words.iter().map(|s| s.to_string()).collect();
+        parse_args(&owned)
+    }
+
+    #[test]
+    fn trace_requires_out() {
+        assert!(parse(&["trace", "--scene", "WKND"]).is_err());
+        match parse(&["trace", "--scene", "WKND", "--out", "/tmp/t.txt"]).unwrap() {
+            Command::Trace(o, out) => {
+                assert_eq!(o.scene, SceneId::Wknd);
+                assert_eq!(out, "/tmp/t.txt");
+            }
+            other => panic!("expected trace, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_args_is_help() {
+        assert_eq!(parse(&[]), Ok(Command::Help));
+    }
+
+    #[test]
+    fn scenes_subcommand() {
+        assert_eq!(parse(&["scenes"]), Ok(Command::Scenes));
+    }
+
+    #[test]
+    fn run_with_flags() {
+        let cmd = parse(&[
+            "run",
+            "--scene",
+            "car",
+            "--detail",
+            "0.5",
+            "--res",
+            "16",
+            "--config",
+            "prefetch",
+            "--heuristic",
+            "pop:0.5",
+            "--scheduler",
+            "omr",
+            "--treelet-bytes",
+            "1024",
+            "--compare",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Run(o) => {
+                assert_eq!(o.scene, SceneId::Car);
+                assert_eq!(o.detail, 0.5);
+                assert_eq!(o.res, 16);
+                assert_eq!(o.config, ConfigKind::Prefetch);
+                assert_eq!(o.heuristic, Some(PrefetchHeuristic::Popularity(0.5)));
+                assert_eq!(o.scheduler, Some(SchedulerPolicy::OldestMatchingRay));
+                assert_eq!(o.treelet_bytes, 1024);
+                assert!(o.compare);
+            }
+            other => panic!("expected run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_scene_is_an_error() {
+        assert!(parse(&["run", "--scene", "NOPE"]).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error() {
+        assert!(parse(&["run", "--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(parse(&["run", "--scene"]).is_err());
+    }
+
+    #[test]
+    fn heuristic_parsing() {
+        assert_eq!(parse_heuristic("always"), Ok(PrefetchHeuristic::Always));
+        assert_eq!(parse_heuristic("partial"), Ok(PrefetchHeuristic::Partial));
+        assert_eq!(
+            parse_heuristic("pop:0.25"),
+            Ok(PrefetchHeuristic::Popularity(0.25))
+        );
+        assert!(parse_heuristic("pop:1.5").is_err());
+        assert!(parse_heuristic("sometimes").is_err());
+    }
+
+    #[test]
+    fn invalid_detail_and_res_rejected() {
+        assert!(parse(&["run", "--detail", "0"]).is_err());
+        assert!(parse(&["run", "--detail", "-1"]).is_err());
+        assert!(parse(&["run", "--res", "0"]).is_err());
+    }
+
+    #[test]
+    fn config_builds_from_options() {
+        let mut options = Options {
+            config: ConfigKind::Baseline,
+            ..Options::default()
+        };
+        let c = build_config(&options);
+        assert!(!c.prefetch.is_enabled());
+        options.config = ConfigKind::Prefetch;
+        options.heuristic = Some(PrefetchHeuristic::Partial);
+        options.treelet_bytes = 256;
+        let c = build_config(&options);
+        assert!(c.prefetch.is_enabled());
+        assert_eq!(c.treelet_bytes, 256);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn obj_scene_builds() {
+        let path = std::env::temp_dir().join("treelet_cli_test.obj");
+        std::fs::write(&path, "v 0 0 0\nv 1 0 0\nv 0 1 0\nf 1 2 3\n").unwrap();
+        let options = Options {
+            obj: Some(path.to_string_lossy().into_owned()),
+            ..Options::default()
+        };
+        let scene = build_scene(&options).unwrap();
+        assert_eq!(scene.mesh.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_obj_file_is_an_error() {
+        let options = Options {
+            obj: Some("/nonexistent/file.obj".into()),
+            ..Options::default()
+        };
+        assert!(build_scene(&options).is_err());
+    }
+}
