@@ -1,13 +1,12 @@
-//! Criterion benchmark: BVH construction (binned SAH + 6-wide collapse)
+//! Micro-benchmark: BVH construction (binned SAH + 6-wide collapse)
 //! across scene scales.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rt_bench::microbench::Group;
 use rt_bvh::WideBvh;
 use rt_scene::{Scene, SceneId};
 
-fn bvh_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bvh_build");
-    group.sample_size(10);
+fn main() {
+    let group = Group::new("bvh_build").samples(10);
     for (scene, detail) in [
         (SceneId::Wknd, 1.0f32),
         (SceneId::Bunny, 1.0),
@@ -16,14 +15,9 @@ fn bvh_build(c: &mut Criterion) {
     ] {
         let mesh = Scene::build_with_detail(scene, detail).mesh;
         let tris = mesh.into_triangles();
-        group.bench_with_input(
-            BenchmarkId::new("binned_sah_6wide", format!("{scene}/{}tris", tris.len())),
-            &tris,
-            |b, tris| b.iter(|| WideBvh::build(tris.clone())),
+        group.bench(
+            &format!("binned_sah_6wide/{scene}/{}tris", tris.len()),
+            || WideBvh::build(tris.clone()),
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bvh_build);
-criterion_main!(benches);

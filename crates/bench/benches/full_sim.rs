@@ -1,14 +1,13 @@
-//! Criterion benchmark: end-to-end cycle-level simulation throughput,
+//! Micro-benchmark: end-to-end cycle-level simulation throughput,
 //! baseline RT unit vs treelet prefetching.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rt_bench::microbench::Group;
 use rt_scene::{SceneId, Workload};
 use treelet_rt::{Bench, SimConfig};
 
-fn full_sim(c: &mut Criterion) {
+fn main() {
     let bench = Bench::prepare(SceneId::Bunny, 1.0, Workload::paper_default());
-    let mut group = c.benchmark_group("full_sim_bunny");
-    group.sample_size(10);
+    let group = Group::new("full_sim_bunny").samples(10);
     for (name, config) in [
         ("baseline", SimConfig::paper_baseline()),
         (
@@ -17,12 +16,6 @@ fn full_sim(c: &mut Criterion) {
         ),
         ("treelet_prefetch", SimConfig::paper_treelet_prefetch()),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
-            b.iter(|| bench.run(config).cycles)
-        });
+        group.bench(name, || bench.run(&config).cycles);
     }
-    group.finish();
 }
-
-criterion_group!(benches, full_sim);
-criterion_main!(benches);

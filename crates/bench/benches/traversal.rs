@@ -1,32 +1,26 @@
-//! Criterion benchmark: functional ray traversal — baseline DFS vs the
+//! Micro-benchmark: functional ray traversal — baseline DFS vs the
 //! two-stack treelet algorithm (Algorithm 1).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rt_bench::microbench::Group;
 use rt_bvh::WideBvh;
 use rt_scene::{Scene, SceneId, Workload};
 use treelet_rt::{trace_ray, TraversalAlgorithm, TreeletAssignment};
 
-fn traversal(c: &mut Criterion) {
+fn main() {
     let scene = Scene::build_with_detail(SceneId::Bunny, 1.0);
     let rays = Workload::paper_default().generate(&scene);
     let bvh = WideBvh::build(scene.mesh.into_triangles());
     let treelets = TreeletAssignment::form(&bvh, 512);
 
-    let mut group = c.benchmark_group("traversal_1024_rays");
+    let group = Group::new("traversal_1024_rays");
     for (name, algo) in [
         ("baseline_dfs", TraversalAlgorithm::BaselineDfs),
         ("two_stack_treelet", TraversalAlgorithm::TwoStackTreelet),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &algo, |b, &algo| {
-            b.iter(|| {
-                rays.iter()
-                    .map(|r| trace_ray(&bvh, &treelets, r, algo).nodes_visited())
-                    .sum::<usize>()
-            })
+        group.bench(name, || {
+            rays.iter()
+                .map(|r| trace_ray(&bvh, &treelets, r, algo).nodes_visited())
+                .sum::<usize>()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, traversal);
-criterion_main!(benches);

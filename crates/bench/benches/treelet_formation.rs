@@ -1,24 +1,18 @@
-//! Criterion benchmark: greedy treelet formation (§3.1) across treelet
+//! Micro-benchmark: greedy treelet formation (§3.1) across treelet
 //! byte budgets.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rt_bench::microbench::Group;
 use rt_bvh::WideBvh;
 use rt_scene::{Scene, SceneId};
 use treelet_rt::TreeletAssignment;
 
-fn treelet_formation(c: &mut Criterion) {
+fn main() {
     let mesh = Scene::build_with_detail(SceneId::Spnza, 1.0).mesh;
     let bvh = WideBvh::build(mesh.into_triangles());
-    let mut group = c.benchmark_group("treelet_formation");
+    let group = Group::new("treelet_formation");
     for bytes in [256u64, 512, 1024, 2048] {
-        group.bench_with_input(
-            BenchmarkId::new("greedy_bfs", bytes),
-            &bytes,
-            |b, &bytes| b.iter(|| TreeletAssignment::form(&bvh, bytes)),
-        );
+        group.bench(&format!("greedy_bfs/{bytes}"), || {
+            TreeletAssignment::form(&bvh, bytes)
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, treelet_formation);
-criterion_main!(benches);

@@ -10,12 +10,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod microbench;
 mod svg;
 
 use rt_scene::{SceneId, Workload};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 pub use svg::bar_chart;
-pub use treelet_rt::{geometric_mean, Bench, SimConfig, SimResult};
+pub use treelet_rt::{geometric_mean, Bench, SimConfig, SimError, SimResult};
 
 /// Default scene detail for the experiment suite (full evaluation scale;
 /// see `DESIGN.md` for the scaling rationale).
@@ -65,18 +67,117 @@ impl Suite {
     /// Runs `config` on every scene, in suite order. Scenes run on
     /// parallel threads (each simulation itself is deterministic and
     /// single-threaded, so results are identical to a serial run).
+    ///
+    /// # Panics
+    ///
+    /// Panics with the failing scene's recorded reason if any scene
+    /// fails; use [`Suite::run_all_robust`] to keep the survivors.
     pub fn run_all(&self, config: &SimConfig) -> Vec<SimResult> {
+        self.run_all_robust(config)
+            .into_iter()
+            .map(|outcome| match outcome {
+                SceneOutcome::Completed(r) => r,
+                SceneOutcome::Failed { scene, reason } => {
+                    panic!("scene {scene} failed: {reason}")
+                }
+            })
+            .collect()
+    }
+
+    /// Runs `config` on every scene, recording failures instead of
+    /// propagating them: a scene that returns a [`SimError`] or panics is
+    /// reported as [`SceneOutcome::Failed`] while the other scenes'
+    /// results survive. A panicking scene is retried once (a typed error
+    /// is deterministic, so it is not).
+    pub fn run_all_robust(&self, config: &SimConfig) -> Vec<SceneOutcome> {
+        self.run_all_robust_with(|b| b.try_run(config))
+    }
+
+    /// [`Suite::run_all_robust`] over an arbitrary per-scene runner —
+    /// lets experiment binaries sweep per-scene configs while keeping the
+    /// same isolation guarantees.
+    pub fn run_all_robust_with<F>(&self, run: F) -> Vec<SceneOutcome>
+    where
+        F: Fn(&Bench) -> Result<SimResult, SimError> + Sync,
+    {
+        let run = &run;
         std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .benches
                 .iter()
-                .map(|b| scope.spawn(move || b.run(config)))
+                .map(|b| {
+                    scope.spawn(move || {
+                        let mut attempt = catch_unwind(AssertUnwindSafe(|| run(b)));
+                        if attempt.is_err() {
+                            // A panic may be environmental (e.g. stack
+                            // exhaustion under thread contention); give
+                            // the scene one more chance before recording
+                            // it as lost.
+                            attempt = catch_unwind(AssertUnwindSafe(|| run(b)));
+                        }
+                        match attempt {
+                            Ok(Ok(result)) => SceneOutcome::Completed(result),
+                            Ok(Err(e)) => SceneOutcome::Failed {
+                                scene: b.scene(),
+                                reason: e.to_string(),
+                            },
+                            Err(payload) => SceneOutcome::Failed {
+                                scene: b.scene(),
+                                reason: format!("panicked: {}", panic_message(&*payload)),
+                            },
+                        }
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("scene simulation thread panicked"))
+                .map(|h| {
+                    h.join()
+                        .expect("scene outcome threads themselves never panic")
+                })
                 .collect()
         })
+    }
+}
+
+/// What happened to one scene of a [`Suite::run_all_robust`] sweep.
+#[derive(Debug, Clone)]
+pub enum SceneOutcome {
+    /// The simulation finished and produced a result.
+    Completed(SimResult),
+    /// The simulation returned an error or panicked; the sweep went on
+    /// without it.
+    Failed {
+        /// The scene that was lost.
+        scene: SceneId,
+        /// The `SimError` message or panic payload.
+        reason: String,
+    },
+}
+
+impl SceneOutcome {
+    /// The result, if the scene completed.
+    pub fn result(&self) -> Option<&SimResult> {
+        match self {
+            SceneOutcome::Completed(r) => Some(r),
+            SceneOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// Whether the scene completed.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, SceneOutcome::Completed(_))
+    }
+}
+
+/// Renders a panic payload's message, if it carried one.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
     }
 }
 
@@ -202,6 +303,71 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(text, "scene,a,b-x\nWKND,1,2.5\nCAR,0.5,4\n");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn robust_sweep_survives_a_panicking_scene() {
+        // Full 16-scene suite at tiny detail with a minimal workload; one
+        // scene's runner panics deliberately. The other fifteen must
+        // still report results.
+        let suite = Suite::prepare(0.05, Workload::new(rt_scene::WorkloadKind::Primary, 4, 4));
+        let config = SimConfig::paper_baseline();
+        let outcomes = suite.run_all_robust_with(|b| {
+            if b.scene() == SceneId::Ship {
+                panic!("injected fault");
+            }
+            b.try_run(&config)
+        });
+        assert_eq!(outcomes.len(), SceneId::ALL.len());
+        let completed = outcomes.iter().filter(|o| o.is_completed()).count();
+        assert_eq!(completed, SceneId::ALL.len() - 1);
+        let failed: Vec<_> = outcomes.iter().filter(|o| !o.is_completed()).collect();
+        match failed.as_slice() {
+            [SceneOutcome::Failed { scene, reason }] => {
+                assert_eq!(*scene, SceneId::Ship);
+                assert!(reason.contains("injected fault"), "reason: {reason}");
+            }
+            other => panic!("expected exactly one failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn robust_sweep_records_typed_errors_without_retry() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let suite = Suite::prepare(0.05, Workload::new(rt_scene::WorkloadKind::Primary, 2, 2));
+        let calls = AtomicUsize::new(0);
+        let mut bad = SimConfig::paper_baseline();
+        bad.num_sms = 0;
+        let outcomes = suite.run_all_robust_with(|b| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            b.try_run(&bad)
+        });
+        // Typed errors are deterministic: one attempt per scene, no retry.
+        assert_eq!(calls.load(Ordering::SeqCst), SceneId::ALL.len());
+        assert!(outcomes.iter().all(|o| !o.is_completed()));
+        for o in &outcomes {
+            if let SceneOutcome::Failed { reason, .. } = o {
+                assert!(reason.contains("invalid simulation config"));
+            }
+        }
+    }
+
+    #[test]
+    fn robust_sweep_retries_a_transient_panic() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let suite = Suite::prepare(0.05, Workload::new(rt_scene::WorkloadKind::Primary, 2, 2));
+        let config = SimConfig::paper_baseline();
+        let failed_once: Mutex<HashSet<SceneId>> = Mutex::new(HashSet::new());
+        let outcomes = suite.run_all_robust_with(|b| {
+            if failed_once.lock().unwrap().insert(b.scene()) {
+                panic!("transient");
+            }
+            b.try_run(&config)
+        });
+        // Every scene panicked on its first attempt and succeeded on the
+        // retry, so the whole sweep still completes.
+        assert!(outcomes.iter().all(|o| o.is_completed()));
     }
 
     #[test]

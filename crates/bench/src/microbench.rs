@@ -1,0 +1,131 @@
+//! A minimal wall-clock micro-benchmark runner.
+//!
+//! Replaces the `criterion` dev-dependency so `cargo bench` works in the
+//! offline, dependency-free workspace. Deliberately simple: warm up,
+//! pick an iteration count that fills a measurement window, run a fixed
+//! number of samples, and report min / median / mean per iteration.
+//! Good enough to spot order-of-magnitude regressions in the hot paths
+//! the paper's sweeps exercise; not a statistics suite.
+
+use std::time::{Duration, Instant};
+
+/// Per-benchmark timing summary, in nanoseconds per iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Fastest observed sample.
+    pub min_ns: f64,
+    /// Median sample — the headline number, robust to scheduler noise.
+    pub median_ns: f64,
+    /// Mean across samples.
+    pub mean_ns: f64,
+    /// Iterations per sample the runner settled on.
+    pub iters_per_sample: u64,
+}
+
+/// A named group of related benchmarks printed as one aligned block,
+/// mirroring how the former criterion groups were organized.
+#[derive(Debug)]
+pub struct Group {
+    name: String,
+    samples: usize,
+    target: Duration,
+}
+
+impl Group {
+    /// Starts a group with the default budget (10 samples of ~100 ms).
+    pub fn new(name: &str) -> Group {
+        println!("\n== bench group: {name} ==");
+        Group {
+            name: name.to_string(),
+            samples: 10,
+            target: Duration::from_millis(100),
+        }
+    }
+
+    /// Overrides the number of samples taken per benchmark.
+    pub fn samples(mut self, samples: usize) -> Group {
+        self.samples = samples.max(2);
+        self
+    }
+
+    /// Overrides the per-sample time budget.
+    pub fn sample_time(mut self, target: Duration) -> Group {
+        self.target = target;
+        self
+    }
+
+    /// Times `f`, prints one aligned result row, and returns the summary.
+    /// The closure's return value is consumed with [`std::hint::black_box`]
+    /// so the optimizer cannot elide the work.
+    pub fn bench<T>(&self, label: &str, mut f: impl FnMut() -> T) -> Measurement {
+        // Warm-up: one untimed call, then estimate a single iteration.
+        std::hint::black_box(f());
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut per_iter: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(f());
+                }
+                t.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let m = Measurement {
+            min_ns: per_iter[0],
+            median_ns: per_iter[per_iter.len() / 2],
+            mean_ns: per_iter.iter().sum::<f64>() / per_iter.len() as f64,
+            iters_per_sample: iters,
+        };
+        println!(
+            "{:<44} median {:>12}  min {:>12}  mean {:>12}  ({} iters/sample)",
+            format!("{}/{}", self.name, label),
+            fmt_ns(m.median_ns),
+            fmt_ns(m.min_ns),
+            fmt_ns(m.mean_ns),
+            m.iters_per_sample
+        );
+        m
+    }
+}
+
+/// Human-readable duration from nanoseconds.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_something_positive() {
+        let group = Group::new("microbench-self-test")
+            .samples(3)
+            .sample_time(Duration::from_millis(2));
+        let m = group.bench("sum", || (0..1000u64).sum::<u64>());
+        assert!(m.min_ns > 0.0);
+        assert!(m.median_ns >= m.min_ns);
+        assert!(m.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn fmt_ns_picks_sane_units() {
+        assert!(fmt_ns(5.0).ends_with("ns"));
+        assert!(fmt_ns(5.0e3).ends_with("µs"));
+        assert!(fmt_ns(5.0e6).ends_with("ms"));
+        assert!(fmt_ns(5.0e9).ends_with("s"));
+    }
+}

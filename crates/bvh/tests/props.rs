@@ -1,34 +1,30 @@
 //! Property-based tests for BVH construction and memory layout.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
 use rt_bvh::{MemoryImage, PackOptions, WideBvh, WideNode, NODE_SIZE_BYTES, WIDE_ARITY};
 use rt_geometry::{Ray, Triangle, Vec3};
+use rt_rng::prop::forall;
+use rt_rng::{Rng, SmallRng};
 
-fn coord() -> impl Strategy<Value = f32> {
-    -50.0f32..50.0
+fn coord(rng: &mut SmallRng) -> f32 {
+    rng.gen_range(-50.0f32..50.0)
 }
 
-fn triangle() -> impl Strategy<Value = Triangle> {
-    (
-        coord(),
-        coord(),
-        coord(),
-        -2.0f32..2.0,
-        -2.0f32..2.0,
-        -2.0f32..2.0,
-        -2.0f32..2.0,
-        -2.0f32..2.0,
-        -2.0f32..2.0,
-    )
-        .prop_map(|(x, y, z, a, b, c, d, e, f)| {
-            let p = Vec3::new(x, y, z);
-            Triangle::new(p, p + Vec3::new(a, b, c), p + Vec3::new(d, e, f))
-        })
+fn triangle(rng: &mut SmallRng) -> Triangle {
+    let p = Vec3::new(coord(rng), coord(rng), coord(rng));
+    let mut edge = |rng: &mut SmallRng| {
+        Vec3::new(
+            rng.gen_range(-2.0f32..2.0),
+            rng.gen_range(-2.0f32..2.0),
+            rng.gen_range(-2.0f32..2.0),
+        )
+    };
+    let (a, b) = (edge(rng), edge(rng));
+    Triangle::new(p, p + a, p + b)
 }
 
-fn soup() -> impl Strategy<Value = Vec<Triangle>> {
-    vec(triangle(), 1..120)
+fn soup(rng: &mut SmallRng) -> Vec<Triangle> {
+    let n = rng.gen_range(1..120usize);
+    (0..n).map(|_| triangle(rng)).collect()
 }
 
 /// Walks the tree, checking reachability, arity, containment, and that
@@ -76,25 +72,32 @@ fn validate_structure(bvh: &WideBvh) -> Result<(), String> {
     Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn arbitrary_soups_build_valid_trees(tris in soup()) {
-        let bvh = WideBvh::build(tris);
+#[test]
+fn arbitrary_soups_build_valid_trees() {
+    forall("arbitrary_soups_build_valid_trees", 64, |rng| {
+        let bvh = WideBvh::build(soup(rng));
         if let Err(e) = validate_structure(&bvh) {
-            prop_assert!(false, "{}", e);
+            panic!("{e}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn bvh_intersect_matches_brute_force(
-        tris in soup(),
-        ox in coord(), oy in coord(), oz in coord(),
-        dx in -1.0f32..1.0, dy in -1.0f32..1.0, dz in -1.0f32..1.0,
-    ) {
-        prop_assume!(dx.abs() + dy.abs() + dz.abs() > 0.1);
-        let ray = Ray::new(Vec3::new(ox, oy, oz), Vec3::new(dx, dy, dz));
+#[test]
+fn bvh_intersect_matches_brute_force() {
+    forall("bvh_intersect_matches_brute_force", 64, |rng| {
+        let tris = soup(rng);
+        let o = Vec3::new(coord(rng), coord(rng), coord(rng));
+        let dir = loop {
+            let d = Vec3::new(
+                rng.gen_range(-1.0f32..1.0),
+                rng.gen_range(-1.0f32..1.0),
+                rng.gen_range(-1.0f32..1.0),
+            );
+            if d.x.abs() + d.y.abs() + d.z.abs() > 0.1 {
+                break d;
+            }
+        };
+        let ray = Ray::new(o, dir);
         let brute = tris
             .iter()
             .filter_map(|t| t.intersect(&ray))
@@ -102,33 +105,42 @@ proptest! {
         let bvh = WideBvh::build(tris);
         let hit = bvh.intersect(&ray);
         if brute.is_finite() {
-            prop_assert!(hit.is_hit(), "bvh missed a brute-force hit at t={brute}");
-            prop_assert!((hit.t - brute).abs() < 1e-3 * brute.max(1.0),
-                "bvh t={} brute t={}", hit.t, brute);
+            assert!(hit.is_hit(), "bvh missed a brute-force hit at t={brute}");
+            assert!(
+                (hit.t - brute).abs() < 1e-3 * brute.max(1.0),
+                "bvh t={} brute t={}",
+                hit.t,
+                brute
+            );
         } else {
-            prop_assert!(!hit.is_hit(), "bvh found a phantom hit at t={}", hit.t);
+            assert!(!hit.is_hit(), "bvh found a phantom hit at t={}", hit.t);
         }
-    }
+    });
+}
 
-    #[test]
-    fn depth_first_layout_is_compact_and_unique(tris in soup()) {
-        let bvh = WideBvh::build(tris);
+#[test]
+fn depth_first_layout_is_compact_and_unique() {
+    forall("depth_first_layout_is_compact_and_unique", 64, |rng| {
+        let bvh = WideBvh::build(soup(rng));
         let image = MemoryImage::depth_first(&bvh);
-        let mut addrs: Vec<u64> =
-            (0..bvh.node_count() as u32).map(|n| image.node_addr(n)).collect();
+        let mut addrs: Vec<u64> = (0..bvh.node_count() as u32)
+            .map(|n| image.node_addr(n))
+            .collect();
         addrs.sort_unstable();
         for (i, w) in addrs.windows(2).enumerate() {
-            prop_assert!(w[0] != w[1], "duplicate address for node pair at {i}");
+            assert!(w[0] != w[1], "duplicate address for node pair at {i}");
         }
-        prop_assert_eq!(
+        assert_eq!(
             addrs[addrs.len() - 1] - addrs[0],
             (bvh.node_count() as u64 - 1) * NODE_SIZE_BYTES
         );
-    }
+    });
+}
 
-    #[test]
-    fn treelet_packed_layout_keeps_groups_in_slots(tris in soup()) {
-        let bvh = WideBvh::build(tris);
+#[test]
+fn treelet_packed_layout_keeps_groups_in_slots() {
+    forall("treelet_packed_layout_keeps_groups_in_slots", 64, |rng| {
+        let bvh = WideBvh::build(soup(rng));
         // Trivial chunked grouping is enough to exercise the layout.
         let groups: Vec<Vec<u32>> = (0..bvh.node_count() as u32)
             .collect::<Vec<_>>()
@@ -138,21 +150,23 @@ proptest! {
         let image = MemoryImage::treelet_packed(&bvh, &groups, PackOptions::paper_default());
         for (g, members) in groups.iter().enumerate() {
             let (base, bytes) = image.group_extent(g as u32);
-            prop_assert_eq!(bytes, members.len() as u64 * NODE_SIZE_BYTES);
+            assert_eq!(bytes, members.len() as u64 * NODE_SIZE_BYTES);
             for &m in members {
                 let a = image.node_addr(m);
-                prop_assert!(a >= base && a < base + bytes);
+                assert!(a >= base && a < base + bytes);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn leaf_capacity_is_always_respected(tris in soup()) {
-        let bvh = rt_bvh::WideBvhBuilder::new().max_leaf_tris(3).build(tris);
+#[test]
+fn leaf_capacity_is_always_respected() {
+    forall("leaf_capacity_is_always_respected", 64, |rng| {
+        let bvh = rt_bvh::WideBvhBuilder::new().max_leaf_tris(3).build(soup(rng));
         for node in bvh.nodes() {
             if let WideNode::Leaf { count, .. } = node {
-                prop_assert!(*count <= 3);
+                assert!(*count <= 3);
             }
         }
-    }
+    });
 }

@@ -1,5 +1,6 @@
 //! Simulation configuration (the paper's Table 1 plus the treelet knobs).
 
+use crate::error::ConfigError;
 use crate::prefetch::{MappingMode, PrefetchHeuristic, VoterKind};
 use crate::traversal::{TraversalAlgorithm, TraversalOptions};
 use crate::treelet::{FormationPolicy, DEFAULT_TREELET_BYTES};
@@ -219,6 +220,12 @@ pub struct SimConfig {
     pub prefetch_queue_capacity: usize,
     /// Hard cycle limit (deadlock guard).
     pub max_cycles: u64,
+    /// Forward-progress watchdog window, cycles: if no ray retires and no
+    /// memory response drains for this many consecutive cycles (and no
+    /// future work is scheduled), the run aborts with
+    /// [`SimError::NoForwardProgress`](crate::SimError::NoForwardProgress)
+    /// instead of spinning until `max_cycles`.
+    pub progress_window: u64,
 }
 
 impl SimConfig {
@@ -246,6 +253,7 @@ impl SimConfig {
             shader: None,
             prefetch_queue_capacity: 64,
             max_cycles: 200_000_000,
+            progress_window: 1_000_000,
         }
     }
 
@@ -316,24 +324,27 @@ impl SimConfig {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first inconsistency found: zero-sized
-    /// structures, or a prefetcher mapping mode incompatible with the
-    /// memory layout.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first inconsistency found: zero-sized structures, a
+    /// treelet budget below one node, a prefetcher mapping mode
+    /// incompatible with the memory layout, or a zero watchdog window.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.num_sms == 0 || self.warp_size == 0 || self.warp_buffer_size == 0 {
-            return Err("SM count, warp size, and warp buffer must be nonzero".into());
+            return Err(ConfigError::ZeroSizedStructure);
         }
         if self.treelet_bytes < 64 {
-            return Err("treelet byte budget must hold at least one node".into());
+            return Err(ConfigError::TreeletBudgetTooSmall {
+                bytes: self.treelet_bytes,
+            });
+        }
+        if self.progress_window == 0 {
+            return Err(ConfigError::ZeroProgressWindow);
         }
         if let PrefetchConfig::Treelet { mapping, .. } = self.prefetch {
             match (mapping, self.layout) {
                 (MappingMode::Packed, LayoutChoice::TreeletPacked { .. }) => {}
                 (MappingMode::LooseWait | MappingMode::StrictWait, LayoutChoice::MappingTable) => {}
-                (m, l) => {
-                    return Err(format!(
-                        "mapping mode {m:?} is incompatible with layout {l}"
-                    ))
+                (mapping, layout) => {
+                    return Err(ConfigError::IncompatibleMapping { mapping, layout })
                 }
             }
         }
@@ -421,5 +432,33 @@ mod tests {
         let mut c = SimConfig::paper_baseline();
         c.treelet_bytes = 32;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_errors_are_typed() {
+        let mut c = SimConfig::paper_baseline();
+        c.num_sms = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroSizedStructure));
+
+        let mut c = SimConfig::paper_baseline();
+        c.treelet_bytes = 32;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::TreeletBudgetTooSmall { bytes: 32 })
+        );
+
+        let mut c = SimConfig::paper_baseline();
+        c.progress_window = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroProgressWindow));
+
+        let mut c = SimConfig::paper_treelet_prefetch();
+        c.layout = LayoutChoice::DepthFirst;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::IncompatibleMapping {
+                mapping: MappingMode::Packed,
+                layout: LayoutChoice::DepthFirst,
+            })
+        ));
     }
 }

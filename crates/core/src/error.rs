@@ -1,0 +1,272 @@
+//! Typed simulation errors.
+//!
+//! Every way a simulation can refuse to run or fail to make progress is
+//! enumerated here, so callers (the CLI, the `Bench` sweep harness,
+//! scripted experiments) can react per cause instead of parsing panic
+//! strings. The legacy [`simulate`](crate::simulate) entry points remain
+//! panicking wrappers whose messages are these errors' `Display` output.
+
+use crate::config::LayoutChoice;
+use crate::prefetch::MappingMode;
+use crate::trace_io::ParseTraceError;
+use rt_gpu_sim::RequestId;
+use std::fmt;
+
+/// A [`SimConfig`](crate::SimConfig) inconsistency found by
+/// [`SimConfig::validate`](crate::SimConfig::validate).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// SM count, warp size, or warp-buffer size is zero.
+    ZeroSizedStructure,
+    /// The treelet byte budget cannot hold even one 64-byte node.
+    TreeletBudgetTooSmall {
+        /// The rejected budget.
+        bytes: u64,
+    },
+    /// The prefetcher's mapping mode does not match the memory layout.
+    IncompatibleMapping {
+        /// Configured mapping mode.
+        mapping: MappingMode,
+        /// Configured memory layout.
+        layout: LayoutChoice,
+    },
+    /// The forward-progress watchdog window is zero.
+    ZeroProgressWindow,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroSizedStructure => {
+                write!(f, "SM count, warp size, and warp buffer must be nonzero")
+            }
+            ConfigError::TreeletBudgetTooSmall { bytes } => {
+                write!(
+                    f,
+                    "treelet byte budget must hold at least one node (got {bytes} bytes)"
+                )
+            }
+            ConfigError::IncompatibleMapping { mapping, layout } => {
+                write!(f, "mapping mode {mapping:?} is incompatible with layout {layout}")
+            }
+            ConfigError::ZeroProgressWindow => {
+                write!(f, "progress window must be nonzero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Diagnostic snapshot of the RT unit and memory hierarchy, captured when
+/// the watchdog aborts a run.
+///
+/// Everything a post-mortem needs to tell a deadlock from a livelock from
+/// a too-small cycle budget: which warp-buffer slots were occupied, which
+/// memory requests were still outstanding, and how deep the queues were.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgressSnapshot {
+    /// Core cycle at which the run was aborted.
+    pub cycle: u64,
+    /// Rays that had not yet retired.
+    pub rays_remaining: usize,
+    /// Occupied warp-buffer slots per SM.
+    pub warp_buffer_occupancy: Vec<usize>,
+    /// Memory requests in flight anywhere in the hierarchy.
+    pub outstanding_requests: usize,
+    /// The oldest outstanding request ids (truncated to a handful).
+    pub outstanding_request_ids: Vec<RequestId>,
+    /// Entries queued at the L2 partitions.
+    pub l2_queue_depth: usize,
+    /// Lines in flight at DRAM.
+    pub dram_in_flight: usize,
+    /// Treelet-prefetch queue depth per SM (empty when no prefetcher).
+    pub prefetch_queue_depths: Vec<usize>,
+}
+
+impl fmt::Display for ProgressSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cycle {}: {} rays remaining, warp slots {:?}, \
+             {} outstanding requests (ids {:?}), l2 queue {}, dram in flight {}",
+            self.cycle,
+            self.rays_remaining,
+            self.warp_buffer_occupancy,
+            self.outstanding_requests,
+            self.outstanding_request_ids,
+            self.l2_queue_depth,
+            self.dram_in_flight,
+        )?;
+        if self.prefetch_queue_depths.iter().any(|&d| d > 0) {
+            write!(f, ", prefetch queues {:?}", self.prefetch_queue_depths)?;
+        }
+        Ok(())
+    }
+}
+
+/// Why a simulation could not produce a result.
+///
+/// Returned by [`try_simulate`](crate::try_simulate) and friends; the
+/// panicking [`simulate`](crate::simulate) wrappers panic with the
+/// `Display` form.
+#[derive(Debug)]
+pub enum SimError {
+    /// The configuration failed validation.
+    Config(ConfigError),
+    /// A required input collection was empty (`what` names it: "ray",
+    /// "batch").
+    EmptyInput {
+        /// The empty input's name.
+        what: &'static str,
+    },
+    /// The supplied treelet assignment does not cover the BVH's nodes.
+    TreeletCoverage {
+        /// Nodes in the BVH.
+        nodes: usize,
+        /// Nodes the assignment covers.
+        assigned: usize,
+    },
+    /// The run exceeded the configured hard cycle budget.
+    CycleLimitExceeded {
+        /// The configured `max_cycles`.
+        limit: u64,
+        /// State at abort.
+        snapshot: ProgressSnapshot,
+    },
+    /// The watchdog saw no ray retire and no memory response drain for a
+    /// full window with no future work scheduled — a livelock.
+    NoForwardProgress {
+        /// The configured `progress_window`.
+        window: u64,
+        /// State at abort.
+        snapshot: ProgressSnapshot,
+    },
+    /// A trace file failed to load or parse.
+    Trace(ParseTraceError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The wording of the first three arms is load-bearing: the
+        // panicking `simulate` wrappers surface these strings, and
+        // long-standing callers match on the substrings.
+        match self {
+            SimError::Config(e) => write!(f, "invalid simulation config: {e}"),
+            SimError::EmptyInput { what } => write!(f, "need at least one {what}"),
+            SimError::TreeletCoverage { nodes, assigned } => write!(
+                f,
+                "treelet assignment does not cover the BVH \
+                 ({assigned} of {nodes} nodes assigned)"
+            ),
+            SimError::CycleLimitExceeded { limit, snapshot } => write!(
+                f,
+                "simulation exceeded {limit} cycles — deadlock? ({snapshot})"
+            ),
+            SimError::NoForwardProgress { window, snapshot } => write!(
+                f,
+                "no forward progress for {window} cycles — livelock? ({snapshot})"
+            ),
+            SimError::Trace(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Config(e) => Some(e),
+            SimError::Trace(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+impl From<ParseTraceError> for SimError {
+    fn from(e: ParseTraceError) -> Self {
+        SimError::Trace(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot() -> ProgressSnapshot {
+        ProgressSnapshot {
+            cycle: 1234,
+            rays_remaining: 7,
+            warp_buffer_occupancy: vec![2, 0],
+            outstanding_requests: 3,
+            outstanding_request_ids: vec![10, 11, 12],
+            l2_queue_depth: 1,
+            dram_in_flight: 0,
+            prefetch_queue_depths: vec![4, 0],
+        }
+    }
+
+    #[test]
+    fn display_preserves_legacy_panic_substrings() {
+        let config = SimError::Config(ConfigError::ZeroSizedStructure);
+        assert!(config.to_string().contains("invalid simulation config"));
+        assert!(SimError::EmptyInput { what: "ray" }
+            .to_string()
+            .contains("need at least one ray"));
+        assert!(SimError::EmptyInput { what: "batch" }
+            .to_string()
+            .contains("need at least one batch"));
+        let coverage = SimError::TreeletCoverage {
+            nodes: 10,
+            assigned: 4,
+        };
+        assert!(coverage
+            .to_string()
+            .contains("treelet assignment does not cover the BVH"));
+    }
+
+    #[test]
+    fn watchdog_errors_carry_their_snapshots() {
+        let e = SimError::NoForwardProgress {
+            window: 5000,
+            snapshot: snapshot(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("livelock"));
+        assert!(text.contains("7 rays remaining"));
+        assert!(text.contains("prefetch queues"));
+        let e = SimError::CycleLimitExceeded {
+            limit: 99,
+            snapshot: snapshot(),
+        };
+        assert!(e.to_string().contains("exceeded 99 cycles"));
+    }
+
+    #[test]
+    fn sources_chain_to_the_cause() {
+        use std::error::Error;
+        let e = SimError::from(ConfigError::ZeroProgressWindow);
+        assert!(e.source().is_some());
+        let e = SimError::from(ParseTraceError::Malformed {
+            line: 3,
+            message: "bad".into(),
+        });
+        assert!(e.to_string().contains("line 3"));
+        assert!(e.source().is_some());
+        assert!(SimError::EmptyInput { what: "ray" }.source().is_none());
+    }
+
+    #[test]
+    fn config_error_messages_name_the_fields() {
+        let e = ConfigError::TreeletBudgetTooSmall { bytes: 32 };
+        assert!(e.to_string().contains("32 bytes"));
+        assert!(ConfigError::ZeroProgressWindow
+            .to_string()
+            .contains("progress window"));
+    }
+}

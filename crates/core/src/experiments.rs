@@ -74,8 +74,20 @@ impl Bench {
     }
 
     /// Runs the simulation under `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`SimError`](crate::SimError) message on any
+    /// failure; use [`Bench::try_run`] to handle failures per cause.
     pub fn run(&self, config: &SimConfig) -> SimResult {
         simulate(&self.bvh, &self.rays, config)
+    }
+
+    /// Runs the simulation under `config`, returning a typed error
+    /// instead of panicking on invalid configs, watchdog aborts, or
+    /// uncovered BVHs.
+    pub fn try_run(&self, config: &SimConfig) -> Result<SimResult, crate::SimError> {
+        crate::try_simulate(&self.bvh, &self.rays, config)
     }
 }
 

@@ -43,6 +43,7 @@
 #![warn(missing_debug_implementations)]
 
 mod config;
+mod error;
 mod experiments;
 mod ghb;
 mod metrics;
@@ -58,6 +59,7 @@ mod workloads;
 pub use config::{
     LayoutChoice, PrefetchConfig, PrefetchDestination, SchedulerPolicy, ShaderProgram, SimConfig,
 };
+pub use error::{ConfigError, ProgressSnapshot, SimError};
 pub use experiments::{geometric_mean, Bench, DEFAULT_DETAIL};
 pub use ghb::{GhbPrefetcher, GhbStats};
 pub use metrics::TreeletMetrics;
@@ -67,7 +69,10 @@ pub use prefetch::{
     full_vote, full_vote_counts, pseudo_vote, pseudo_vote_counts, MappingMode, PrefetchEntry,
     PrefetchHeuristic, PrefetcherStats, TreeletPrefetcher, Vote, VoterAreaModel, VoterKind,
 };
-pub use sim::{simulate, simulate_batches, simulate_with_treelets, SimResult};
+pub use sim::{
+    simulate, simulate_batches, simulate_with_treelets, try_simulate, try_simulate_batches,
+    try_simulate_with_treelets, SimResult,
+};
 pub use trace_io::{read_traces, write_traces, ParseTraceError};
 pub use traversal::{
     compile_trace, trace_ray, trace_ray_with, CompiledStep, RayTrace, TraceStep,

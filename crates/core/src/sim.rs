@@ -7,6 +7,7 @@
 //! and prefetch queue — on top of the `rt-gpu-sim` memory hierarchy.
 
 use crate::config::{LayoutChoice, PrefetchConfig, SchedulerPolicy, SimConfig};
+use crate::error::{ProgressSnapshot, SimError};
 use crate::ghb::{GhbPrefetcher, GhbStats};
 use crate::mta::{MtaPrefetcher, MtaStats};
 use crate::power::{ActivityCounts, EnergyModel, PowerReport};
@@ -96,12 +97,31 @@ impl SimResult {
 ///
 /// # Panics
 ///
-/// Panics if the configuration is invalid (see [`SimConfig::validate`]),
-/// `rays` is empty, or the simulation exceeds `config.max_cycles`
-/// (a deadlock guard).
+/// Panics with the [`SimError`] message if [`try_simulate`] would return
+/// an error. Callers that want to handle failures should use
+/// [`try_simulate`] directly.
 pub fn simulate(bvh: &WideBvh, rays: &[Ray], config: &SimConfig) -> SimResult {
+    match try_simulate(bvh, rays, config) {
+        Ok(result) => result,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`simulate`]: never panics on bad input or a stuck
+/// run.
+///
+/// # Errors
+///
+/// - [`SimError::Config`] if the configuration fails validation,
+/// - [`SimError::EmptyInput`] if `rays` is empty,
+/// - [`SimError::CycleLimitExceeded`] if the run outlives
+///   `config.max_cycles`,
+/// - [`SimError::NoForwardProgress`] if nothing retires, drains, or is
+///   scheduled for a full `config.progress_window` (a livelock, e.g.
+///   under fault injection).
+pub fn try_simulate(bvh: &WideBvh, rays: &[Ray], config: &SimConfig) -> Result<SimResult, SimError> {
     let treelets = TreeletAssignment::form_with_policy(bvh, config.treelet_bytes, config.formation);
-    simulate_with_treelets(bvh, rays, config, &treelets)
+    try_simulate_with_treelets(bvh, rays, config, &treelets)
 }
 
 /// Like [`simulate`], but with an externally supplied treelet assignment
@@ -112,16 +132,35 @@ pub fn simulate(bvh: &WideBvh, rays: &[Ray], config: &SimConfig) -> SimResult {
 ///
 /// # Panics
 ///
-/// Panics under the same conditions as [`simulate`], or if `treelets`
-/// does not cover `bvh`'s nodes.
+/// Panics with the [`SimError`] message if
+/// [`try_simulate_with_treelets`] would return an error.
 pub fn simulate_with_treelets(
     bvh: &WideBvh,
     rays: &[Ray],
     config: &SimConfig,
     treelets: &TreeletAssignment,
 ) -> SimResult {
+    match try_simulate_with_treelets(bvh, rays, config, treelets) {
+        Ok(result) => result,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`simulate_with_treelets`].
+///
+/// # Errors
+///
+/// As [`try_simulate`], plus [`SimError::TreeletCoverage`] if `treelets`
+/// does not cover `bvh`'s nodes.
+pub fn try_simulate_with_treelets(
+    bvh: &WideBvh,
+    rays: &[Ray],
+    config: &SimConfig,
+    treelets: &TreeletAssignment,
+) -> Result<SimResult, SimError> {
+    config.validate()?;
     let mem = MemorySystem::new(config.mem, config.num_sms);
-    run_engine(bvh, rays, config, treelets, mem, true).0
+    try_run_engine(bvh, rays, config, treelets, mem, true).map(|(result, _)| result)
 }
 
 /// Runs `batches` of rays sequentially through **one** memory hierarchy —
@@ -133,45 +172,69 @@ pub fn simulate_with_treelets(
 ///
 /// # Panics
 ///
-/// Panics under the same conditions as [`simulate`], or if `batches` is
-/// empty.
+/// Panics with the [`SimError`] message if [`try_simulate_batches`]
+/// would return an error.
 pub fn simulate_batches(bvh: &WideBvh, batches: &[Vec<Ray>], config: &SimConfig) -> Vec<SimResult> {
-    assert!(!batches.is_empty(), "need at least one batch");
+    match try_simulate_batches(bvh, batches, config) {
+        Ok(results) => results,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`simulate_batches`].
+///
+/// # Errors
+///
+/// As [`try_simulate`], plus [`SimError::EmptyInput`] if `batches` is
+/// empty. A failing batch aborts the session; earlier batches' results
+/// are discarded.
+pub fn try_simulate_batches(
+    bvh: &WideBvh,
+    batches: &[Vec<Ray>],
+    config: &SimConfig,
+) -> Result<Vec<SimResult>, SimError> {
+    if batches.is_empty() {
+        return Err(SimError::EmptyInput { what: "batch" });
+    }
+    config.validate()?;
     let treelets = TreeletAssignment::form_with_policy(bvh, config.treelet_bytes, config.formation);
     let mut mem = Some(MemorySystem::new(config.mem, config.num_sms));
     let mut results = Vec::with_capacity(batches.len());
     for (i, batch) in batches.iter().enumerate() {
         let finalize = i + 1 == batches.len();
-        let (result, returned) = run_engine(
+        let (result, returned) = try_run_engine(
             bvh,
             batch,
             config,
             &treelets,
             mem.take().expect("memory system threaded through batches"),
             finalize,
-        );
+        )?;
         mem = Some(returned);
         results.push(result);
     }
-    results
+    Ok(results)
 }
 
-fn run_engine(
+fn try_run_engine(
     bvh: &WideBvh,
     rays: &[Ray],
     config: &SimConfig,
     treelets: &TreeletAssignment,
     mem: MemorySystem,
     finalize: bool,
-) -> (SimResult, MemorySystem) {
-    if let Err(e) = config.validate() {
-        panic!("invalid simulation config: {e}");
+) -> Result<(SimResult, MemorySystem), SimError> {
+    config.validate()?;
+    if rays.is_empty() {
+        return Err(SimError::EmptyInput { what: "ray" });
     }
-    assert!(!rays.is_empty(), "need at least one ray");
-    assert!(
-        bvh.node_count() == treelets.as_slices().iter().map(Vec::len).sum::<usize>(),
-        "treelet assignment does not cover the BVH"
-    );
+    let assigned = treelets.as_slices().iter().map(Vec::len).sum::<usize>();
+    if bvh.node_count() != assigned {
+        return Err(SimError::TreeletCoverage {
+            nodes: bvh.node_count(),
+            assigned,
+        });
+    }
 
     let image = match config.layout {
         LayoutChoice::DepthFirst => MemoryImage::depth_first(bvh),
@@ -267,8 +330,18 @@ fn run_engine(
 
     let start_cycle = mem.cycle();
     let mut engine = Engine::new(config, &compiled, treelets, treelet_lines, meta_lines, mem);
-    let end_cycle = engine.run(config.max_cycles);
+    let end_cycle = engine.run()?;
     let cycles = end_cycle - start_cycle;
+    // Always-on-in-debug memory audit: every request the engine issued
+    // must have been answered exactly once (fault injection legitimately
+    // breaks the books by dropping responses).
+    if config.mem.fault_injection.is_none() {
+        let audit = engine.mem.audit();
+        debug_assert!(
+            audit.double_completions == 0 && audit.dropped_responses == 0,
+            "memory-system audit failed: {audit:?}"
+        );
+    }
 
     let l1 = engine.mem.l1_stats_total();
     let l2 = engine.mem.l2_stats();
@@ -387,7 +460,7 @@ fn run_engine(
                 / (cycles as f64 * (config.num_sms * config.warp_buffer_size) as f64)
         },
     };
-    (result, engine.mem)
+    Ok((result, engine.mem))
 }
 
 /// One traversal step as the timing model replays it: the node's
@@ -508,6 +581,10 @@ struct Engine<'a> {
     occupied_slots: usize,
     /// Sum over cycles of occupied slots, for the occupancy stat.
     occupancy_integral: u64,
+    /// Set whenever the current cycle did observable work (a warp
+    /// entered, a response drained, a test finished, a line issued, a
+    /// shader op ran); the watchdog clears and checks it every cycle.
+    progress: bool,
 }
 
 impl std::fmt::Debug for Engine<'_> {
@@ -704,6 +781,7 @@ impl<'a> Engine<'a> {
             rt_live_lanes: 0,
             occupied_slots: 0,
             occupancy_integral: 0,
+            progress: false,
         }
     }
 
@@ -718,6 +796,10 @@ impl<'a> Engine<'a> {
     /// Advances the SM's shader issue port by one operation; completed
     /// jobs release their warp's next `traceRay`.
     fn run_shader_port(&mut self, sm: usize, now: u64) {
+        if self.sms[sm].shader_runqueue.is_empty() {
+            return;
+        }
+        self.progress = true;
         let state = &mut self.sms[sm];
         let Some(job) = state.shader_runqueue.front_mut() else {
             return;
@@ -769,20 +851,71 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn run(&mut self, max_cycles: u64) -> u64 {
+    /// Advances the engine until every ray retires, watching both the
+    /// hard cycle budget and forward progress.
+    fn run(&mut self) -> Result<u64, SimError> {
+        let max_cycles = self.config.max_cycles;
+        let window = self.config.progress_window;
+        let mut last_progress = self.mem.cycle();
         while self.remaining > 0 {
+            self.progress = false;
             for sm in 0..self.config.num_sms {
                 self.step_sm(sm);
             }
             self.occupancy_integral += self.occupied_slots as u64;
             self.mem.tick();
-            assert!(
-                self.mem.cycle() < max_cycles,
-                "simulation exceeded {max_cycles} cycles with {} rays outstanding — deadlock?",
-                self.remaining
-            );
+            let now = self.mem.cycle();
+            if self.progress || self.scheduled_work_pending(now) {
+                last_progress = now;
+            } else if now - last_progress >= window {
+                return Err(SimError::NoForwardProgress {
+                    window,
+                    snapshot: self.snapshot(now),
+                });
+            }
+            if now >= max_cycles {
+                return Err(SimError::CycleLimitExceeded {
+                    limit: max_cycles,
+                    snapshot: self.snapshot(now),
+                });
+            }
         }
-        self.mem.cycle()
+        Ok(self.mem.cycle())
+    }
+
+    /// `true` when some SM holds time-scheduled future work: a pending
+    /// warp whose raygen stagger has not elapsed, or an operation-unit
+    /// test still counting down. Such cycles are legitimately idle (the
+    /// `raygen_interval` knob can park a warp arbitrarily long), so the
+    /// watchdog must not treat them as a stall.
+    fn scheduled_work_pending(&self, now: u64) -> bool {
+        self.sms.iter().any(|s| {
+            !s.test_heap.is_empty() || s.warp_queue.iter().any(|w| w.ready_at > now)
+        })
+    }
+
+    /// Captures the diagnostic state the watchdog errors report.
+    fn snapshot(&self, now: u64) -> ProgressSnapshot {
+        let mut ids = self.mem.outstanding_request_ids();
+        ids.truncate(8);
+        ProgressSnapshot {
+            cycle: now,
+            rays_remaining: self.remaining,
+            warp_buffer_occupancy: self
+                .sms
+                .iter()
+                .map(|s| s.slots.iter().filter(|slot| slot.is_some()).count())
+                .collect(),
+            outstanding_requests: self.mem.outstanding_requests(),
+            outstanding_request_ids: ids,
+            l2_queue_depth: self.mem.l2_queue_depth(),
+            dram_in_flight: self.mem.dram().in_flight(),
+            prefetch_queue_depths: self
+                .sms
+                .iter()
+                .map(|s| s.prefetcher.as_ref().map_or(0, TreeletPrefetcher::queue_len))
+                .collect(),
+        }
     }
 
     fn step_sm(&mut self, sm: usize) {
@@ -792,6 +925,9 @@ impl<'a> Engine<'a> {
         self.drain_completions(sm, now);
         self.finish_tests(sm, now);
         let issued_demand = self.schedule_demand(sm, now);
+        if issued_demand {
+            self.progress = true;
+        }
         self.run_prefetcher(sm, now, issued_demand);
     }
 
@@ -809,6 +945,7 @@ impl<'a> Engine<'a> {
             let Some(pending) = state.warp_queue.pop_front() else {
                 break;
             };
+            self.progress = true;
             let mut slot = WarpSlot {
                 arrival: now,
                 rays: pending.rays,
@@ -847,6 +984,7 @@ impl<'a> Engine<'a> {
 
     fn drain_completions(&mut self, sm: usize, now: u64) {
         for req in self.mem.drain_completed(sm) {
+            self.progress = true;
             let Some(owner) = self.sms[sm].req_map.remove(&req) else {
                 continue;
             };
@@ -885,6 +1023,7 @@ impl<'a> Engine<'a> {
     }
 
     fn advance_ray(&mut self, sm: usize, r: u32) {
+        self.progress = true;
         let ray = &mut self.rays[r as usize];
         let old_treelet = ray.current_treelet();
         ray.step += 1;
@@ -1492,5 +1631,136 @@ mod tests {
     fn empty_rays_panic() {
         let (bvh, _) = fixture();
         let _ = simulate(&bvh, &[], &SimConfig::paper_baseline());
+    }
+
+    #[test]
+    fn invalid_config_returns_typed_error() {
+        let (bvh, rays) = fixture();
+        let mut config = SimConfig::paper_treelet_prefetch();
+        config.layout = LayoutChoice::DepthFirst;
+        match try_simulate(&bvh, &rays, &config) {
+            Err(SimError::Config(crate::ConfigError::IncompatibleMapping { .. })) => {}
+            other => panic!("expected IncompatibleMapping, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_sms_is_an_error_not_a_panic() {
+        // Validation must run before the memory system is built, or the
+        // zero-SM assert inside MemorySystem::new fires first.
+        let (bvh, rays) = fixture();
+        let mut config = SimConfig::paper_baseline();
+        config.num_sms = 0;
+        assert!(matches!(
+            try_simulate(&bvh, &rays, &config),
+            Err(SimError::Config(crate::ConfigError::ZeroSizedStructure))
+        ));
+        assert!(matches!(
+            try_simulate_batches(&bvh, &[rays], &config),
+            Err(SimError::Config(crate::ConfigError::ZeroSizedStructure))
+        ));
+    }
+
+    #[test]
+    fn empty_inputs_return_typed_errors() {
+        let (bvh, _) = fixture();
+        assert!(matches!(
+            try_simulate(&bvh, &[], &SimConfig::paper_baseline()),
+            Err(SimError::EmptyInput { what: "ray" })
+        ));
+        assert!(matches!(
+            try_simulate_batches(&bvh, &[], &SimConfig::paper_baseline()),
+            Err(SimError::EmptyInput { what: "batch" })
+        ));
+    }
+
+    #[test]
+    fn mismatched_treelets_are_a_coverage_error() {
+        let (bvh, rays) = fixture();
+        let other_scene = Scene::build_with_detail(SceneId::Bunny, 0.3);
+        let other_bvh = WideBvh::build(other_scene.mesh.into_triangles());
+        let foreign = TreeletAssignment::form(&other_bvh, 512);
+        assert_ne!(bvh.node_count(), other_bvh.node_count());
+        match try_simulate_with_treelets(&bvh, &rays, &SimConfig::paper_baseline(), &foreign) {
+            Err(SimError::TreeletCoverage { nodes, assigned }) => {
+                assert_eq!(nodes, bvh.node_count());
+                assert_eq!(assigned, other_bvh.node_count());
+            }
+            other => panic!("expected TreeletCoverage, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cycle_limit_returns_error_with_snapshot() {
+        let (bvh, rays) = fixture();
+        let mut config = SimConfig::paper_baseline();
+        // Far too few cycles to finish; the default progress window is
+        // much larger, so the hard limit fires first.
+        config.max_cycles = 300;
+        match try_simulate(&bvh, &rays, &config) {
+            Err(SimError::CycleLimitExceeded { limit, snapshot }) => {
+                assert_eq!(limit, 300);
+                assert_eq!(snapshot.cycle, 300);
+                assert!(snapshot.rays_remaining > 0);
+                assert_eq!(snapshot.warp_buffer_occupancy.len(), config.num_sms);
+            }
+            other => panic!("expected CycleLimitExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dropped_dram_response_trips_the_watchdog() {
+        // Swallow the very first DRAM response: its waiters can never
+        // finish, and once every other ray retires nothing moves. The
+        // watchdog must convert that livelock into an error instead of
+        // spinning to max_cycles.
+        let (bvh, rays) = fixture();
+        let mut config = SimConfig::paper_baseline();
+        config.mem.fault_injection = Some(rt_gpu_sim::FaultInjection::drop_nth_dram_send(1, 0));
+        config.progress_window = 5_000;
+        match try_simulate(&bvh, &rays, &config) {
+            Err(SimError::NoForwardProgress { window, snapshot }) => {
+                assert_eq!(window, 5_000);
+                assert!(snapshot.rays_remaining > 0);
+                assert!(
+                    snapshot.outstanding_requests > 0,
+                    "the wedged request must appear in the snapshot"
+                );
+                assert!(!snapshot.outstanding_request_ids.is_empty());
+            }
+            other => panic!("expected NoForwardProgress, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn latency_faults_do_not_change_functional_results() {
+        let (bvh, rays) = fixture();
+        let clean = simulate(&bvh, &rays, &SimConfig::paper_treelet_prefetch());
+        let mut faulty_cfg = SimConfig::paper_treelet_prefetch();
+        faulty_cfg.mem.fault_injection = Some(rt_gpu_sim::FaultInjection::latency_storm(42));
+        let faulty = try_simulate(&bvh, &rays, &faulty_cfg).expect("latency faults must complete");
+        // Faults perturb timing only: identical traversal and demand
+        // traffic, at least as many cycles.
+        assert_eq!(faulty.traversal, clean.traversal);
+        assert_eq!(faulty.l1.demand_accesses(), clean.l1.demand_accesses());
+        assert!(faulty.cycles >= clean.cycles);
+        // The same seed reproduces the same faulty timing.
+        let again = try_simulate(&bvh, &rays, &faulty_cfg).unwrap();
+        assert_eq!(faulty.cycles, again.cycles);
+        assert_eq!(faulty.l1, again.l1);
+    }
+
+    #[test]
+    fn watchdog_tolerates_long_legitimate_stalls() {
+        // A raygen stagger far longer than the progress window parks the
+        // second warp for ages with nothing in flight; the watchdog must
+        // count that scheduled future work, not abort.
+        let (bvh, rays) = fixture();
+        let mut config = SimConfig::paper_baseline();
+        config.num_sms = 1;
+        config.raygen_interval = 50_000;
+        config.progress_window = 10_000;
+        let result = try_simulate(&bvh, &rays, &config).expect("staggered run must complete");
+        assert!(result.cycles > 50_000);
     }
 }

@@ -32,7 +32,7 @@ impl std::fmt::Display for TraversalAlgorithm {
 ///
 /// The defaults are the realistic configuration (ordered near-first child
 /// visits, early ray termination); each knob can be disabled to measure
-/// its contribution, as `DESIGN.md` §6 calls out.
+/// its contribution, as `DESIGN.md` §7 calls out.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraversalOptions {
     /// Visit intersected children nearest-first (RT cores sort children

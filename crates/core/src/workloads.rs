@@ -8,8 +8,7 @@
 //! of the shader-generated bounce rays a full Vulkan pipeline would
 //! produce.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rt_rng::{Rng, SmallRng};
 use rt_bvh::WideBvh;
 use rt_geometry::{Ray, Vec3};
 

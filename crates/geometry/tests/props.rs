@@ -1,104 +1,145 @@
 //! Property-based tests for the geometry primitives.
 
-use proptest::prelude::*;
 use rt_geometry::{Aabb, Ray, Triangle, Vec3};
+use rt_rng::prop::forall;
+use rt_rng::{Rng, SmallRng};
 
-fn finite_f32() -> impl Strategy<Value = f32> {
-    -100.0f32..100.0
+fn coord(rng: &mut SmallRng) -> f32 {
+    rng.gen_range(-100.0f32..100.0)
 }
 
-fn vec3() -> impl Strategy<Value = Vec3> {
-    (finite_f32(), finite_f32(), finite_f32()).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+fn vec3(rng: &mut SmallRng) -> Vec3 {
+    Vec3::new(coord(rng), coord(rng), coord(rng))
 }
 
-fn nonzero_vec3() -> impl Strategy<Value = Vec3> {
-    vec3().prop_filter("direction must be nonzero", |v| v.length_squared() > 1e-3)
-}
-
-proptest! {
-    #[test]
-    fn vec_addition_commutes(a in vec3(), b in vec3()) {
-        prop_assert_eq!(a + b, b + a);
+fn nonzero_vec3(rng: &mut SmallRng) -> Vec3 {
+    loop {
+        let v = vec3(rng);
+        if v.length_squared() > 1e-3 {
+            return v;
+        }
     }
+}
 
-    #[test]
-    fn dot_is_symmetric(a in vec3(), b in vec3()) {
-        prop_assert!((a.dot(b) - b.dot(a)).abs() < 1e-3);
+/// A triangle rejected until non-degenerate, so hit-based properties
+/// never divide by a near-zero normal.
+fn nondegenerate_triangle(rng: &mut SmallRng) -> Triangle {
+    loop {
+        let t = Triangle::new(vec3(rng), vec3(rng), vec3(rng));
+        if !t.is_degenerate() {
+            return t;
+        }
     }
+}
 
-    #[test]
-    fn cross_is_orthogonal(a in nonzero_vec3(), b in nonzero_vec3()) {
+#[test]
+fn vec_addition_commutes() {
+    forall("vec_addition_commutes", 256, |rng| {
+        let (a, b) = (vec3(rng), vec3(rng));
+        assert_eq!(a + b, b + a);
+    });
+}
+
+#[test]
+fn dot_is_symmetric() {
+    forall("dot_is_symmetric", 256, |rng| {
+        let (a, b) = (vec3(rng), vec3(rng));
+        assert!((a.dot(b) - b.dot(a)).abs() < 1e-3);
+    });
+}
+
+#[test]
+fn cross_is_orthogonal() {
+    forall("cross_is_orthogonal", 256, |rng| {
+        let (a, b) = (nonzero_vec3(rng), nonzero_vec3(rng));
         let c = a.cross(b);
         // Orthogonality tolerance scales with the magnitudes involved.
         let scale = a.length() * b.length() * (a.length() + b.length());
-        prop_assert!(c.dot(a).abs() <= scale * 1e-4 + 1e-3);
-        prop_assert!(c.dot(b).abs() <= scale * 1e-4 + 1e-3);
-    }
+        assert!(c.dot(a).abs() <= scale * 1e-4 + 1e-3);
+        assert!(c.dot(b).abs() <= scale * 1e-4 + 1e-3);
+    });
+}
 
-    #[test]
-    fn normalized_has_unit_length(v in nonzero_vec3()) {
-        prop_assert!((v.normalized().length() - 1.0).abs() < 1e-4);
-    }
+#[test]
+fn normalized_has_unit_length() {
+    forall("normalized_has_unit_length", 256, |rng| {
+        let v = nonzero_vec3(rng);
+        assert!((v.normalized().length() - 1.0).abs() < 1e-4);
+    });
+}
 
-    #[test]
-    fn min_max_bracket_lerp(a in vec3(), b in vec3(), t in 0.0f32..1.0) {
+#[test]
+fn min_max_bracket_lerp() {
+    forall("min_max_bracket_lerp", 256, |rng| {
+        let (a, b) = (vec3(rng), vec3(rng));
+        let t = rng.gen_range(0.0f32..1.0);
         let l = a.lerp(b, t);
         let lo = a.min(b);
         let hi = a.max(b);
         for axis in 0..3 {
-            prop_assert!(l[axis] >= lo[axis] - 1e-3);
-            prop_assert!(l[axis] <= hi[axis] + 1e-3);
+            assert!(l[axis] >= lo[axis] - 1e-3);
+            assert!(l[axis] <= hi[axis] + 1e-3);
         }
-    }
+    });
+}
 
-    #[test]
-    fn aabb_union_contains_both(
-        a0 in vec3(), a1 in vec3(), b0 in vec3(), b1 in vec3()
-    ) {
+#[test]
+fn aabb_union_contains_both() {
+    forall("aabb_union_contains_both", 256, |rng| {
+        let (a0, a1, b0, b1) = (vec3(rng), vec3(rng), vec3(rng), vec3(rng));
         let a = Aabb::new(a0.min(a1), a0.max(a1));
         let b = Aabb::new(b0.min(b1), b0.max(b1));
         let u = a.union(&b);
-        prop_assert!(u.contains_box(&a));
-        prop_assert!(u.contains_box(&b));
-    }
+        assert!(u.contains_box(&a));
+        assert!(u.contains_box(&b));
+    });
+}
 
-    #[test]
-    fn aabb_grow_point_contains(p in vec3(), q in vec3()) {
+#[test]
+fn aabb_grow_point_contains() {
+    forall("aabb_grow_point_contains", 256, |rng| {
+        let (p, q) = (vec3(rng), vec3(rng));
         let mut b = Aabb::from_point(p);
         b.grow_point(q);
-        prop_assert!(b.contains_point(p));
-        prop_assert!(b.contains_point(q));
-    }
+        assert!(b.contains_point(p));
+        assert!(b.contains_point(q));
+    });
+}
 
-    #[test]
-    fn ray_from_inside_box_always_hits(
-        c0 in vec3(), c1 in vec3(), dir in nonzero_vec3(), t in 0.05f32..0.95
-    ) {
+#[test]
+fn ray_from_inside_box_always_hits() {
+    forall("ray_from_inside_box_always_hits", 256, |rng| {
+        let (c0, c1) = (vec3(rng), vec3(rng));
+        let dir = nonzero_vec3(rng);
+        let t = rng.gen_range(0.05f32..0.95);
         let b = Aabb::new(c0.min(c1) - Vec3::splat(0.5), c0.max(c1) + Vec3::splat(0.5));
         // A point strictly inside the (padded) box.
         let origin = b.min.lerp(b.max, t);
         let ray = Ray::with_interval(origin, dir, 0.0, f32::INFINITY);
-        prop_assert!(b.intersect(&ray, ray.inv_direction()).is_some());
-    }
+        assert!(b.intersect(&ray, ray.inv_direction()).is_some());
+    });
+}
 
-    #[test]
-    fn box_hit_entry_is_within_interval(
-        c0 in vec3(), c1 in vec3(), o in vec3(), dir in nonzero_vec3()
-    ) {
+#[test]
+fn box_hit_entry_is_within_interval() {
+    forall("box_hit_entry_is_within_interval", 256, |rng| {
+        let (c0, c1, o) = (vec3(rng), vec3(rng), vec3(rng));
+        let dir = nonzero_vec3(rng);
         let b = Aabb::new(c0.min(c1), c0.max(c1));
         let ray = Ray::new(o, dir);
         if let Some(t) = b.intersect(&ray, ray.inv_direction()) {
-            prop_assert!(t >= ray.t_min);
-            prop_assert!(t <= ray.t_max);
+            assert!(t >= ray.t_min);
+            assert!(t <= ray.t_max);
         }
-    }
+    });
+}
 
-    #[test]
-    fn triangle_hit_point_lies_in_plane(
-        v0 in vec3(), v1 in vec3(), v2 in vec3(), o in vec3(), dir in nonzero_vec3()
-    ) {
-        let tri = Triangle::new(v0, v1, v2);
-        prop_assume!(!tri.is_degenerate());
+#[test]
+fn triangle_hit_point_lies_in_plane() {
+    forall("triangle_hit_point_lies_in_plane", 256, |rng| {
+        let tri = nondegenerate_triangle(rng);
+        let o = vec3(rng);
+        let dir = nonzero_vec3(rng);
         let ray = Ray::new(o, dir);
         if let Some(t) = tri.intersect(&ray) {
             let p = ray.at(t);
@@ -106,16 +147,17 @@ proptest! {
             let d = n.dot(p - tri.v0).abs();
             // Plane distance tolerance scales with the geometry.
             let scale = (p - tri.v0).length().max(1.0);
-            prop_assert!(d < scale * 1e-2, "off-plane by {d}");
+            assert!(d < scale * 1e-2, "off-plane by {d}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn triangle_hit_inside_its_aabb(
-        v0 in vec3(), v1 in vec3(), v2 in vec3(), o in vec3(), dir in nonzero_vec3()
-    ) {
-        let tri = Triangle::new(v0, v1, v2);
-        prop_assume!(!tri.is_degenerate());
+#[test]
+fn triangle_hit_inside_its_aabb() {
+    forall("triangle_hit_inside_its_aabb", 256, |rng| {
+        let tri = nondegenerate_triangle(rng);
+        let o = vec3(rng);
+        let dir = nonzero_vec3(rng);
         let ray = Ray::new(o, dir);
         if let Some(t) = tri.intersect(&ray) {
             let p = ray.at(t);
@@ -124,25 +166,26 @@ proptest! {
             let pad = Vec3::splat(0.05 * (1.0 + p.length()));
             b.grow_point(b.min - pad);
             b.grow_point(b.max + pad);
-            prop_assert!(b.contains_point(p));
+            assert!(b.contains_point(p));
         }
-    }
+    });
+}
 
-    #[test]
-    fn shrinking_t_max_never_creates_hits(
-        v0 in vec3(), v1 in vec3(), v2 in vec3(), o in vec3(), dir in nonzero_vec3(),
-        cut in 0.0f32..1.0
-    ) {
-        let tri = Triangle::new(v0, v1, v2);
-        prop_assume!(!tri.is_degenerate());
+#[test]
+fn shrinking_t_max_never_creates_hits() {
+    forall("shrinking_t_max_never_creates_hits", 256, |rng| {
+        let tri = nondegenerate_triangle(rng);
+        let o = vec3(rng);
+        let dir = nonzero_vec3(rng);
+        let cut = rng.gen_range(0.0f32..1.0);
         let full = Ray::new(o, dir);
         let full_hit = tri.intersect(&full);
         let mut clipped = full;
         clipped.t_max = cut * 10.0;
         if let Some(t) = tri.intersect(&clipped) {
             // A hit in the clipped interval must also exist unclipped.
-            prop_assert!(full_hit.is_some());
-            prop_assert!((full_hit.unwrap() - t).abs() < 1e-4);
+            assert!(full_hit.is_some());
+            assert!((full_hit.unwrap() - t).abs() < 1e-4);
         }
-    }
+    });
 }

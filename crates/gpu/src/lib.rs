@@ -40,5 +40,6 @@ mod memsys;
 pub use cache::{Cache, CacheStats, FillOrigin, Organization, PrefetchEffect, ProbeOutcome};
 pub use dram::{Dram, DramConfig};
 pub use memsys::{
-    AccessKind, Issue, LatencyHistogram, MemConfig, MemStats, MemorySystem, RequestId,
+    AccessKind, AuditReport, FaultInjection, Issue, LatencyHistogram, MemConfig, MemStats,
+    MemorySystem, RequestId,
 };

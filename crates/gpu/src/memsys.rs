@@ -8,6 +8,7 @@
 
 use crate::cache::{Cache, CacheStats, FillOrigin, Organization, PrefetchEffect, ProbeOutcome};
 use crate::dram::{Dram, DramConfig};
+use rt_rng::{Rng, SmallRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
@@ -52,6 +53,93 @@ impl Issue {
     }
 }
 
+/// Deterministic, seeded fault injection for robustness testing.
+///
+/// Faults perturb *timing only*: latency spikes on the L1→L2 hop, delayed
+/// DRAM sends, and (for livelock testing) a swallowed DRAM response. The
+/// functional result of a simulation — which lines are fetched, what the
+/// traversal computes — is unchanged; only cycle counts move. All faults
+/// draw from one RNG seeded with `seed`, so a faulty run is exactly
+/// reproducible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultInjection {
+    /// Seed for the fault RNG.
+    pub seed: u64,
+    /// Probability that an L1-miss hop to the L2 suffers an extra delay.
+    pub spike_probability: f64,
+    /// Extra core cycles added when a spike fires.
+    pub spike_cycles: u64,
+    /// Probability that a DRAM send is deferred.
+    pub dram_delay_probability: f64,
+    /// Extra core cycles a deferred DRAM send waits before issuing.
+    pub dram_delay_cycles: u64,
+    /// Swallow the Nth (0-based) new DRAM send entirely: the line is
+    /// marked in flight but DRAM never answers, wedging every waiter —
+    /// a deterministic livelock for exercising the watchdog.
+    pub drop_dram_response: Option<u64>,
+}
+
+impl FaultInjection {
+    /// A storm of latency faults (no dropped responses): 20% of L2 hops
+    /// spike by 200 cycles, 10% of DRAM sends stall 400 cycles.
+    pub fn latency_storm(seed: u64) -> Self {
+        FaultInjection {
+            seed,
+            spike_probability: 0.2,
+            spike_cycles: 200,
+            dram_delay_probability: 0.1,
+            dram_delay_cycles: 400,
+            drop_dram_response: None,
+        }
+    }
+
+    /// No latency faults, but the `n`th new DRAM send is swallowed —
+    /// a guaranteed livelock once any ray needs that line.
+    pub fn drop_nth_dram_send(seed: u64, n: u64) -> Self {
+        FaultInjection {
+            seed,
+            spike_probability: 0.0,
+            spike_cycles: 0,
+            dram_delay_probability: 0.0,
+            dram_delay_cycles: 0,
+            drop_dram_response: Some(n),
+        }
+    }
+}
+
+/// Request-conservation audit of a [`MemorySystem`].
+///
+/// Every request id handed out by [`MemorySystem::access`] must receive
+/// exactly one completion. The system counts issues and completions as it
+/// runs (always, in every build); this report exposes the tallies so
+/// MSHR leaks (a request issued but never answered) and double responses
+/// show up as arithmetic instead of silent hangs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Request ids allocated.
+    pub issued: u64,
+    /// Completions delivered (including silently-completed L2 prefetches).
+    pub completed: u64,
+    /// Requests still in flight.
+    pub outstanding: usize,
+    /// Completions for a request that was already completed — always a
+    /// bug in the hierarchy.
+    pub double_completions: u64,
+    /// DRAM responses swallowed by fault injection.
+    pub dropped_responses: u64,
+}
+
+impl AuditReport {
+    /// `true` when the books balance: no double completions, no faulted
+    /// drops, and every issued request either completed or is still
+    /// legitimately in flight.
+    pub fn is_clean(&self) -> bool {
+        self.double_completions == 0
+            && self.dropped_responses == 0
+            && self.issued == self.completed + self.outstanding as u64
+    }
+}
+
 /// Memory hierarchy configuration (paper Table 1 defaults).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemConfig {
@@ -85,6 +173,8 @@ pub struct MemConfig {
     pub mem_clock_mhz: u64,
     /// DRAM parameters.
     pub dram: DramConfig,
+    /// Optional deterministic fault injection (None = faithful timing).
+    pub fault_injection: Option<FaultInjection>,
 }
 
 impl MemConfig {
@@ -105,6 +195,7 @@ impl MemConfig {
             core_clock_mhz: 1_365,
             mem_clock_mhz: 3_500,
             dram: DramConfig::paper_default(),
+            fault_injection: None,
         }
     }
 }
@@ -275,6 +366,16 @@ pub struct MemorySystem {
     meta: HashMap<RequestId, (AccessKind, u64)>,
     completed_out: Vec<Vec<RequestId>>,
     stats: MemStats,
+    /// Fault-injection RNG (present iff faults are configured).
+    fault_rng: Option<SmallRng>,
+    /// New DRAM sends so far (the drop fault's index space).
+    dram_sends: u64,
+    /// Completions delivered (audit).
+    audit_completed: u64,
+    /// Completions for already-completed requests (audit; always a bug).
+    audit_double_completions: u64,
+    /// DRAM responses swallowed by fault injection (audit).
+    audit_dropped: u64,
 }
 
 impl MemorySystem {
@@ -320,6 +421,13 @@ impl MemorySystem {
             meta: HashMap::new(),
             completed_out: vec![Vec::new(); num_sms],
             stats: MemStats::default(),
+            fault_rng: config
+                .fault_injection
+                .map(|f| SmallRng::seed_from_u64(f.seed)),
+            dram_sends: 0,
+            audit_completed: 0,
+            audit_double_completions: 0,
+            audit_dropped: 0,
         }
     }
 
@@ -378,8 +486,9 @@ impl MemorySystem {
             ProbeOutcome::Miss => {
                 let req = self.alloc_req(kind);
                 self.l1_waiters.entry((sm, line)).or_default().push(req);
+                let spike = self.fault_spike();
                 self.schedule(
-                    self.cycle + self.config.l1_latency,
+                    self.cycle + self.config.l1_latency + spike,
                     Event::L2Arrive {
                         who: L2Requester::Sm(sm),
                         line,
@@ -423,9 +532,43 @@ impl MemorySystem {
         );
         let req = self.alloc_req(AccessKind::Prefetch);
         // L2 prefetches complete silently; drop the metadata now so the
-        // request is not counted as outstanding.
+        // request is not counted as outstanding (for the audit, it
+        // completes the moment it is issued).
         self.meta.remove(&req);
+        self.audit_completed += 1;
         Issue::Pending(req)
+    }
+
+    /// Rolls the fault RNG for an L1→L2 latency spike.
+    fn fault_spike(&mut self) -> u64 {
+        let Some(f) = self.config.fault_injection else {
+            return 0;
+        };
+        if f.spike_probability <= 0.0 || f.spike_cycles == 0 {
+            return 0;
+        }
+        let rng = self.fault_rng.as_mut().expect("fault rng present");
+        if rng.gen_bool(f.spike_probability) {
+            f.spike_cycles
+        } else {
+            0
+        }
+    }
+
+    /// Rolls the fault RNG for a deferred DRAM send.
+    fn fault_dram_delay(&mut self) -> u64 {
+        let Some(f) = self.config.fault_injection else {
+            return 0;
+        };
+        if f.dram_delay_probability <= 0.0 || f.dram_delay_cycles == 0 {
+            return 0;
+        }
+        let rng = self.fault_rng.as_mut().expect("fault rng present");
+        if rng.gen_bool(f.dram_delay_probability) {
+            f.dram_delay_cycles
+        } else {
+            0
+        }
     }
 
     /// Advances the hierarchy by one core cycle.
@@ -518,9 +661,25 @@ impl MemorySystem {
                 }
             }
             Event::DramSend { line } => {
-                if self.dram_pending.insert(line, ()).is_none() {
-                    let mem_now = self.mem_cycles(self.cycle);
-                    self.dram.enqueue(line, line, mem_now);
+                let delay = self.fault_dram_delay();
+                if delay > 0 {
+                    self.schedule(self.cycle + delay, Event::DramSend { line });
+                } else if self.dram_pending.insert(line, ()).is_none() {
+                    let send_index = self.dram_sends;
+                    self.dram_sends += 1;
+                    let dropped = self
+                        .config
+                        .fault_injection
+                        .and_then(|f| f.drop_dram_response)
+                        .is_some_and(|n| n == send_index);
+                    if dropped {
+                        // The line stays marked in flight but DRAM never
+                        // answers: every waiter is wedged.
+                        self.audit_dropped += 1;
+                    } else {
+                        let mem_now = self.mem_cycles(self.cycle);
+                        self.dram.enqueue(line, line, mem_now);
+                    }
                 }
             }
         }
@@ -529,6 +688,12 @@ impl MemorySystem {
     fn complete(&mut self, sm: usize, req: RequestId) {
         if let Some((kind, issued)) = self.meta.remove(&req) {
             self.stats.record(kind, self.cycle - issued);
+            self.audit_completed += 1;
+        } else {
+            // A completion for a request with no live metadata is a
+            // second response — an MSHR/waiter-list bookkeeping bug.
+            self.audit_double_completions += 1;
+            debug_assert!(false, "double completion of request {req}");
         }
         self.completed_out[sm].push(req);
     }
@@ -560,6 +725,43 @@ impl MemorySystem {
     /// Latency / traffic statistics.
     pub fn stats(&self) -> &MemStats {
         &self.stats
+    }
+
+    /// Request-conservation audit: issues vs completions vs in-flight.
+    pub fn audit(&self) -> AuditReport {
+        AuditReport {
+            issued: self.next_req,
+            completed: self.audit_completed,
+            outstanding: self.meta.len(),
+            double_completions: self.audit_double_completions,
+            dropped_responses: self.audit_dropped,
+        }
+    }
+
+    /// Number of requests in flight anywhere in the hierarchy.
+    pub fn outstanding_requests(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Ids of the in-flight requests, oldest first.
+    pub fn outstanding_request_ids(&self) -> Vec<RequestId> {
+        let mut ids: Vec<RequestId> = self.meta.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Total entries queued across the L2 partitions.
+    pub fn l2_queue_depth(&self) -> usize {
+        self.l2_queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Requests waiting on an L1 fill, per SM.
+    pub fn l1_waiter_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.l1.len()];
+        for ((sm, _line), reqs) in &self.l1_waiters {
+            counts[*sm] += reqs.len();
+        }
+        counts
     }
 
     /// Demand/prefetch counters of one L1.
@@ -895,6 +1097,118 @@ mod tests {
         run_until_complete(&mut ms, 0, a.request_id().unwrap(), 5_000);
         assert_eq!(ms.stats().completed(AccessKind::Node), 1);
         assert_eq!(ms.stats().completed(AccessKind::Triangle), 0);
+    }
+
+    #[test]
+    fn audit_balances_after_mixed_traffic() {
+        let mut ms = sys();
+        let reqs: Vec<RequestId> = (0..6u64)
+            .map(|i| {
+                ms.access(
+                    (i % 2) as usize,
+                    0x90_0000 + i * 4096,
+                    FillOrigin::Demand,
+                    AccessKind::Node,
+                )
+                .request_id()
+                .unwrap()
+            })
+            .collect();
+        ms.prefetch_l2(0xB0_0000);
+        for _ in 0..5_000 {
+            ms.tick();
+            ms.drain_completed(0);
+            ms.drain_completed(1);
+        }
+        let audit = ms.audit();
+        assert!(audit.is_clean(), "audit not clean: {audit:?}");
+        assert_eq!(audit.issued, reqs.len() as u64 + 1);
+        assert_eq!(audit.outstanding, 0);
+        assert_eq!(audit.double_completions, 0);
+    }
+
+    #[test]
+    fn latency_faults_slow_but_complete_everything() {
+        let addr = |i: u64| 0xC0_0000 + i * 4096;
+        let run = |fault: Option<FaultInjection>| -> (u64, AuditReport) {
+            let mut cfg = MemConfig::paper_default();
+            cfg.fault_injection = fault;
+            let mut ms = MemorySystem::new(cfg, 1);
+            let mut want: Vec<RequestId> = (0..16u64)
+                .map(|i| {
+                    ms.access(0, addr(i), FillOrigin::Demand, AccessKind::Node)
+                        .request_id()
+                        .unwrap()
+                })
+                .collect();
+            let mut last_done = 0;
+            for _ in 0..50_000 {
+                ms.tick();
+                for done in ms.drain_completed(0) {
+                    want.retain(|&r| r != done);
+                    last_done = ms.cycle();
+                }
+                if want.is_empty() {
+                    break;
+                }
+            }
+            assert!(want.is_empty(), "requests stuck under faults: {want:?}");
+            (last_done, ms.audit())
+        };
+        let (clean_done, clean_audit) = run(None);
+        let (faulty_done, faulty_audit) = run(Some(FaultInjection::latency_storm(7)));
+        assert!(clean_audit.is_clean());
+        // Latency faults perturb timing only: every request still
+        // completes exactly once, just later.
+        assert!(faulty_audit.is_clean());
+        assert!(
+            faulty_done > clean_done,
+            "storm did not slow the run: {faulty_done} vs {clean_done}"
+        );
+        // Same seed, same schedule: faulty runs are reproducible.
+        let (again_done, _) = run(Some(FaultInjection::latency_storm(7)));
+        assert_eq!(faulty_done, again_done);
+    }
+
+    #[test]
+    fn dropped_dram_response_wedges_its_waiter() {
+        let mut cfg = MemConfig::paper_default();
+        cfg.fault_injection = Some(FaultInjection::drop_nth_dram_send(1, 0));
+        let mut ms = MemorySystem::new(cfg, 1);
+        let req = ms
+            .access(0, 0xD0_0000, FillOrigin::Demand, AccessKind::Node)
+            .request_id()
+            .unwrap();
+        for _ in 0..20_000 {
+            ms.tick();
+            assert!(
+                !ms.drain_completed(0).contains(&req),
+                "dropped response must never complete"
+            );
+        }
+        let audit = ms.audit();
+        assert_eq!(audit.dropped_responses, 1);
+        assert_eq!(audit.outstanding, 1);
+        assert!(!audit.is_clean());
+        assert_eq!(ms.outstanding_request_ids(), vec![req]);
+        assert!(ms.busy(), "the wedged request keeps the system busy");
+    }
+
+    #[test]
+    fn introspection_reports_queue_shapes() {
+        let mut ms = sys();
+        ms.access(0, 0xE0_0000, FillOrigin::Demand, AccessKind::Node);
+        ms.access(1, 0xE1_0000, FillOrigin::Demand, AccessKind::Triangle);
+        assert_eq!(ms.outstanding_requests(), 2);
+        assert_eq!(ms.l1_waiter_counts(), vec![1, 1]);
+        assert_eq!(ms.l2_queue_depth(), 0, "L2 hop has not fired yet");
+        for _ in 0..5_000 {
+            ms.tick();
+            ms.drain_completed(0);
+            ms.drain_completed(1);
+        }
+        assert_eq!(ms.outstanding_requests(), 0);
+        assert_eq!(ms.l1_waiter_counts(), vec![0, 0]);
     }
 
     #[test]

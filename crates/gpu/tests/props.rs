@@ -1,22 +1,24 @@
 //! Property-based tests for the cache and DRAM models.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
 use rt_gpu_sim::{
     AccessKind, Cache, Dram, DramConfig, FillOrigin, MemConfig, MemorySystem, Organization,
     ProbeOutcome,
 };
+use rt_rng::prop::forall;
+use rt_rng::{Rng, SmallRng};
 
 /// A random access script: (line index, is_prefetch).
-fn script() -> impl Strategy<Value = Vec<(u8, bool)>> {
-    vec((0u8..32, any::<bool>()), 1..200)
+fn script(rng: &mut SmallRng) -> Vec<(u8, bool)> {
+    let n = rng.gen_range(1..200usize);
+    (0..n)
+        .map(|_| (rng.gen_range(0..32u32) as u8, rng.gen_bool(0.5)))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn cache_occupancy_never_exceeds_capacity(ops in script()) {
+#[test]
+fn cache_occupancy_never_exceeds_capacity() {
+    forall("cache_occupancy_never_exceeds_capacity", 128, |rng| {
+        let ops = script(rng);
         let mut cache = Cache::new(8, Organization::FullyAssociative, 64, 64);
         for (i, (line, prefetch)) in ops.iter().enumerate() {
             let addr = *line as u64 * 64;
@@ -24,12 +26,15 @@ proptest! {
             if cache.probe(addr, origin, i as u64) == ProbeOutcome::Miss {
                 cache.fill(addr, i as u64);
             }
-            prop_assert!(cache.resident_lines() <= 8);
+            assert!(cache.resident_lines() <= 8);
         }
-    }
+    });
+}
 
-    #[test]
-    fn fill_then_probe_always_hits(ops in script()) {
+#[test]
+fn fill_then_probe_always_hits() {
+    forall("fill_then_probe_always_hits", 128, |rng| {
+        let ops = script(rng);
         let mut cache = Cache::new(16, Organization::SetAssociative { sets: 4 }, 64, 64);
         for (i, (line, _)) in ops.iter().enumerate() {
             let addr = *line as u64 * 64;
@@ -39,25 +44,31 @@ proptest! {
                     cache.probe(addr, FillOrigin::Demand, i as u64),
                     ProbeOutcome::Hit { .. }
                 );
-                prop_assert!(hits);
+                assert!(hits);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn mshr_count_is_bounded(ops in script()) {
+#[test]
+fn mshr_count_is_bounded() {
+    forall("mshr_count_is_bounded", 128, |rng| {
+        let ops = script(rng);
         let mut cache = Cache::new(64, Organization::FullyAssociative, 4, 64);
         for (i, (line, _)) in ops.iter().enumerate() {
             let addr = *line as u64 * 64;
             let _ = cache.probe(addr, FillOrigin::Demand, i as u64);
-            prop_assert!(cache.mshrs_in_use() <= 4);
+            assert!(cache.mshrs_in_use() <= 4);
         }
-    }
+    });
+}
 
-    #[test]
-    fn effectiveness_classification_is_complete(ops in script()) {
+#[test]
+fn effectiveness_classification_is_complete() {
+    forall("effectiveness_classification_is_complete", 128, |rng| {
         // Every prefetch probe ends up in exactly one class once the run
         // is finalized: too_late (dropped) or one of the fill classes.
+        let ops = script(rng);
         let mut cache = Cache::new(8, Organization::FullyAssociative, 64, 64);
         for (i, (line, prefetch)) in ops.iter().enumerate() {
             let addr = *line as u64 * 64;
@@ -72,21 +83,24 @@ proptest! {
         // too_late counts dropped probes. Together they never exceed the
         // number of prefetch probes, and dropped + actually-fetched probes
         // cover them all.
-        prop_assert_eq!(
-            effect.too_late + stats.prefetch_misses,
-            stats.prefetch_probes
+        assert_eq!(effect.too_late + stats.prefetch_misses, stats.prefetch_probes);
+        assert!(
+            effect.timely + effect.late + effect.early + effect.unused
+                <= stats.prefetch_misses + effect.early
         );
-        prop_assert!(effect.timely + effect.late + effect.early + effect.unused
-            <= stats.prefetch_misses + effect.early);
-    }
+    });
+}
 
-    #[test]
-    fn memory_system_never_loses_requests(
-        pattern in vec((0u64..256, 0usize..2, any::<bool>()), 1..150)
-    ) {
+#[test]
+fn memory_system_never_loses_requests() {
+    forall("memory_system_never_loses_requests", 128, |rng| {
         // Fuzz the full hierarchy with interleaved demand loads and
         // prefetches from two SMs: every accepted demand request must
         // complete, even under MSHR backpressure (Retry).
+        let n = rng.gen_range(1..150usize);
+        let pattern: Vec<(u64, usize, bool)> = (0..n)
+            .map(|_| (rng.gen_range(0..256u64), rng.gen_range(0..2usize), rng.gen_bool(0.5)))
+            .collect();
         let mut cfg = MemConfig::paper_default();
         cfg.l1_mshrs = 4; // force backpressure
         cfg.l2_mshrs = 8;
@@ -126,41 +140,47 @@ proptest! {
                 }
             }
         }
-        prop_assert!(
+        assert!(
             outstanding.is_empty(),
             "{} of {} demand requests never completed ({} retries)",
             outstanding.len(),
             issued,
             retries
         );
-    }
+    });
+}
 
-    #[test]
-    fn dram_completion_respects_service_latency(
-        addrs in vec(0u64..4096, 1..64)
-    ) {
+#[test]
+fn dram_completion_respects_service_latency() {
+    forall("dram_completion_respects_service_latency", 128, |rng| {
+        let n = rng.gen_range(1..64usize);
+        let addrs: Vec<u64> = (0..n).map(|_| rng.gen_range(0..4096u64)).collect();
         let config = DramConfig::paper_default();
         let mut dram = Dram::new(config);
         for (i, a) in addrs.iter().enumerate() {
             dram.enqueue(i as u64, a * 64, 0);
         }
         // Nothing can complete before the fixed service latency.
-        prop_assert!(dram.drain_completed(config.service_latency - 1).is_empty());
+        assert!(dram.drain_completed(config.service_latency - 1).is_empty());
         // Everything completes eventually.
         let horizon = config.service_latency + addrs.len() as u64 * config.burst_cycles;
         let done = dram.drain_completed(horizon);
-        prop_assert_eq!(done.len(), addrs.len());
-        prop_assert_eq!(dram.in_flight(), 0);
-    }
+        assert_eq!(done.len(), addrs.len());
+        assert_eq!(dram.in_flight(), 0);
+    });
+}
 
-    #[test]
-    fn dram_channel_counts_conserve_requests(addrs in vec(0u64..100_000, 1..100)) {
+#[test]
+fn dram_channel_counts_conserve_requests() {
+    forall("dram_channel_counts_conserve_requests", 128, |rng| {
+        let n = rng.gen_range(1..100usize);
+        let addrs: Vec<u64> = (0..n).map(|_| rng.gen_range(0..100_000u64)).collect();
         let mut dram = Dram::new(DramConfig::paper_default());
         for (i, a) in addrs.iter().enumerate() {
             dram.enqueue(i as u64, *a, 0);
         }
         let per: u64 = dram.channel_accesses().iter().sum();
-        prop_assert_eq!(per, addrs.len() as u64);
-        prop_assert_eq!(dram.total_accesses(), addrs.len() as u64);
-    }
+        assert_eq!(per, addrs.len() as u64);
+        assert_eq!(dram.total_accesses(), addrs.len() as u64);
+    });
 }

@@ -1,0 +1,116 @@
+//! A minimal property-testing harness.
+//!
+//! Replaces the `proptest` dev-dependency so the workspace's randomized
+//! invariant tests run without any external crates. The model is
+//! deliberately simple: a property is a closure that receives a seeded
+//! [`SmallRng`], generates its own inputs, and asserts. [`forall`] runs
+//! it for a number of cases with distinct, deterministic seeds and — on
+//! failure — reports the case index and seed so the failure replays
+//! exactly (no shrinking; rerun the single seed and debug).
+//!
+//! ```
+//! use rt_rng::prop::forall;
+//! use rt_rng::Rng;
+//!
+//! forall("addition commutes", 64, |rng| {
+//!     let (a, b) = (rng.gen::<u32>() as u64, rng.gen::<u32>() as u64);
+//!     assert_eq!(a + b, b + a);
+//! });
+//! ```
+
+use crate::SmallRng;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Base seed for the deterministic per-case seeds. Override with the
+/// `RT_PROP_SEED` environment variable to explore a different region of
+/// the input space (CI keeps the default so failures reproduce).
+fn base_seed() -> u64 {
+    std::env::var("RT_PROP_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x7265_7072_6f70_5f31)
+}
+
+/// Seed of case `index` under base seed `base` (public so a failing case
+/// can be replayed in isolation).
+pub fn case_seed(base: u64, index: u64) -> u64 {
+    // One splitmix-style mix is enough to decorrelate consecutive cases.
+    let mut z = base ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z ^ (z >> 31)
+}
+
+/// Runs `property` for `cases` deterministic seeds, panicking with the
+/// failing case's seed on the first failure.
+///
+/// # Panics
+///
+/// Re-raises the property's panic after printing the case index and seed.
+pub fn forall<F>(name: &str, cases: u64, mut property: F)
+where
+    F: FnMut(&mut SmallRng),
+{
+    let base = base_seed();
+    for index in 0..cases {
+        let seed = case_seed(base, index);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        if let Err(panic) = catch_unwind(AssertUnwindSafe(|| property(&mut rng))) {
+            eprintln!(
+                "property {name:?} failed at case {index}/{cases} \
+                 (seed {seed:#x}; rerun with RT_PROP_SEED={base} or \
+                 SmallRng::seed_from_u64({seed:#x}))"
+            );
+            resume_unwind(panic);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut ran = 0u64;
+        forall("counts", 32, |_| ran += 1);
+        assert_eq!(ran, 32);
+    }
+
+    #[test]
+    fn failing_property_reports_and_panics() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            forall("fails eventually", 64, |rng| {
+                assert!(rng.gen::<f32>() < 0.9, "drew a large value");
+            })
+        }));
+        assert!(result.is_err(), "property should have failed");
+    }
+
+    #[test]
+    fn case_seeds_are_distinct() {
+        let base = base_seed();
+        let mut seeds: Vec<u64> = (0..256).map(|i| case_seed(base, i)).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 256);
+    }
+
+    #[test]
+    fn failure_replays_from_its_seed() {
+        // A property that fails for exactly one recorded seed must fail
+        // again when rerun with that seed.
+        let mut failing_seed = None;
+        for index in 0..512 {
+            let seed = case_seed(base_seed(), index);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            if rng.gen::<f64>() > 0.99 {
+                failing_seed = Some(seed);
+                break;
+            }
+        }
+        let seed = failing_seed.expect("some case should draw > 0.99");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        assert!(rng.gen::<f64>() > 0.99);
+    }
+}

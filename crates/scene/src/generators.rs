@@ -5,7 +5,7 @@
 //! reproducible across runs.
 
 use crate::Mesh;
-use rand::Rng;
+use rt_rng::Rng;
 use rt_geometry::{Triangle, Vec3};
 
 /// Tessellated rectangle in the XZ plane at height `y`, spanning
@@ -275,8 +275,7 @@ pub fn ripple(theta: f32, phi: f32, octaves: u32, amplitude: f32) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use rt_rng::SmallRng;
 
     #[test]
     fn ground_plane_counts() {

@@ -6,8 +6,7 @@
 //! from the scene surface.
 
 use crate::Scene;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rt_rng::{Rng, SmallRng};
 use rt_geometry::{Ray, Vec3};
 use std::fmt;
 

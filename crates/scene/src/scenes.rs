@@ -16,8 +16,7 @@ use crate::generators::{
     uv_sphere,
 };
 use crate::{Camera, Mesh};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rt_rng::SmallRng;
 use rt_geometry::{Aabb, Vec3};
 use std::fmt;
 
@@ -274,7 +273,7 @@ fn park(d: f32) -> Mesh {
         2.0 * (0.05 * x).sin() * (0.06 * z).cos()
     });
     let mut place = |n: usize, f: &mut dyn FnMut(&mut SmallRng, Vec3) -> Mesh| {
-        use rand::Rng;
+        use rt_rng::Rng;
         for _ in 0..n {
             let x = rng.gen_range(-75.0..75.0);
             let z = rng.gen_range(-75.0..75.0);
@@ -284,7 +283,7 @@ fn park(d: f32) -> Mesh {
         }
     };
     place(count(400, d, 4), &mut |rng, p| {
-        use rand::Rng;
+        use rt_rng::Rng;
         let h: f32 = rng.gen_range(3.0..7.0);
         let mut t = cylinder(p, 0.3, h * 0.4, res(10, d, 4));
         t.append(&cone(
@@ -296,7 +295,7 @@ fn park(d: f32) -> Mesh {
         t
     });
     place(count(120, d, 2), &mut |rng, p| {
-        use rand::Rng;
+        use rt_rng::Rng;
         let r: f32 = rng.gen_range(0.3..0.9);
         uv_sphere(
             p + Vec3::new(0.0, r * 0.5, 0.0),
@@ -474,7 +473,7 @@ fn frst(d: f32) -> Mesh {
     let mut m = terrain(60.0, res(60, d, 6), |x, z| {
         1.5 * (0.08 * x).cos() * (0.07 * z).sin()
     });
-    use rand::Rng;
+    use rt_rng::Rng;
     for _ in 0..count(600, d, 6) {
         let x = rng.gen_range(-56.0..56.0);
         let z = rng.gen_range(-56.0..56.0);
@@ -529,7 +528,7 @@ fn bunny(d: f32) -> Mesh {
 /// Carnival: a mixture of structured rides, tents, and booths.
 fn crnvl(d: f32) -> Mesh {
     let mut rng = SmallRng::seed_from_u64(0x4352_4e56);
-    use rand::Rng;
+    use rt_rng::Rng;
     let mut m = ground_plane(40.0, 0.0, res(30, d, 4));
     // Ferris wheel: a ring of cabins plus a rim tube.
     let wheel_center = Vec3::new(0.0, 11.0, -15.0);
@@ -684,7 +683,7 @@ fn rf(d: f32) -> Mesh {
     m.append(&wall.mapped(|v| Vec3::new(v.x, v.z + 16.0, -16.0)));
     m.append(&wall.mapped(|v| Vec3::new(-16.0, v.z + 16.0, v.x)));
     let mut rng = SmallRng::seed_from_u64(0x5245_465f);
-    use rand::Rng;
+    use rt_rng::Rng;
     for _ in 0..count(6, d, 2) {
         let p = Vec3::new(
             rng.gen_range(-10.0..10.0),
@@ -706,7 +705,7 @@ fn chsnt(d: f32) -> Mesh {
     let mut m = ground_plane(20.0, 0.0, res(16, d, 3));
     m.append(&cylinder(Vec3::ZERO, 0.9, 6.0, res(24, d, 6)));
     let mut rng = SmallRng::seed_from_u64(0x4348_534e);
-    use rand::Rng;
+    use rt_rng::Rng;
     for k in 0..5 {
         let a = 2.0 * std::f32::consts::PI * k as f32 / 5.0;
         m.append(

@@ -15,10 +15,11 @@
 use std::process::ExitCode;
 use treelet_prefetching::bvh::MemoryImage;
 use treelet_prefetching::bvh::{TreeStats, WideBvh};
+use treelet_prefetching::gpu::FaultInjection;
 use treelet_prefetching::scene::{load_obj, Camera, Scene, SceneId, Workload, WorkloadKind};
 use treelet_prefetching::treelet::{
-    compile_trace, simulate, trace_ray, write_traces, PrefetchHeuristic, SchedulerPolicy,
-    SimConfig, TreeletAssignment,
+    compile_trace, trace_ray, try_simulate, write_traces, PrefetchHeuristic, SchedulerPolicy,
+    SimConfig, SimError, TreeletAssignment,
 };
 
 /// Parsed command line.
@@ -44,6 +45,8 @@ struct Options {
     treelet_bytes: u64,
     workload: WorkloadKind,
     compare: bool,
+    max_cycles: Option<u64>,
+    inject_faults: Option<u64>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,6 +69,40 @@ impl Default for Options {
             treelet_bytes: 512,
             workload: WorkloadKind::Primary,
             compare: false,
+            max_cycles: None,
+            inject_faults: None,
+        }
+    }
+}
+
+/// A failed command: the message for stderr plus the process exit code.
+///
+/// Exit codes are part of the CLI contract so scripts can react per
+/// cause: 1 generic, 2 invalid config or input, 3 cycle budget exceeded,
+/// 4 livelock (no forward progress).
+#[derive(Debug)]
+struct Failure {
+    message: String,
+    code: u8,
+}
+
+impl From<String> for Failure {
+    fn from(message: String) -> Self {
+        Failure { message, code: 1 }
+    }
+}
+
+impl From<SimError> for Failure {
+    fn from(e: SimError) -> Self {
+        let code = match &e {
+            SimError::Config(_) | SimError::EmptyInput { .. } => 2,
+            SimError::CycleLimitExceeded { .. } => 3,
+            SimError::NoForwardProgress { .. } => 4,
+            SimError::TreeletCoverage { .. } | SimError::Trace(_) => 1,
+        };
+        Failure {
+            message: e.to_string(),
+            code,
         }
     }
 }
@@ -168,6 +205,22 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 };
             }
             "--compare" => options.compare = true,
+            "--max-cycles" => {
+                let v: u64 = value("--max-cycles")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-cycles: {e}"))?;
+                if v == 0 {
+                    return Err("--max-cycles must be positive".into());
+                }
+                options.max_cycles = Some(v);
+            }
+            "--inject-faults" => {
+                options.inject_faults = Some(
+                    value("--inject-faults")?
+                        .parse()
+                        .map_err(|e| format!("bad --inject-faults seed: {e}"))?,
+                );
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -206,6 +259,19 @@ fn build_config(options: &Options) -> SimConfig {
     }
     if let Some(s) = options.scheduler {
         config = config.with_scheduler(s);
+    }
+    apply_robustness(config, options)
+}
+
+/// Applies the watchdog/fault flags shared by every config the CLI
+/// builds (including the `--compare` baseline, so both runs abort under
+/// the same budget).
+fn apply_robustness(mut config: SimConfig, options: &Options) -> SimConfig {
+    if let Some(limit) = options.max_cycles {
+        config.max_cycles = limit;
+    }
+    if let Some(seed) = options.inject_faults {
+        config.mem.fault_injection = Some(FaultInjection::latency_storm(seed));
     }
     config
 }
@@ -283,14 +349,15 @@ fn cmd_stats(options: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_run(options: &Options) -> Result<(), String> {
+fn cmd_run(options: &Options) -> Result<(), Failure> {
     let scene = build_scene(options)?;
     let rays = Workload::new(options.workload, options.res, options.res).generate(&scene);
     let bvh = WideBvh::build(scene.mesh.into_triangles());
     let config = build_config(options);
-    let result = simulate(&bvh, &rays, &config);
+    let result = try_simulate(&bvh, &rays, &config)?;
     if options.compare {
-        let base = simulate(&bvh, &rays, &SimConfig::paper_baseline());
+        let base_config = apply_robustness(SimConfig::paper_baseline(), options);
+        let base = try_simulate(&bvh, &rays, &base_config)?;
         println!(
             "baseline: {:>10} cycles | selected: {:>10} cycles | speedup {:.3}x",
             base.cycles,
@@ -371,7 +438,17 @@ USAGE:
                             [--scheduler baseline|omr|pmr]
                             [--treelet-bytes N]
                             [--workload primary|diffuse|shadow]
-                            [--obj path.obj] [--compare]"
+                            [--obj path.obj] [--compare]
+                            [--max-cycles N] [--inject-faults SEED]
+
+ROBUSTNESS:
+  --max-cycles N       abort with exit code 3 if the run exceeds N cycles
+  --inject-faults SEED deterministic memory-latency fault storm (timing
+                       changes; traversal results do not)
+
+EXIT CODES:
+  0 ok · 1 generic error · 2 invalid config/input · 3 cycle budget
+  exceeded · 4 no forward progress (livelock)"
     );
 }
 
@@ -384,7 +461,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let outcome = match command {
+    let outcome: Result<(), Failure> = match command {
         Command::Help => {
             print_help();
             Ok(())
@@ -393,15 +470,15 @@ fn main() -> ExitCode {
             cmd_scenes();
             Ok(())
         }
-        Command::Stats(options) => cmd_stats(&options),
+        Command::Stats(options) => cmd_stats(&options).map_err(Failure::from),
         Command::Run(options) => cmd_run(&options),
-        Command::Trace(options, out) => cmd_trace(&options, &out),
+        Command::Trace(options, out) => cmd_trace(&options, &out).map_err(Failure::from),
     };
     match outcome {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+        Err(f) => {
+            eprintln!("error: {}", f.message);
+            ExitCode::from(f.code)
         }
     }
 }
@@ -522,6 +599,62 @@ mod tests {
         assert!(c.prefetch.is_enabled());
         assert_eq!(c.treelet_bytes, 256);
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn robustness_flags_parse_and_apply() {
+        let cmd = parse(&[
+            "run",
+            "--scene",
+            "car",
+            "--max-cycles",
+            "5000",
+            "--inject-faults",
+            "7",
+        ])
+        .unwrap();
+        let options = match cmd {
+            Command::Run(o) => o,
+            other => panic!("expected run, got {other:?}"),
+        };
+        assert_eq!(options.max_cycles, Some(5000));
+        assert_eq!(options.inject_faults, Some(7));
+        let config = build_config(&options);
+        assert_eq!(config.max_cycles, 5000);
+        let faults = config.mem.fault_injection.expect("faults configured");
+        assert_eq!(faults.seed, 7);
+        assert!(parse(&["run", "--max-cycles", "0"]).is_err());
+        assert!(parse(&["run", "--max-cycles", "lots"]).is_err());
+        assert!(parse(&["run", "--inject-faults", "-1"]).is_err());
+    }
+
+    #[test]
+    fn failures_map_sim_errors_to_exit_codes() {
+        let f = Failure::from(SimError::EmptyInput { what: "ray" });
+        assert_eq!(f.code, 2);
+        assert!(f.message.contains("need at least one ray"));
+        let snapshot = || treelet_prefetching::treelet::ProgressSnapshot {
+            cycle: 1,
+            rays_remaining: 1,
+            warp_buffer_occupancy: vec![],
+            outstanding_requests: 0,
+            outstanding_request_ids: vec![],
+            l2_queue_depth: 0,
+            dram_in_flight: 0,
+            prefetch_queue_depths: vec![],
+        };
+        let f = Failure::from(SimError::CycleLimitExceeded {
+            limit: 1,
+            snapshot: snapshot(),
+        });
+        assert_eq!(f.code, 3);
+        let f = Failure::from(SimError::NoForwardProgress {
+            window: 1,
+            snapshot: snapshot(),
+        });
+        assert_eq!(f.code, 4);
+        let f = Failure::from("plain error".to_string());
+        assert_eq!(f.code, 1);
     }
 
     #[test]
