@@ -17,7 +17,9 @@ use rt_scene::{SceneId, Workload};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 pub use svg::bar_chart;
-pub use treelet_rt::{geometric_mean, Bench, SimConfig, SimError, SimResult};
+pub use treelet_rt::{
+    geometric_mean, Bench, CheckpointOptions, SimConfig, SimError, SimResult,
+};
 
 /// Default scene detail for the experiment suite (full evaluation scale;
 /// see `DESIGN.md` for the scaling rationale).
@@ -76,8 +78,8 @@ impl Suite {
         self.run_all_robust(config)
             .into_iter()
             .map(|outcome| match outcome {
-                SceneOutcome::Completed(r) => r,
-                SceneOutcome::Failed { scene, reason } => {
+                SceneOutcome::Completed { result, .. } => result,
+                SceneOutcome::Failed { scene, reason, .. } => {
                     panic!("scene {scene} failed: {reason}")
                 }
             })
@@ -89,13 +91,46 @@ impl Suite {
     /// reported as [`SceneOutcome::Failed`] while the other scenes'
     /// results survive. A panicking scene is retried once (a typed error
     /// is deterministic, so it is not).
+    // A 16-scene sweep makes the `SimError` payload size irrelevant.
+    #[allow(clippy::result_large_err)]
     pub fn run_all_robust(&self, config: &SimConfig) -> Vec<SceneOutcome> {
         self.run_all_robust_with(|b| b.try_run(config))
     }
 
+    /// [`Suite::run_all_robust`] with crash-safe checkpointing: each
+    /// scene checkpoints into `dir/<scene>.rtsnap` (with a digest log
+    /// alongside) every `every` cycles and resumes from its checkpoint
+    /// when one is present, so a killed sweep picks up mid-scene instead
+    /// of starting over. Stale checkpoints from other runs are discarded
+    /// (see [`Bench::try_run_resumable`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the error from creating `dir` (as its `Display` string)
+    /// before any scene runs; per-scene failures are reported in the
+    /// outcomes as usual.
+    #[allow(clippy::result_large_err)]
+    pub fn run_all_robust_resumable(
+        &self,
+        config: &SimConfig,
+        dir: &std::path::Path,
+        every: u64,
+    ) -> Result<Vec<SceneOutcome>, String> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("could not create checkpoint dir {}: {e}", dir.display()))?;
+        Ok(self.run_all_robust_with(|b| {
+            let slug = b.scene().name().to_ascii_lowercase();
+            let opts = CheckpointOptions::new(every, dir.join(format!("{slug}.rtsnap")))
+                .with_digest_log(dir.join(format!("{slug}.digests")));
+            b.try_run_resumable(config, &opts)
+        }))
+    }
+
     /// [`Suite::run_all_robust`] over an arbitrary per-scene runner —
     /// lets experiment binaries sweep per-scene configs while keeping the
-    /// same isolation guarantees.
+    /// same isolation guarantees. Retries are surfaced on stderr and in
+    /// each outcome's `attempts` count.
+    #[allow(clippy::result_large_err)]
     pub fn run_all_robust_with<F>(&self, run: F) -> Vec<SceneOutcome>
     where
         F: Fn(&Bench) -> Result<SimResult, SimError> + Sync,
@@ -107,24 +142,50 @@ impl Suite {
                 .iter()
                 .map(|b| {
                     scope.spawn(move || {
+                        let mut attempts = 1;
                         let mut attempt = catch_unwind(AssertUnwindSafe(|| run(b)));
                         if attempt.is_err() {
                             // A panic may be environmental (e.g. stack
                             // exhaustion under thread contention); give
                             // the scene one more chance before recording
                             // it as lost.
+                            attempts = 2;
                             attempt = catch_unwind(AssertUnwindSafe(|| run(b)));
                         }
                         match attempt {
-                            Ok(Ok(result)) => SceneOutcome::Completed(result),
-                            Ok(Err(e)) => SceneOutcome::Failed {
-                                scene: b.scene(),
-                                reason: e.to_string(),
-                            },
-                            Err(payload) => SceneOutcome::Failed {
-                                scene: b.scene(),
-                                reason: format!("panicked: {}", panic_message(&*payload)),
-                            },
+                            Ok(Ok(result)) => {
+                                if attempts > 1 {
+                                    eprintln!(
+                                        "scene {} completed on attempt {attempts}",
+                                        b.scene()
+                                    );
+                                }
+                                SceneOutcome::Completed { result, attempts }
+                            }
+                            Ok(Err(e)) => {
+                                eprintln!(
+                                    "scene {} failed after {attempts} attempt(s): {e}",
+                                    b.scene()
+                                );
+                                SceneOutcome::Failed {
+                                    scene: b.scene(),
+                                    reason: e.to_string(),
+                                    attempts,
+                                }
+                            }
+                            Err(payload) => {
+                                let reason =
+                                    format!("panicked: {}", panic_message(&*payload));
+                                eprintln!(
+                                    "scene {} failed after {attempts} attempt(s): {reason}",
+                                    b.scene()
+                                );
+                                SceneOutcome::Failed {
+                                    scene: b.scene(),
+                                    reason,
+                                    attempts,
+                                }
+                            }
                         }
                     })
                 })
@@ -141,10 +202,18 @@ impl Suite {
 }
 
 /// What happened to one scene of a [`Suite::run_all_robust`] sweep.
+// One outcome per scene: the size gap between a full `SimResult` and a
+// failure record doesn't matter at this cardinality.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum SceneOutcome {
     /// The simulation finished and produced a result.
-    Completed(SimResult),
+    Completed {
+        /// The scene's result.
+        result: SimResult,
+        /// How many runner invocations it took (2 after a retried panic).
+        attempts: u32,
+    },
     /// The simulation returned an error or panicked; the sweep went on
     /// without it.
     Failed {
@@ -152,6 +221,8 @@ pub enum SceneOutcome {
         scene: SceneId,
         /// The `SimError` message or panic payload.
         reason: String,
+        /// How many runner invocations were made before giving up.
+        attempts: u32,
     },
 }
 
@@ -159,14 +230,22 @@ impl SceneOutcome {
     /// The result, if the scene completed.
     pub fn result(&self) -> Option<&SimResult> {
         match self {
-            SceneOutcome::Completed(r) => Some(r),
+            SceneOutcome::Completed { result, .. } => Some(result),
             SceneOutcome::Failed { .. } => None,
         }
     }
 
     /// Whether the scene completed.
     pub fn is_completed(&self) -> bool {
-        matches!(self, SceneOutcome::Completed(_))
+        matches!(self, SceneOutcome::Completed { .. })
+    }
+
+    /// How many runner invocations this scene took.
+    pub fn attempts(&self) -> u32 {
+        match self {
+            SceneOutcome::Completed { attempts, .. }
+            | SceneOutcome::Failed { attempts, .. } => *attempts,
+        }
     }
 }
 
@@ -273,6 +352,7 @@ pub fn pct(speedup: f64) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::result_large_err)]
 mod tests {
     use super::*;
 
@@ -323,12 +403,23 @@ mod tests {
         assert_eq!(completed, SceneId::ALL.len() - 1);
         let failed: Vec<_> = outcomes.iter().filter(|o| !o.is_completed()).collect();
         match failed.as_slice() {
-            [SceneOutcome::Failed { scene, reason }] => {
+            [SceneOutcome::Failed {
+                scene,
+                reason,
+                attempts,
+            }] => {
                 assert_eq!(*scene, SceneId::Ship);
                 assert!(reason.contains("injected fault"), "reason: {reason}");
+                // A panicking scene gets its one retry before being lost.
+                assert_eq!(*attempts, 2);
             }
             other => panic!("expected exactly one failure, got {other:?}"),
         }
+        // Scenes that never panicked completed on their first attempt.
+        assert!(outcomes
+            .iter()
+            .filter(|o| o.is_completed())
+            .all(|o| o.attempts() == 1));
     }
 
     #[test]
@@ -345,6 +436,7 @@ mod tests {
         // Typed errors are deterministic: one attempt per scene, no retry.
         assert_eq!(calls.load(Ordering::SeqCst), SceneId::ALL.len());
         assert!(outcomes.iter().all(|o| !o.is_completed()));
+        assert!(outcomes.iter().all(|o| o.attempts() == 1));
         for o in &outcomes {
             if let SceneOutcome::Failed { reason, .. } = o {
                 assert!(reason.contains("invalid simulation config"));
@@ -366,8 +458,44 @@ mod tests {
             b.try_run(&config)
         });
         // Every scene panicked on its first attempt and succeeded on the
-        // retry, so the whole sweep still completes.
+        // retry, so the whole sweep still completes — in two attempts.
         assert!(outcomes.iter().all(|o| o.is_completed()));
+        assert!(outcomes.iter().all(|o| o.attempts() == 2));
+    }
+
+    #[test]
+    fn resumable_sweep_checkpoints_and_reruns_identically() {
+        let suite = Suite::prepare(0.05, Workload::new(rt_scene::WorkloadKind::Primary, 4, 4));
+        let config = SimConfig::paper_treelet_prefetch();
+        let dir = std::env::temp_dir().join(format!(
+            "rt_bench_resumable_sweep_{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let first = suite
+            .run_all_robust_resumable(&config, &dir, 2_000)
+            .unwrap();
+        assert!(first.iter().all(|o| o.is_completed()));
+        // Every scene opened its digest log; scenes that ran past the
+        // first epoch also left a checkpoint behind.
+        let mut checkpoints = 0;
+        for b in suite.benches() {
+            let slug = b.scene().name().to_ascii_lowercase();
+            assert!(dir.join(format!("{slug}.digests")).exists(), "{slug}");
+            checkpoints += usize::from(dir.join(format!("{slug}.rtsnap")).exists());
+        }
+        assert!(checkpoints > 0, "no scene reached its first epoch");
+        // A second sweep resumes from the left-over final checkpoints,
+        // replays each scene's tail, and lands on the same state.
+        let second = suite
+            .run_all_robust_resumable(&config, &dir, 2_000)
+            .unwrap();
+        for (a, b) in first.iter().zip(&second) {
+            let (a, b) = (a.result().unwrap(), b.result().unwrap());
+            assert_eq!(a.state_digest, b.state_digest);
+            assert_eq!(a.cycles, b.cycles);
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -11,7 +11,7 @@ fn coord(rng: &mut SmallRng) -> f32 {
 
 fn triangle(rng: &mut SmallRng) -> Triangle {
     let p = Vec3::new(coord(rng), coord(rng), coord(rng));
-    let mut edge = |rng: &mut SmallRng| {
+    let edge = |rng: &mut SmallRng| {
         Vec3::new(
             rng.gen_range(-2.0f32..2.0),
             rng.gen_range(-2.0f32..2.0),

@@ -158,6 +158,67 @@ impl fmt::Display for SchedulerPolicy {
     }
 }
 
+/// Periodic checkpointing of a running simulation.
+///
+/// Every `every` cycles (an *epoch*), the engine serializes its complete
+/// dynamic state into `path` — atomically, so a crash at any instant
+/// leaves either the previous checkpoint or the new one, never a torn
+/// file. `try_resume` restarts a killed run from that file and produces
+/// a bit-identical [`SimResult`](crate::SimResult) to the uninterrupted
+/// run.
+///
+/// # Examples
+///
+/// ```no_run
+/// use treelet_rt::CheckpointOptions;
+///
+/// let opts = CheckpointOptions::new(10_000, "/tmp/run.rtsnap")
+///     .with_digest_log("/tmp/run.digests");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointOptions {
+    /// Cycles between checkpoints (must be nonzero).
+    pub every: u64,
+    /// Checkpoint file, atomically replaced at each epoch.
+    pub path: std::path::PathBuf,
+    /// Optional replay-digest log: one `epoch=…` line per epoch,
+    /// truncated back to the resumed epoch on resume. Two runs are
+    /// bit-identical exactly when their logs match; `bisect-divergence`
+    /// compares two such logs.
+    pub digest_log: Option<std::path::PathBuf>,
+}
+
+impl CheckpointOptions {
+    /// Checkpointing every `every` cycles into `path`, with no digest
+    /// log.
+    pub fn new(every: u64, path: impl Into<std::path::PathBuf>) -> Self {
+        CheckpointOptions {
+            every,
+            path: path.into(),
+            digest_log: None,
+        }
+    }
+
+    /// Returns a copy that also appends per-epoch state digests to
+    /// `path`.
+    pub fn with_digest_log(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.digest_log = Some(path.into());
+        self
+    }
+
+    /// Validates the options.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::ZeroCheckpointInterval`] if `every` is zero.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.every == 0 {
+            return Err(ConfigError::ZeroCheckpointInterval);
+        }
+        Ok(())
+    }
+}
+
 /// Full simulation configuration.
 ///
 /// # Examples
@@ -425,6 +486,18 @@ mod tests {
             }
             other => panic!("unexpected prefetch config {other:?}"),
         }
+    }
+
+    #[test]
+    fn checkpoint_options_validate() {
+        let opts = CheckpointOptions::new(5_000, "/tmp/ck.rtsnap").with_digest_log("/tmp/ck.log");
+        opts.validate().unwrap();
+        assert_eq!(opts.every, 5_000);
+        assert!(opts.digest_log.is_some());
+        assert_eq!(
+            CheckpointOptions::new(0, "/tmp/ck.rtsnap").validate(),
+            Err(ConfigError::ZeroCheckpointInterval)
+        );
     }
 
     #[test]

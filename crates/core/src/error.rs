@@ -8,6 +8,7 @@
 
 use crate::config::LayoutChoice;
 use crate::prefetch::MappingMode;
+use crate::snapshot::SnapshotError;
 use crate::trace_io::ParseTraceError;
 use rt_gpu_sim::RequestId;
 use std::fmt;
@@ -32,6 +33,8 @@ pub enum ConfigError {
     },
     /// The forward-progress watchdog window is zero.
     ZeroProgressWindow,
+    /// The checkpoint interval is zero.
+    ZeroCheckpointInterval,
 }
 
 impl fmt::Display for ConfigError {
@@ -51,6 +54,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::ZeroProgressWindow => {
                 write!(f, "progress window must be nonzero")
+            }
+            ConfigError::ZeroCheckpointInterval => {
+                write!(f, "checkpoint interval must be nonzero")
             }
         }
     }
@@ -144,6 +150,9 @@ pub enum SimError {
     },
     /// A trace file failed to load or parse.
     Trace(ParseTraceError),
+    /// A checkpoint could not be written, read, or applied (corrupt
+    /// bytes, I/O failure, or a checkpoint from different inputs).
+    Snapshot(SnapshotError),
 }
 
 impl fmt::Display for SimError {
@@ -168,6 +177,7 @@ impl fmt::Display for SimError {
                 "no forward progress for {window} cycles — livelock? ({snapshot})"
             ),
             SimError::Trace(e) => write!(f, "{e}"),
+            SimError::Snapshot(e) => write!(f, "checkpoint failure: {e}"),
         }
     }
 }
@@ -177,6 +187,7 @@ impl std::error::Error for SimError {
         match self {
             SimError::Config(e) => Some(e),
             SimError::Trace(e) => Some(e),
+            SimError::Snapshot(e) => Some(e),
             _ => None,
         }
     }
@@ -191,6 +202,12 @@ impl From<ConfigError> for SimError {
 impl From<ParseTraceError> for SimError {
     fn from(e: ParseTraceError) -> Self {
         SimError::Trace(e)
+    }
+}
+
+impl From<SnapshotError> for SimError {
+    fn from(e: SnapshotError) -> Self {
+        SimError::Snapshot(e)
     }
 }
 
@@ -259,6 +276,22 @@ mod tests {
         assert!(e.to_string().contains("line 3"));
         assert!(e.source().is_some());
         assert!(SimError::EmptyInput { what: "ray" }.source().is_none());
+    }
+
+    #[test]
+    fn snapshot_errors_display_and_chain() {
+        use std::error::Error;
+        let e = SimError::from(SnapshotError::IdentityMismatch {
+            expected: 1,
+            found: 2,
+        });
+        assert!(e.to_string().contains("checkpoint failure"));
+        assert!(e.to_string().contains("different run"));
+        assert!(e.source().is_some());
+        let e = SimError::from(SnapshotError::Decode(
+            rt_gpu_sim::DecodeError::BadMagic,
+        ));
+        assert!(e.to_string().contains("invalid checkpoint"));
     }
 
     #[test]

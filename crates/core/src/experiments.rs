@@ -89,6 +89,32 @@ impl Bench {
     pub fn try_run(&self, config: &SimConfig) -> Result<SimResult, crate::SimError> {
         crate::try_simulate(&self.bvh, &self.rays, config)
     }
+
+    /// Runs under `config` with crash-safe checkpointing, resuming from
+    /// an existing checkpoint at `opts.path` when one is present.
+    ///
+    /// A checkpoint that belongs to a different run (a stale file from an
+    /// earlier sweep with other inputs) or fails to decode is discarded
+    /// in favor of a fresh checkpointed run, so a left-over file can
+    /// never wedge a sweep.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`try_simulate_checkpointed`](crate::try_simulate_checkpointed)
+    /// can return.
+    pub fn try_run_resumable(
+        &self,
+        config: &SimConfig,
+        opts: &crate::CheckpointOptions,
+    ) -> Result<SimResult, crate::SimError> {
+        if opts.path.exists() {
+            match crate::try_resume(&self.bvh, &self.rays, config, opts) {
+                Err(crate::SimError::Snapshot(_)) => {}
+                other => return other,
+            }
+        }
+        crate::try_simulate_checkpointed(&self.bvh, &self.rays, config, opts)
+    }
 }
 
 /// Geometric mean of a set of ratios (the paper reports GMean speedups).

@@ -12,6 +12,8 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use rt_gpu_sim::{ByteReader, ByteWriter, DecodeError};
+
 /// Counters for the GHB prefetcher.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GhbStats {
@@ -141,6 +143,74 @@ impl GhbPrefetcher {
     /// Activity counters.
     pub fn stats(&self) -> GhbStats {
         self.stats
+    }
+
+    /// Serializes the dynamic prefetcher state (the index map sorted by
+    /// address for a canonical byte stream; configuration fields are
+    /// rebuilt from the simulator config at resume).
+    pub(crate) fn encode_state(&self, w: &mut ByteWriter) {
+        w.put_len(self.history.len());
+        for &line in &self.history {
+            w.put_u64(line);
+        }
+        w.put_u64(self.evicted);
+        let mut index: Vec<(u64, u64)> = self.index.iter().map(|(&k, &v)| (k, v)).collect();
+        index.sort_unstable();
+        w.put_len(index.len());
+        for (line, pos) in index {
+            w.put_u64(line);
+            w.put_u64(pos);
+        }
+        w.put_len(self.queue.len());
+        for &line in &self.queue {
+            w.put_u64(line);
+        }
+        w.put_u64(self.stats.observed);
+        w.put_u64(self.stats.history_hits);
+        w.put_u64(self.stats.prefetches_enqueued);
+    }
+
+    /// Restores dynamic state captured by
+    /// [`GhbPrefetcher::encode_state`] onto a freshly constructed
+    /// prefetcher (same configuration).
+    pub(crate) fn restore_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), DecodeError> {
+        let n = r.take_len(8)?;
+        if n > self.capacity {
+            return Err(DecodeError::malformed(format!(
+                "GHB history length {n} exceeds capacity {}",
+                self.capacity
+            )));
+        }
+        self.history = VecDeque::with_capacity(self.capacity);
+        for _ in 0..n {
+            let line = r.take_u64()?;
+            self.history.push_back(line);
+        }
+        self.evicted = r.take_u64()?;
+        let n = r.take_len(16)?;
+        let mut index = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let line = r.take_u64()?;
+            let pos = r.take_u64()?;
+            if index.insert(line, pos).is_some() {
+                return Err(DecodeError::malformed(format!(
+                    "duplicate GHB index entry for line {line:#x}"
+                )));
+            }
+        }
+        self.index = index;
+        let n = r.take_len(8)?;
+        self.queue = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            let line = r.take_u64()?;
+            self.queue.push_back(line);
+        }
+        self.stats = GhbStats {
+            observed: r.take_u64()?,
+            history_hits: r.take_u64()?,
+            prefetches_enqueued: r.take_u64()?,
+        };
+        Ok(())
     }
 }
 

@@ -51,13 +51,15 @@ mod mta;
 mod power;
 mod prefetch;
 mod sim;
+mod snapshot;
 mod trace_io;
 mod traversal;
 mod treelet;
 mod workloads;
 
 pub use config::{
-    LayoutChoice, PrefetchConfig, PrefetchDestination, SchedulerPolicy, ShaderProgram, SimConfig,
+    CheckpointOptions, LayoutChoice, PrefetchConfig, PrefetchDestination, SchedulerPolicy,
+    ShaderProgram, SimConfig,
 };
 pub use error::{ConfigError, ProgressSnapshot, SimError};
 pub use experiments::{geometric_mean, Bench, DEFAULT_DETAIL};
@@ -70,8 +72,12 @@ pub use prefetch::{
     PrefetchHeuristic, PrefetcherStats, TreeletPrefetcher, Vote, VoterAreaModel, VoterKind,
 };
 pub use sim::{
-    simulate, simulate_batches, simulate_with_treelets, try_simulate, try_simulate_batches,
-    try_simulate_with_treelets, SimResult,
+    simulate, simulate_batches, simulate_with_treelets, try_resume, try_simulate,
+    try_simulate_batches, try_simulate_checkpointed, try_simulate_with_treelets, SimResult,
+};
+pub use snapshot::{
+    first_divergence, parse_digest_log, read_checkpoint, read_digest_log, write_atomic,
+    Checkpoint, DigestRecord, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };
 pub use trace_io::{read_traces, write_traces, ParseTraceError};
 pub use traversal::{

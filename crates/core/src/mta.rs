@@ -10,6 +10,8 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use rt_gpu_sim::{ByteReader, ByteWriter, DecodeError};
+
 /// Per-warp stride detector state.
 #[derive(Debug, Clone, Copy, Default)]
 struct StrideEntry {
@@ -133,6 +135,65 @@ impl MtaPrefetcher {
     /// Activity counters.
     pub fn stats(&self) -> MtaStats {
         self.stats
+    }
+
+    /// Serializes the dynamic prefetcher state (per-warp tables sorted by
+    /// warp id for a canonical byte stream; the configuration fields are
+    /// rebuilt from the simulator config at resume).
+    pub(crate) fn encode_state(&self, w: &mut ByteWriter) {
+        let mut tables: Vec<(u32, StrideEntry)> =
+            self.tables.iter().map(|(&k, &v)| (k, v)).collect();
+        tables.sort_unstable_by_key(|&(k, _)| k);
+        w.put_len(tables.len());
+        for (warp, e) in tables {
+            w.put_u32(warp);
+            w.put_u64(e.last_addr);
+            w.put_i64(e.stride);
+            w.put_u32(e.confidence);
+            w.put_bool(e.valid);
+        }
+        w.put_len(self.queue.len());
+        for &line in &self.queue {
+            w.put_u64(line);
+        }
+        w.put_u64(self.stats.observed);
+        w.put_u64(self.stats.stride_confirmations);
+        w.put_u64(self.stats.prefetches_enqueued);
+    }
+
+    /// Restores dynamic state captured by
+    /// [`MtaPrefetcher::encode_state`] onto a freshly constructed
+    /// prefetcher (same configuration).
+    pub(crate) fn restore_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), DecodeError> {
+        let n = r.take_len(25)?;
+        let mut tables = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let warp = r.take_u32()?;
+            let entry = StrideEntry {
+                last_addr: r.take_u64()?,
+                stride: r.take_i64()?,
+                confidence: r.take_u32()?,
+                valid: r.take_bool()?,
+            };
+            if tables.insert(warp, entry).is_some() {
+                return Err(DecodeError::malformed(format!(
+                    "duplicate MTA table entry for warp {warp}"
+                )));
+            }
+        }
+        self.tables = tables;
+        let n = r.take_len(8)?;
+        self.queue = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            let line = r.take_u64()?;
+            self.queue.push_back(line);
+        }
+        self.stats = MtaStats {
+            observed: r.take_u64()?,
+            stride_confirmations: r.take_u64()?,
+            prefetches_enqueued: r.take_u64()?,
+        };
+        Ok(())
     }
 }
 

@@ -5,6 +5,7 @@
 //! prefetch heuristic, and pushes the treelet's cache lines into a
 //! prefetch queue that drains when the RT unit's memory scheduler is idle.
 
+use rt_gpu_sim::{ByteReader, ByteWriter, DecodeError};
 use std::collections::VecDeque;
 
 /// Majority voter implementation.
@@ -489,6 +490,124 @@ impl TreeletPrefetcher {
     /// Activity counters.
     pub fn stats(&self) -> PrefetcherStats {
         self.stats
+    }
+
+    /// Serializes the dynamic prefetcher state (the configuration fields
+    /// are rebuilt from [`SimConfig`](crate::SimConfig) at resume).
+    pub(crate) fn encode_state(&self, w: &mut ByteWriter) {
+        w.put_u32(self.resident_rays);
+        w.put_len(self.queue.len());
+        for entry in &self.queue {
+            encode_prefetch_entry(entry, w);
+        }
+        match self.last_prefetched {
+            None => w.put_bool(false),
+            Some(t) => {
+                w.put_bool(true);
+                w.put_u32(t);
+            }
+        }
+        match self.staged {
+            None => w.put_bool(false),
+            Some((ready_at, vote)) => {
+                w.put_bool(true);
+                w.put_u64(ready_at);
+                w.put_u32(vote.treelet);
+                w.put_u32(vote.popularity);
+            }
+        }
+        w.put_u64(self.next_sample_at);
+        for v in [
+            self.stats.decisions,
+            self.stats.treelets_enqueued,
+            self.stats.lines_enqueued,
+            self.stats.duplicate_suppressed,
+            self.stats.threshold_suppressed,
+            self.stats.queue_full_drops,
+            self.stats.pseudo_agreements,
+            self.stats.pseudo_comparisons,
+        ] {
+            w.put_u64(v);
+        }
+    }
+
+    /// Restores dynamic state captured by
+    /// [`TreeletPrefetcher::encode_state`] onto a freshly constructed
+    /// prefetcher (same configuration).
+    pub(crate) fn restore_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), DecodeError> {
+        self.resident_rays = r.take_u32()?;
+        let n = r.take_len(9)?;
+        self.queue = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            let entry = decode_prefetch_entry(r)?;
+            self.queue.push_back(entry);
+        }
+        self.last_prefetched = if r.take_bool()? {
+            Some(r.take_u32()?)
+        } else {
+            None
+        };
+        self.staged = if r.take_bool()? {
+            let ready_at = r.take_u64()?;
+            let treelet = r.take_u32()?;
+            let popularity = r.take_u32()?;
+            Some((
+                ready_at,
+                Vote {
+                    treelet,
+                    popularity,
+                },
+            ))
+        } else {
+            None
+        };
+        self.next_sample_at = r.take_u64()?;
+        self.stats = PrefetcherStats {
+            decisions: r.take_u64()?,
+            treelets_enqueued: r.take_u64()?,
+            lines_enqueued: r.take_u64()?,
+            duplicate_suppressed: r.take_u64()?,
+            threshold_suppressed: r.take_u64()?,
+            queue_full_drops: r.take_u64()?,
+            pseudo_agreements: r.take_u64()?,
+            pseudo_comparisons: r.take_u64()?,
+        };
+        Ok(())
+    }
+}
+
+fn encode_prefetch_entry(entry: &PrefetchEntry, w: &mut ByteWriter) {
+    match entry {
+        PrefetchEntry::Line(addr) => {
+            w.put_u8(0);
+            w.put_u64(*addr);
+        }
+        PrefetchEntry::Meta { addr, gated_lines } => {
+            w.put_u8(1);
+            w.put_u64(*addr);
+            w.put_len(gated_lines.len());
+            for &line in gated_lines {
+                w.put_u64(line);
+            }
+        }
+    }
+}
+
+fn decode_prefetch_entry(r: &mut ByteReader<'_>) -> Result<PrefetchEntry, DecodeError> {
+    match r.take_u8()? {
+        0 => Ok(PrefetchEntry::Line(r.take_u64()?)),
+        1 => {
+            let addr = r.take_u64()?;
+            let n = r.take_len(8)?;
+            let mut gated_lines = Vec::with_capacity(n);
+            for _ in 0..n {
+                gated_lines.push(r.take_u64()?);
+            }
+            Ok(PrefetchEntry::Meta { addr, gated_lines })
+        }
+        t => Err(DecodeError::malformed(format!(
+            "unknown prefetch entry tag {t}"
+        ))),
     }
 }
 

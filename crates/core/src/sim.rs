@@ -6,7 +6,7 @@
 //! warp buffer, memory scheduler, operation units, treelet prefetcher,
 //! and prefetch queue — on top of the `rt-gpu-sim` memory hierarchy.
 
-use crate::config::{LayoutChoice, PrefetchConfig, SchedulerPolicy, SimConfig};
+use crate::config::{CheckpointOptions, LayoutChoice, PrefetchConfig, SchedulerPolicy, SimConfig};
 use crate::error::{ProgressSnapshot, SimError};
 use crate::ghb::{GhbPrefetcher, GhbStats};
 use crate::mta::{MtaPrefetcher, MtaStats};
@@ -15,15 +15,18 @@ use crate::prefetch::{
     full_vote_counts, pseudo_vote_counts, MappingMode, PrefetchEntry, PrefetcherStats,
     TreeletPrefetcher, VoterKind,
 };
+use crate::snapshot::{self, Checkpoint, DigestRecord, SnapshotError};
 use crate::traversal::{compile_trace, trace_ray_with, CompiledStep, RayTrace, TraversalStats};
 use crate::treelet::TreeletAssignment;
 use rt_bvh::{MemoryImage, PackOptions, TreeStats, WideBvh};
 use rt_geometry::Ray;
 use rt_gpu_sim::{
-    AccessKind, CacheStats, FillOrigin, Issue, MemorySystem, PrefetchEffect, RequestId,
+    fnv1a64, AccessKind, ByteReader, ByteWriter, CacheStats, DecodeError, FillOrigin, Issue,
+    MemorySystem, PrefetchEffect, RequestId,
 };
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::io::Write as _;
 
 /// Everything a simulation run measures.
 #[derive(Debug, Clone)]
@@ -75,6 +78,11 @@ pub struct SimResult {
     pub simt_efficiency: f64,
     /// Mean fraction of RT-unit warp-buffer slots occupied over the run.
     pub warp_buffer_occupancy: f64,
+    /// FNV-1a digest of the engine's complete final state (warp buffer,
+    /// traversal progress, caches, DRAM, prefetchers). Two runs of the
+    /// same inputs are bit-identical exactly when these match — the
+    /// checkpoint/resume acceptance check compares them.
+    pub state_digest: u64,
 }
 
 impl SimResult {
@@ -160,7 +168,110 @@ pub fn try_simulate_with_treelets(
 ) -> Result<SimResult, SimError> {
     config.validate()?;
     let mem = MemorySystem::new(config.mem, config.num_sms);
-    try_run_engine(bvh, rays, config, treelets, mem, true).map(|(result, _)| result)
+    try_run_engine(bvh, rays, config, treelets, mem, true, None, None).map(|(result, _)| result)
+}
+
+/// Like [`try_simulate`], but writes a crash-safe checkpoint of the
+/// complete simulator state every `opts.every` cycles (and, when
+/// configured, appends a per-epoch state digest to `opts.digest_log`).
+/// If the process dies — including `SIGKILL` — [`try_resume`] restarts
+/// the run from the last checkpoint and produces a bit-identical
+/// [`SimResult`].
+///
+/// The checkpoint file is left in place after a successful run, so a
+/// sweep harness can tell a finished scene from an interrupted one by
+/// its own bookkeeping and still re-verify the final digest.
+///
+/// # Errors
+///
+/// As [`try_simulate`], plus [`SimError::Config`] for a zero checkpoint
+/// interval and [`SimError::Snapshot`] if a checkpoint or digest-log
+/// write fails.
+pub fn try_simulate_checkpointed(
+    bvh: &WideBvh,
+    rays: &[Ray],
+    config: &SimConfig,
+    opts: &CheckpointOptions,
+) -> Result<SimResult, SimError> {
+    config.validate()?;
+    opts.validate()?;
+    let treelets = TreeletAssignment::form_with_policy(bvh, config.treelet_bytes, config.formation);
+    let mem = MemorySystem::new(config.mem, config.num_sms);
+    try_run_engine(bvh, rays, config, &treelets, mem, true, Some(opts), None)
+        .map(|(result, _)| result)
+}
+
+/// Resumes a run interrupted mid-flight from the checkpoint at
+/// `opts.path`, continuing to checkpoint on the same cadence. The inputs
+/// must be the ones that produced the checkpoint — same scene, rays, and
+/// configuration (`max_cycles` and `progress_window` excluded, so a run
+/// that exhausted its cycle budget can resume under a larger one) — and
+/// the resumed run's [`SimResult`], including its final
+/// [`state_digest`](SimResult::state_digest), is bit-identical to the
+/// uninterrupted run's.
+///
+/// # Errors
+///
+/// As [`try_simulate_checkpointed`], plus [`SimError::Snapshot`] when
+/// the checkpoint is unreadable, corrupt, truncated, from an unsupported
+/// version, or was produced by different inputs
+/// ([`SnapshotError::IdentityMismatch`]).
+pub fn try_resume(
+    bvh: &WideBvh,
+    rays: &[Ray],
+    config: &SimConfig,
+    opts: &CheckpointOptions,
+) -> Result<SimResult, SimError> {
+    config.validate()?;
+    opts.validate()?;
+    let checkpoint = snapshot::read_checkpoint(&opts.path)?;
+    let treelets = TreeletAssignment::form_with_policy(bvh, config.treelet_bytes, config.formation);
+    let identity = run_identity(bvh, rays, config, &treelets);
+    if checkpoint.identity != identity {
+        return Err(SnapshotError::IdentityMismatch {
+            expected: checkpoint.identity,
+            found: identity,
+        }
+        .into());
+    }
+    let mem = MemorySystem::new(config.mem, config.num_sms);
+    try_run_engine(
+        bvh,
+        rays,
+        config,
+        &treelets,
+        mem,
+        true,
+        Some(opts),
+        Some(checkpoint),
+    )
+    .map(|(result, _)| result)
+}
+
+/// Digest pinning a checkpoint to its inputs: the canonicalized
+/// configuration (cycle budgets zeroed — they bound the run but never
+/// alter its state trajectory, and resuming an exhausted run under a
+/// larger budget is the whole point), plus the BVH, ray-set, and treelet
+/// shapes. The heavyweight inputs (node bounds, ray origins) are pinned
+/// transitively: the serialized engine state they produce would not
+/// round-trip against different geometry, and the digest check turns
+/// that into an upfront typed error for the overwhelmingly common
+/// mix-up — pointing a resume at the wrong scene or config.
+fn run_identity(
+    bvh: &WideBvh,
+    rays: &[Ray],
+    config: &SimConfig,
+    treelets: &TreeletAssignment,
+) -> u64 {
+    let mut canon = config.clone();
+    canon.max_cycles = 0;
+    canon.progress_window = 0;
+    let mut w = ByteWriter::new();
+    w.put_bytes(format!("{canon:?}").as_bytes());
+    w.put_usize(bvh.node_count());
+    w.put_usize(rays.len());
+    w.put_usize(treelets.count());
+    fnv1a64(w.bytes())
 }
 
 /// Runs `batches` of rays sequentially through **one** memory hierarchy —
@@ -209,6 +320,8 @@ pub fn try_simulate_batches(
             &treelets,
             mem.take().expect("memory system threaded through batches"),
             finalize,
+            None,
+            None,
         )?;
         mem = Some(returned);
         results.push(result);
@@ -216,6 +329,7 @@ pub fn try_simulate_batches(
     Ok(results)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn try_run_engine(
     bvh: &WideBvh,
     rays: &[Ray],
@@ -223,6 +337,8 @@ fn try_run_engine(
     treelets: &TreeletAssignment,
     mem: MemorySystem,
     finalize: bool,
+    checkpoint: Option<&CheckpointOptions>,
+    resume: Option<Checkpoint>,
 ) -> Result<(SimResult, MemorySystem), SimError> {
     config.validate()?;
     if rays.is_empty() {
@@ -328,9 +444,31 @@ fn try_run_engine(
         })
         .collect();
 
-    let start_cycle = mem.cycle();
+    let mut start_cycle = mem.cycle();
     let mut engine = Engine::new(config, &compiled, treelets, treelet_lines, meta_lines, mem);
-    let end_cycle = engine.run()?;
+    let mut resumed_epoch = None;
+    if let Some(ck) = resume {
+        engine
+            .restore_dynamic(&ck.payload)
+            .map_err(|e| SimError::Snapshot(SnapshotError::Decode(e)))?;
+        // `cycles` must measure the whole logical run, not just the
+        // resumed tail, so the original start carries over.
+        start_cycle = ck.start_cycle;
+        resumed_epoch = Some(ck.epoch);
+    }
+    let mut runner = match checkpoint {
+        None => None,
+        Some(opts) => {
+            let identity = run_identity(bvh, rays, config, treelets);
+            Some(CheckpointRunner::start(
+                opts,
+                identity,
+                start_cycle,
+                resumed_epoch,
+            )?)
+        }
+    };
+    let end_cycle = engine.run(runner.as_mut())?;
     let cycles = end_cycle - start_cycle;
     // Always-on-in-debug memory audit: every request the engine issued
     // must have been answered exactly once (fault injection legitimately
@@ -459,6 +597,7 @@ fn try_run_engine(
             engine.occupancy_integral as f64
                 / (cycles as f64 * (config.num_sms * config.warp_buffer_size) as f64)
         },
+        state_digest: engine.state_digest(),
     };
     Ok((result, engine.mem))
 }
@@ -585,6 +724,11 @@ struct Engine<'a> {
     /// entered, a response drained, a test finished, a line issued, a
     /// shader op ran); the watchdog clears and checks it every cycle.
     progress: bool,
+    /// Last cycle the watchdog saw progress (or scheduled future work).
+    /// Lives on the engine — not the run loop — so checkpoints carry it
+    /// and a resumed run times out at exactly the same cycle an
+    /// uninterrupted one would.
+    last_progress: u64,
 }
 
 impl std::fmt::Debug for Engine<'_> {
@@ -765,6 +909,7 @@ impl<'a> Engine<'a> {
             warp_lanes.push(lanes);
         }
 
+        let last_progress = mem.cycle();
         Engine {
             config,
             mem,
@@ -782,6 +927,7 @@ impl<'a> Engine<'a> {
             occupied_slots: 0,
             occupancy_integral: 0,
             progress: false,
+            last_progress,
         }
     }
 
@@ -852,11 +998,13 @@ impl<'a> Engine<'a> {
     }
 
     /// Advances the engine until every ray retires, watching both the
-    /// hard cycle budget and forward progress.
-    fn run(&mut self) -> Result<u64, SimError> {
+    /// hard cycle budget and forward progress. When `ckpt` is set, the
+    /// complete dynamic state is checkpointed at every epoch boundary —
+    /// including the one on which a budget error fires, so an exhausted
+    /// run can be resumed under a larger budget.
+    fn run(&mut self, mut ckpt: Option<&mut CheckpointRunner>) -> Result<u64, SimError> {
         let max_cycles = self.config.max_cycles;
         let window = self.config.progress_window;
-        let mut last_progress = self.mem.cycle();
         while self.remaining > 0 {
             self.progress = false;
             for sm in 0..self.config.num_sms {
@@ -865,9 +1013,17 @@ impl<'a> Engine<'a> {
             self.occupancy_integral += self.occupied_slots as u64;
             self.mem.tick();
             let now = self.mem.cycle();
-            if self.progress || self.scheduled_work_pending(now) {
-                last_progress = now;
-            } else if now - last_progress >= window {
+            let advanced = self.progress || self.scheduled_work_pending(now);
+            if advanced {
+                self.last_progress = now;
+            }
+            if let Some(c) = ckpt.as_deref_mut() {
+                if now.is_multiple_of(c.every) {
+                    let payload = self.encode_dynamic();
+                    c.emit(payload, now, self.remaining as u64)?;
+                }
+            }
+            if !advanced && now - self.last_progress >= window {
                 return Err(SimError::NoForwardProgress {
                     window,
                     snapshot: self.snapshot(now),
@@ -1239,6 +1395,465 @@ impl<'a> Engine<'a> {
                 }
             }
         }
+    }
+
+    /// Serializes the engine's complete dynamic state — everything not
+    /// deterministically recomputed from (bvh, rays, config) by
+    /// [`Engine::new`] — into canonical bytes. Unordered containers are
+    /// sorted by key so one architectural state always yields one byte
+    /// sequence; ordered containers (queues, per-slot vectors, each
+    /// ray's pending lines) are encoded verbatim because their order is
+    /// architecturally significant. The FNV-1a digest of this encoding
+    /// is therefore a state digest, and the encoding doubles as the
+    /// checkpoint payload — a single code path keeps digests and
+    /// checkpoints consistent by construction.
+    fn encode_dynamic(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_usize(self.remaining);
+        w.put_u64(self.rt_entries);
+        w.put_u64(self.rt_live_lanes);
+        w.put_usize(self.occupied_slots);
+        w.put_u64(self.occupancy_integral);
+        w.put_u64(self.last_progress);
+        w.put_len(self.rays.len());
+        for ray in &self.rays {
+            w.put_usize(ray.step);
+            w.put_len(ray.lines_left.len());
+            for &(line, kind) in &ray.lines_left {
+                w.put_u64(line);
+                w.put_u8(kind.tag());
+            }
+            w.put_u32(ray.outstanding);
+            w.put_usize(ray.slot);
+        }
+        w.put_len(self.sms.len());
+        for sm in &self.sms {
+            encode_sm_state(sm, &mut w);
+        }
+        self.mem.encode_state(&mut w);
+        w.into_bytes()
+    }
+
+    /// FNV-1a digest of [`Engine::encode_dynamic`]'s bytes.
+    fn state_digest(&self) -> u64 {
+        fnv1a64(&self.encode_dynamic())
+    }
+
+    /// Overwrites this freshly constructed engine's dynamic state with a
+    /// checkpoint payload. The static state (compiled traces, treelet
+    /// line sets, warp→lane mapping) was already rebuilt by
+    /// [`Engine::new`] from the same inputs — the caller has verified
+    /// the identity digest — so only the dynamic fields are applied.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`DecodeError`]s for truncation, trailing bytes, or values
+    /// inconsistent with the rebuilt static state (ray or SM counts,
+    /// step indices past the end of a trace, prefetcher presence not
+    /// matching the configuration).
+    fn restore_dynamic(&mut self, payload: &[u8]) -> Result<(), DecodeError> {
+        let mut r = ByteReader::new(payload);
+        self.remaining = r.take_usize()?;
+        self.rt_entries = r.take_u64()?;
+        self.rt_live_lanes = r.take_u64()?;
+        self.occupied_slots = r.take_usize()?;
+        self.occupancy_integral = r.take_u64()?;
+        self.last_progress = r.take_u64()?;
+        let n = r.take_len(1)?;
+        if n != self.rays.len() {
+            return Err(DecodeError::malformed(format!(
+                "checkpoint holds {n} rays, this run traces {}",
+                self.rays.len()
+            )));
+        }
+        for ray in &mut self.rays {
+            ray.step = r.take_usize()?;
+            if ray.step > ray.steps.len() {
+                return Err(DecodeError::malformed(format!(
+                    "ray step {} past the end of its {}-step trace",
+                    ray.step,
+                    ray.steps.len()
+                )));
+            }
+            let k = r.take_len(9)?;
+            ray.lines_left.clear();
+            for _ in 0..k {
+                let line = r.take_u64()?;
+                let kind = AccessKind::from_tag(r.take_u8()?)?;
+                ray.lines_left.push((line, kind));
+            }
+            ray.outstanding = r.take_u32()?;
+            ray.slot = r.take_usize()?;
+        }
+        let n = r.take_len(1)?;
+        if n != self.sms.len() {
+            return Err(DecodeError::malformed(format!(
+                "checkpoint holds {n} SMs, this run has {}",
+                self.sms.len()
+            )));
+        }
+        let num_rays = self.rays.len();
+        for sm in &mut self.sms {
+            restore_sm_state(sm, &mut r, num_rays)?;
+        }
+        self.mem = MemorySystem::decode_state(&mut r, self.config.mem, self.config.num_sms)?;
+        r.expect_end()?;
+        Ok(())
+    }
+}
+
+/// Serializes one SM's dynamic state (see [`Engine::encode_dynamic`] for
+/// the ordering rules).
+fn encode_sm_state(sm: &SmState, w: &mut ByteWriter) {
+    w.put_len(sm.warp_queue.len());
+    for pending in &sm.warp_queue {
+        w.put_u64(pending.ready_at);
+        w.put_usize(pending.warp_id);
+        w.put_u32(pending.generation);
+        w.put_len(pending.rays.len());
+        for &r in &pending.rays {
+            w.put_u32(r);
+        }
+    }
+    w.put_len(sm.shader_runqueue.len());
+    for job in &sm.shader_runqueue {
+        w.put_usize(job.warp_id);
+        w.put_u64(job.remaining_ops);
+        w.put_u32(job.next_generation);
+    }
+    w.put_len(sm.slots.len());
+    for slot in &sm.slots {
+        match slot {
+            None => w.put_bool(false),
+            Some(s) => {
+                w.put_bool(true);
+                w.put_u64(s.arrival);
+                w.put_len(s.rays.len());
+                for &r in &s.rays {
+                    w.put_u32(r);
+                }
+                w.put_usize(s.active);
+                w.put_len(s.ready.len());
+                for &r in &s.ready {
+                    w.put_u32(r);
+                }
+                encode_counts(&s.counts, w);
+                w.put_usize(s.warp_id);
+                w.put_u32(s.generation);
+            }
+        }
+    }
+    // Heap entries are unique (a ray finishes one test at a time), so a
+    // sorted list reconstructs pop order exactly.
+    let mut tests: Vec<(u64, u32)> = sm.test_heap.iter().map(|Reverse(p)| *p).collect();
+    tests.sort_unstable();
+    w.put_len(tests.len());
+    for (t, ray) in tests {
+        w.put_u64(t);
+        w.put_u32(ray);
+    }
+    let mut reqs: Vec<(RequestId, &ReqOwner)> = sm.req_map.iter().map(|(&k, v)| (k, v)).collect();
+    reqs.sort_unstable_by_key(|&(k, _)| k);
+    w.put_len(reqs.len());
+    for (req, owner) in reqs {
+        w.put_u64(req);
+        match owner {
+            ReqOwner::Ray(r) => {
+                w.put_u8(0);
+                w.put_u32(*r);
+            }
+            ReqOwner::PrefetchLine => w.put_u8(1),
+            ReqOwner::PrefetchMeta(gated) => {
+                w.put_u8(2);
+                w.put_len(gated.len());
+                for &line in gated {
+                    w.put_u64(line);
+                }
+            }
+        }
+    }
+    encode_counts(&sm.counts_global, w);
+    match &sm.prefetcher {
+        None => w.put_bool(false),
+        Some(p) => {
+            w.put_bool(true);
+            p.encode_state(w);
+        }
+    }
+    match &sm.mta {
+        None => w.put_bool(false),
+        Some(m) => {
+            w.put_bool(true);
+            m.encode_state(w);
+        }
+    }
+    match &sm.ghb {
+        None => w.put_bool(false),
+        Some(g) => {
+            w.put_bool(true);
+            g.encode_state(w);
+        }
+    }
+    w.put_usize(sm.active_rays);
+}
+
+/// Restores one SM's dynamic state in place.
+fn restore_sm_state(
+    sm: &mut SmState,
+    r: &mut ByteReader<'_>,
+    num_rays: usize,
+) -> Result<(), DecodeError> {
+    let n = r.take_len(20)?;
+    sm.warp_queue = VecDeque::with_capacity(n);
+    for _ in 0..n {
+        let ready_at = r.take_u64()?;
+        let warp_id = r.take_usize()?;
+        let generation = r.take_u32()?;
+        let k = r.take_len(4)?;
+        let mut rays = Vec::with_capacity(k);
+        for _ in 0..k {
+            rays.push(r.take_u32()?);
+        }
+        sm.warp_queue.push_back(PendingWarp {
+            ready_at,
+            warp_id,
+            generation,
+            rays,
+        });
+    }
+    let n = r.take_len(20)?;
+    sm.shader_runqueue = VecDeque::with_capacity(n);
+    for _ in 0..n {
+        sm.shader_runqueue.push_back(ShaderJob {
+            warp_id: r.take_usize()?,
+            remaining_ops: r.take_u64()?,
+            next_generation: r.take_u32()?,
+        });
+    }
+    let n = r.take_len(1)?;
+    if n != sm.slots.len() {
+        return Err(DecodeError::malformed(format!(
+            "checkpoint holds {n} warp-buffer slots, the configuration has {}",
+            sm.slots.len()
+        )));
+    }
+    for slot in &mut sm.slots {
+        *slot = if r.take_bool()? {
+            let arrival = r.take_u64()?;
+            let k = r.take_len(4)?;
+            let mut rays = Vec::with_capacity(k);
+            for _ in 0..k {
+                rays.push(r.take_u32()?);
+            }
+            let active = r.take_usize()?;
+            let k = r.take_len(4)?;
+            let mut ready = VecDeque::with_capacity(k);
+            for _ in 0..k {
+                ready.push_back(r.take_u32()?);
+            }
+            let counts = decode_counts(r)?;
+            let warp_id = r.take_usize()?;
+            let generation = r.take_u32()?;
+            Some(WarpSlot {
+                arrival,
+                rays,
+                active,
+                ready,
+                counts,
+                warp_id,
+                generation,
+            })
+        } else {
+            None
+        };
+    }
+    let n = r.take_len(12)?;
+    sm.test_heap = BinaryHeap::with_capacity(n);
+    for _ in 0..n {
+        let t = r.take_u64()?;
+        let ray = r.take_u32()?;
+        sm.test_heap.push(Reverse((t, ray)));
+    }
+    let n = r.take_len(9)?;
+    sm.req_map = HashMap::with_capacity(n);
+    for _ in 0..n {
+        let req = r.take_u64()?;
+        let owner = match r.take_u8()? {
+            0 => {
+                let ray = r.take_u32()?;
+                if ray as usize >= num_rays {
+                    return Err(DecodeError::malformed(format!(
+                        "request owner ray {ray} out of range ({num_rays} rays)"
+                    )));
+                }
+                ReqOwner::Ray(ray)
+            }
+            1 => ReqOwner::PrefetchLine,
+            2 => {
+                let k = r.take_len(8)?;
+                let mut gated = Vec::with_capacity(k);
+                for _ in 0..k {
+                    gated.push(r.take_u64()?);
+                }
+                ReqOwner::PrefetchMeta(gated)
+            }
+            t => {
+                return Err(DecodeError::malformed(format!(
+                    "unknown request-owner tag {t}"
+                )))
+            }
+        };
+        if sm.req_map.insert(req, owner).is_some() {
+            return Err(DecodeError::malformed(format!(
+                "duplicate in-flight request {req}"
+            )));
+        }
+    }
+    sm.counts_global = decode_counts(r)?;
+    restore_optional_unit(r, "treelet prefetcher", &mut sm.prefetcher, |p, r| {
+        p.restore_state(r)
+    })?;
+    restore_optional_unit(r, "MTA prefetcher", &mut sm.mta, |m, r| m.restore_state(r))?;
+    restore_optional_unit(r, "GHB prefetcher", &mut sm.ghb, |g, r| g.restore_state(r))?;
+    sm.active_rays = r.take_usize()?;
+    Ok(())
+}
+
+/// Reads an optional unit's presence flag and, when present, its state —
+/// rejecting checkpoints whose flag disagrees with the configuration the
+/// engine was rebuilt from.
+fn restore_optional_unit<T>(
+    r: &mut ByteReader<'_>,
+    name: &str,
+    unit: &mut Option<T>,
+    restore: impl FnOnce(&mut T, &mut ByteReader<'_>) -> Result<(), DecodeError>,
+) -> Result<(), DecodeError> {
+    let present = r.take_bool()?;
+    match (present, unit.as_mut()) {
+        (true, Some(u)) => restore(u, r),
+        (false, None) => Ok(()),
+        (flag, _) => Err(DecodeError::malformed(format!(
+            "checkpoint {} a {name}, the configuration {}",
+            if flag { "carries" } else { "lacks" },
+            if flag { "has none" } else { "expects one" },
+        ))),
+    }
+}
+
+/// Canonical encoding of a treelet-popularity count map (sorted by
+/// treelet id).
+fn encode_counts(counts: &HashMap<u32, u32>, w: &mut ByteWriter) {
+    let mut entries: Vec<(u32, u32)> = counts.iter().map(|(&k, &c)| (k, c)).collect();
+    entries.sort_unstable();
+    w.put_len(entries.len());
+    for (k, c) in entries {
+        w.put_u32(k);
+        w.put_u32(c);
+    }
+}
+
+fn decode_counts(r: &mut ByteReader<'_>) -> Result<HashMap<u32, u32>, DecodeError> {
+    let n = r.take_len(8)?;
+    let mut counts = HashMap::with_capacity(n);
+    for _ in 0..n {
+        let k = r.take_u32()?;
+        let c = r.take_u32()?;
+        if counts.insert(k, c).is_some() {
+            return Err(DecodeError::malformed(format!(
+                "duplicate treelet count entry {k}"
+            )));
+        }
+    }
+    Ok(counts)
+}
+
+/// Live I/O state of a checkpointing run: where checkpoints land, the
+/// header fields they all share, and the open digest log.
+struct CheckpointRunner {
+    every: u64,
+    path: std::path::PathBuf,
+    identity: u64,
+    start_cycle: u64,
+    log: Option<(std::path::PathBuf, std::fs::File)>,
+}
+
+impl CheckpointRunner {
+    /// Validates the options and opens the digest log: fresh runs
+    /// truncate it; resumed runs keep only the records at or before the
+    /// resumed epoch, so the log never claims epochs the resumed
+    /// timeline has not yet reached.
+    fn start(
+        opts: &CheckpointOptions,
+        identity: u64,
+        start_cycle: u64,
+        resumed_epoch: Option<u64>,
+    ) -> Result<CheckpointRunner, SimError> {
+        opts.validate()?;
+        let log = match &opts.digest_log {
+            None => None,
+            Some(path) => {
+                let kept: Vec<DigestRecord> = match resumed_epoch {
+                    Some(epoch) if path.exists() => snapshot::read_digest_log(path)
+                        .map_err(SimError::Snapshot)?
+                        .into_iter()
+                        .filter(|rec| rec.epoch <= epoch)
+                        .collect(),
+                    _ => Vec::new(),
+                };
+                let io = |what: &'static str, source: std::io::Error| {
+                    SimError::Snapshot(SnapshotError::Io {
+                        what,
+                        path: path.clone(),
+                        source,
+                    })
+                };
+                let mut file =
+                    std::fs::File::create(path).map_err(|e| io("create digest log", e))?;
+                for rec in &kept {
+                    writeln!(file, "{rec}").map_err(|e| io("rewrite digest log", e))?;
+                }
+                file.flush().map_err(|e| io("rewrite digest log", e))?;
+                Some((path.clone(), file))
+            }
+        };
+        Ok(CheckpointRunner {
+            every: opts.every,
+            path: opts.path.clone(),
+            identity,
+            start_cycle,
+            log,
+        })
+    }
+
+    /// Atomically replaces the checkpoint file with the state at `cycle`
+    /// and appends the epoch's digest record to the log.
+    fn emit(&mut self, payload: Vec<u8>, cycle: u64, rays_remaining: u64) -> Result<(), SimError> {
+        let epoch = cycle / self.every;
+        let checkpoint = Checkpoint {
+            identity: self.identity,
+            epoch,
+            start_cycle: self.start_cycle,
+            cycle,
+            rays_remaining,
+            payload,
+        };
+        snapshot::write_atomic(&self.path, &checkpoint.to_bytes())?;
+        if let Some((path, file)) = &mut self.log {
+            let record = DigestRecord {
+                epoch,
+                cycle,
+                digest: checkpoint.state_digest(),
+                rays_remaining,
+            };
+            writeln!(file, "{record}")
+                .and_then(|()| file.flush())
+                .map_err(|source| SnapshotError::Io {
+                    what: "append digest log",
+                    path: path.clone(),
+                    source,
+                })?;
+        }
+        Ok(())
     }
 }
 
@@ -1748,6 +2363,168 @@ mod tests {
         let again = try_simulate(&bvh, &rays, &faulty_cfg).unwrap();
         assert_eq!(faulty.cycles, again.cycles);
         assert_eq!(faulty.l1, again.l1);
+    }
+
+    /// Fresh per-test scratch directory under the system temp dir.
+    fn ckpt_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("treelet-ckpt-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn determinism_across_entry_points_and_batch_splits() {
+        let (bvh, rays) = fixture();
+        let config = SimConfig::paper_treelet_prefetch();
+        let single_a = try_simulate(&bvh, &rays, &config).unwrap();
+        let single_b = try_simulate(&bvh, &rays, &config).unwrap();
+        assert_eq!(format!("{single_a:?}"), format!("{single_b:?}"));
+        // One whole batch goes down the same path as try_simulate: the
+        // results — final state digest included — are identical.
+        let whole = try_simulate_batches(&bvh, std::slice::from_ref(&rays), &config).unwrap();
+        assert_eq!(format!("{:?}", whole[0]), format!("{single_a:?}"));
+        assert_eq!(whole[0].state_digest, single_a.state_digest);
+        // Multi-batch sessions form warps per batch, so each split point
+        // is its own timing trajectory; what determinism demands is that
+        // every split reproduces itself exactly, run to run.
+        for split in [16usize, 32, 48] {
+            let (a, b) = rays.split_at(split);
+            let batches = [a.to_vec(), b.to_vec()];
+            let r1 = try_simulate_batches(&bvh, &batches, &config).unwrap();
+            let r2 = try_simulate_batches(&bvh, &batches, &config).unwrap();
+            assert_eq!(format!("{r1:?}"), format!("{r2:?}"), "split at {split}");
+            assert_eq!(
+                r1.last().unwrap().state_digest,
+                r2.last().unwrap().state_digest,
+                "split at {split}"
+            );
+        }
+    }
+
+    #[test]
+    fn interrupted_runs_resume_bit_identical_across_scenes() {
+        // The acceptance matrix: ≥3 scenes, including the treelet-prefetch
+        // configuration, plus fault-injection (RNG state) and shader-mode
+        // (bounce bookkeeping) variants of it.
+        let mut faulty = SimConfig::paper_treelet_prefetch();
+        faulty.mem.fault_injection = Some(rt_gpu_sim::FaultInjection::latency_storm(42));
+        let mut shaded = SimConfig::paper_treelet_prefetch();
+        shaded.shader = Some(crate::ShaderProgram::path_tracer());
+        let cases = [
+            (SceneId::Wknd, SimConfig::paper_baseline(), "wknd-baseline"),
+            (
+                SceneId::Bunny,
+                SimConfig::paper_treelet_prefetch(),
+                "bunny-prefetch",
+            ),
+            (
+                SceneId::Park,
+                SimConfig::paper_treelet_traversal_only(),
+                "park-treelet",
+            ),
+            (SceneId::Wknd, faulty, "wknd-prefetch-faulty"),
+            (SceneId::Wknd, shaded, "wknd-prefetch-shader"),
+        ];
+        let dir = ckpt_dir("resume");
+        for (scene_id, config, name) in cases {
+            let scene = Scene::build_with_detail(scene_id, 0.3);
+            let rays = Workload::new(WorkloadKind::Primary, 8, 8).generate(&scene);
+            let bvh = WideBvh::build(scene.mesh.into_triangles());
+            let straight = try_simulate(&bvh, &rays, &config).unwrap();
+            let every = (straight.cycles / 7).max(1);
+            let opts = CheckpointOptions::new(every, dir.join(format!("{name}.rtsnap")))
+                .with_digest_log(dir.join(format!("{name}.digests")));
+            // Uninterrupted checkpointed run: bit-identical to the plain
+            // run, with several epochs logged.
+            let full = try_simulate_checkpointed(&bvh, &rays, &config, &opts).unwrap();
+            assert_eq!(format!("{full:?}"), format!("{straight:?}"), "{name}");
+            let log_path = opts.digest_log.as_ref().unwrap();
+            let full_log = snapshot::read_digest_log(log_path).unwrap();
+            assert!(
+                full_log.len() >= 3,
+                "{name}: expected several epochs, got {}",
+                full_log.len()
+            );
+            // Interrupt mid-run via the cycle budget — the checkpoint from
+            // the aborting epoch survives, exactly as after a SIGKILL
+            // between epochs — then resume under the full budget.
+            let mut truncated = config.clone();
+            truncated.max_cycles = (straight.cycles * 2 / 3).max(every);
+            match try_simulate_checkpointed(&bvh, &rays, &truncated, &opts) {
+                Err(SimError::CycleLimitExceeded { .. }) => {}
+                other => panic!("{name}: expected budget exhaustion, got {other:?}"),
+            }
+            let ck = snapshot::read_checkpoint(&opts.path).unwrap();
+            assert!(
+                ck.cycle < straight.cycles,
+                "{name}: checkpoint must be mid-run"
+            );
+            assert!(ck.rays_remaining > 0, "{name}");
+            let resumed = try_resume(&bvh, &rays, &config, &opts).unwrap();
+            assert_eq!(
+                format!("{resumed:?}"),
+                format!("{straight:?}"),
+                "{name}: resumed run must be bit-identical"
+            );
+            assert_eq!(resumed.state_digest, straight.state_digest, "{name}");
+            // The digest history after resume matches the uninterrupted
+            // run's epoch for epoch.
+            let resumed_log = snapshot::read_digest_log(log_path).unwrap();
+            assert_eq!(resumed_log, full_log, "{name}: digest histories differ");
+            assert!(snapshot::first_divergence(&full_log, &resumed_log).is_none());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_rejects_corrupt_and_foreign_checkpoints() {
+        let (bvh, rays) = fixture();
+        let config = SimConfig::paper_baseline();
+        let dir = ckpt_dir("reject");
+        let path = dir.join("ck.rtsnap");
+        let straight = try_simulate(&bvh, &rays, &config).unwrap();
+        let opts = CheckpointOptions::new((straight.cycles / 4).max(1), &path);
+        try_simulate_checkpointed(&bvh, &rays, &config, &opts).unwrap();
+        // A checkpoint from a different configuration is refused up front.
+        match try_resume(&bvh, &rays, &SimConfig::paper_treelet_traversal_only(), &opts) {
+            Err(SimError::Snapshot(SnapshotError::IdentityMismatch { expected, found })) => {
+                assert_ne!(expected, found);
+            }
+            other => panic!("expected identity mismatch, got {other:?}"),
+        }
+        // A larger cycle budget is NOT a different run: resuming the
+        // finished checkpoint under it replays the tail and matches.
+        let mut roomy = config.clone();
+        roomy.max_cycles = config.max_cycles + 1;
+        let resumed = try_resume(&bvh, &rays, &roomy, &opts).unwrap();
+        assert_eq!(resumed.state_digest, straight.state_digest);
+        // Truncation, bit flips, and a missing file are all typed errors.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        match try_resume(&bvh, &rays, &config, &opts) {
+            Err(SimError::Snapshot(SnapshotError::Decode(_))) => {}
+            other => panic!("expected decode error on truncation, got {other:?}"),
+        }
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        std::fs::write(&path, &flipped).unwrap();
+        match try_resume(&bvh, &rays, &config, &opts) {
+            Err(SimError::Snapshot(SnapshotError::Decode(_))) => {}
+            other => panic!("expected decode error on bit flip, got {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+        match try_resume(&bvh, &rays, &config, &opts) {
+            Err(SimError::Snapshot(SnapshotError::Io { .. })) => {}
+            other => panic!("expected io error on missing file, got {other:?}"),
+        }
+        // A zero interval is a config error, not a runtime surprise.
+        let bad = CheckpointOptions::new(0, dir.join("never.rtsnap"));
+        assert!(matches!(
+            try_simulate_checkpointed(&bvh, &rays, &config, &bad),
+            Err(SimError::Config(crate::ConfigError::ZeroCheckpointInterval))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -9,6 +9,8 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
+use crate::codec::{ByteReader, ByteWriter, DecodeError};
+
 /// Who caused a line to be (or be being) fetched.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FillOrigin {
@@ -16,6 +18,21 @@ pub enum FillOrigin {
     Demand,
     /// The treelet (or comparison) prefetcher.
     Prefetch,
+}
+
+pub(crate) fn encode_origin(origin: FillOrigin, w: &mut ByteWriter) {
+    w.put_u8(match origin {
+        FillOrigin::Demand => 0,
+        FillOrigin::Prefetch => 1,
+    });
+}
+
+pub(crate) fn decode_origin(r: &mut ByteReader<'_>) -> Result<FillOrigin, DecodeError> {
+    match r.take_u8()? {
+        0 => Ok(FillOrigin::Demand),
+        1 => Ok(FillOrigin::Prefetch),
+        t => Err(DecodeError::malformed(format!("unknown fill origin tag {t}"))),
+    }
 }
 
 /// Outcome of a cache probe.
@@ -431,6 +448,232 @@ impl Cache {
         self.evicted_unread.clear();
         self.effect
     }
+
+    /// Serializes the complete cache state into `w`.
+    ///
+    /// Encoding is canonical (deterministic): hash maps and sets are
+    /// written in sorted key order, the lazy LRU heap as a sorted entry
+    /// list, and per-set membership vectors **verbatim** — set-associative
+    /// victim selection tie-breaks on position (`min_by_key` returns the
+    /// first minimum, then `swap_remove` reshuffles), so order is
+    /// architecturally significant state.
+    pub(crate) fn encode_state(&self, w: &mut ByteWriter) {
+        w.put_usize(self.capacity_lines);
+        match self.organization {
+            Organization::FullyAssociative => w.put_u8(0),
+            Organization::SetAssociative { sets } => {
+                w.put_u8(1);
+                w.put_u64(sets);
+            }
+        }
+        w.put_usize(self.ways);
+        w.put_u64(self.line_bytes);
+        w.put_usize(self.mshr_capacity);
+
+        let mut keys: Vec<u64> = self.lines.keys().copied().collect();
+        keys.sort_unstable();
+        w.put_len(keys.len());
+        for k in keys {
+            let line = &self.lines[&k];
+            w.put_u64(k);
+            w.put_u64(line.last_use);
+            encode_origin(line.origin, w);
+            w.put_bool(line.read_by_demand);
+        }
+
+        let mut keys: Vec<u64> = self.mshrs.keys().copied().collect();
+        keys.sort_unstable();
+        w.put_len(keys.len());
+        for k in keys {
+            let entry = &self.mshrs[&k];
+            w.put_u64(k);
+            encode_origin(entry.origin, w);
+            w.put_bool(entry.demand_merged);
+        }
+
+        let mut heap: Vec<(u64, u64)> = self.lru_heap.iter().map(|Reverse(p)| *p).collect();
+        heap.sort_unstable();
+        w.put_len(heap.len());
+        for (ts, line) in heap {
+            w.put_u64(ts);
+            w.put_u64(line);
+        }
+
+        w.put_len(self.set_members.len());
+        for set in &self.set_members {
+            w.put_len(set.len());
+            for &line in set {
+                w.put_u64(line);
+            }
+        }
+
+        let mut evicted: Vec<u64> = self.evicted_unread.iter().copied().collect();
+        evicted.sort_unstable();
+        w.put_len(evicted.len());
+        for line in evicted {
+            w.put_u64(line);
+        }
+
+        for v in [
+            self.stats.demand_hits_on_prefetch,
+            self.stats.demand_hits_on_demand,
+            self.stats.demand_pending_hits,
+            self.stats.demand_misses,
+            self.stats.prefetch_probes,
+            self.stats.prefetch_misses,
+            self.stats.mshr_rejections,
+            self.stats.evictions,
+        ] {
+            w.put_u64(v);
+        }
+        for v in [
+            self.effect.too_late,
+            self.effect.late,
+            self.effect.timely,
+            self.effect.early,
+            self.effect.unused,
+        ] {
+            w.put_u64(v);
+        }
+    }
+
+    /// Rebuilds a cache from bytes produced by [`Cache::encode_state`].
+    /// All reads are bounds-checked; structural inconsistencies (set
+    /// members naming non-resident lines, impossible shapes) are rejected
+    /// as [`DecodeError::Malformed`] rather than trusted.
+    pub(crate) fn decode_state(r: &mut ByteReader<'_>) -> Result<Cache, DecodeError> {
+        let capacity_lines = r.take_usize()?;
+        let organization = match r.take_u8()? {
+            0 => Organization::FullyAssociative,
+            1 => Organization::SetAssociative { sets: r.take_u64()? },
+            t => {
+                return Err(DecodeError::malformed(format!(
+                    "unknown cache organization tag {t}"
+                )))
+            }
+        };
+        let ways = r.take_usize()?;
+        let line_bytes = r.take_u64()?;
+        let mshr_capacity = r.take_usize()?;
+        if capacity_lines == 0 || ways == 0 || line_bytes == 0 || mshr_capacity == 0 {
+            return Err(DecodeError::malformed("cache shape fields must be nonzero"));
+        }
+
+        let n = r.take_len(11)?;
+        let mut lines = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let k = r.take_u64()?;
+            let last_use = r.take_u64()?;
+            let origin = decode_origin(r)?;
+            let read_by_demand = r.take_bool()?;
+            lines.insert(
+                k,
+                Line {
+                    last_use,
+                    origin,
+                    read_by_demand,
+                },
+            );
+        }
+
+        let n = r.take_len(10)?;
+        let mut mshrs = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let k = r.take_u64()?;
+            let origin = decode_origin(r)?;
+            let demand_merged = r.take_bool()?;
+            mshrs.insert(
+                k,
+                MshrEntry {
+                    origin,
+                    demand_merged,
+                },
+            );
+        }
+
+        let n = r.take_len(16)?;
+        let mut lru_heap = BinaryHeap::with_capacity(n);
+        for _ in 0..n {
+            let ts = r.take_u64()?;
+            let line = r.take_u64()?;
+            lru_heap.push(Reverse((ts, line)));
+        }
+
+        let set_count = r.take_len(8)?;
+        let expected_sets = match organization {
+            Organization::FullyAssociative => 1,
+            Organization::SetAssociative { sets } => sets as usize,
+        };
+        if set_count != expected_sets {
+            return Err(DecodeError::malformed(format!(
+                "set count {set_count} does not match organization ({expected_sets} sets)"
+            )));
+        }
+        let mut set_members = Vec::with_capacity(set_count);
+        for _ in 0..set_count {
+            let members = r.take_len(8)?;
+            let mut set = Vec::with_capacity(members);
+            for _ in 0..members {
+                let line = r.take_u64()?;
+                if !lines.contains_key(&line) {
+                    return Err(DecodeError::malformed(format!(
+                        "set member {line:#x} is not a resident line"
+                    )));
+                }
+                set.push(line);
+            }
+            set_members.push(set);
+        }
+
+        let n = r.take_len(8)?;
+        let mut evicted_unread = HashSet::with_capacity(n);
+        for _ in 0..n {
+            evicted_unread.insert(r.take_u64()?);
+        }
+
+        let stats = CacheStats {
+            demand_hits_on_prefetch: r.take_u64()?,
+            demand_hits_on_demand: r.take_u64()?,
+            demand_pending_hits: r.take_u64()?,
+            demand_misses: r.take_u64()?,
+            prefetch_probes: r.take_u64()?,
+            prefetch_misses: r.take_u64()?,
+            mshr_rejections: r.take_u64()?,
+            evictions: r.take_u64()?,
+        };
+        let effect = PrefetchEffect {
+            too_late: r.take_u64()?,
+            late: r.take_u64()?,
+            timely: r.take_u64()?,
+            early: r.take_u64()?,
+            unused: r.take_u64()?,
+        };
+
+        if matches!(organization, Organization::FullyAssociative) && !lines.is_empty() {
+            // The lazy LRU heap must be able to name every resident line
+            // or a later eviction would panic on an empty heap.
+            if lru_heap.len() < lines.len() {
+                return Err(DecodeError::malformed(
+                    "LRU heap smaller than resident line count",
+                ));
+            }
+        }
+
+        Ok(Cache {
+            lines,
+            capacity_lines,
+            organization,
+            ways,
+            line_bytes,
+            mshrs,
+            mshr_capacity,
+            lru_heap,
+            set_members,
+            evicted_unread,
+            stats,
+            effect,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -627,5 +870,62 @@ mod tests {
     #[should_panic(expected = "at least one line")]
     fn zero_capacity_panics() {
         let _ = Cache::new(0, Organization::FullyAssociative, 1, 64);
+    }
+
+    #[test]
+    fn state_round_trips_through_the_codec() {
+        for org in [
+            Organization::FullyAssociative,
+            Organization::SetAssociative { sets: 2 },
+        ] {
+            let mut c = Cache::new(4, org, 4, 64);
+            // Leave behind resident lines, a pending MSHR, an eviction,
+            // and nonzero stats/effect counters.
+            for (i, addr) in [0x000u64, 0x040, 0x080, 0x0c0, 0x100].iter().enumerate() {
+                c.probe(*addr, FillOrigin::Demand, i as u64);
+                c.fill(*addr, i as u64);
+            }
+            c.probe(0x200, FillOrigin::Prefetch, 9);
+            c.probe(0x000, FillOrigin::Demand, 10);
+
+            let mut w = ByteWriter::new();
+            c.encode_state(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = ByteReader::new(&bytes);
+            let back = Cache::decode_state(&mut r).expect("own encoding must decode");
+            r.expect_end().unwrap();
+
+            // Canonical encoding: re-encoding the decoded cache is
+            // byte-identical (this is what the state digest hashes).
+            let mut w2 = ByteWriter::new();
+            back.encode_state(&mut w2);
+            assert_eq!(w2.into_bytes(), bytes);
+            assert_eq!(back.stats(), c.stats());
+            assert_eq!(back.effect(), c.effect());
+            assert_eq!(back.resident_lines(), c.resident_lines());
+            assert_eq!(back.mshrs_in_use(), c.mshrs_in_use());
+        }
+    }
+
+    #[test]
+    fn decode_rejects_inconsistent_set_membership() {
+        let mut c = Cache::new(4, Organization::SetAssociative { sets: 2 }, 4, 64);
+        c.probe(0x000, FillOrigin::Demand, 1);
+        c.fill(0x000, 1);
+        let mut w = ByteWriter::new();
+        c.encode_state(&mut w);
+        let mut bytes = w.into_bytes();
+        let len = bytes.len();
+        // Layout tail: ..., set-member addr (8), evicted-unread len (8),
+        // stats+effect (13×8). Flip a byte of the set-member address so it
+        // no longer names a resident line: decoding must fail typed, not
+        // panic.
+        let member_pos = len - 13 * 8 - 8 - 8;
+        bytes[member_pos] ^= 0xff;
+        let mut r = ByteReader::new(&bytes);
+        match Cache::decode_state(&mut r) {
+            Err(DecodeError::Malformed { .. }) => {}
+            other => panic!("expected malformed rejection, got {other:?}"),
+        }
     }
 }

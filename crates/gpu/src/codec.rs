@@ -1,0 +1,363 @@
+//! Minimal little-endian binary codec for simulator snapshots.
+//!
+//! The checkpoint/resume subsystem serializes the complete architectural
+//! state of the simulator (caches, MSHRs, DRAM queues, prefetchers, warp
+//! buffer) into a versioned, checksummed byte stream. Like `trace_io` in
+//! the core crate, this is hand-rolled: the workspace builds with zero
+//! external dependencies, so there is no serde to lean on.
+//!
+//! Two invariants matter more than speed here:
+//!
+//! - **Determinism** — the same architectural state must always encode to
+//!   the same bytes, because the per-epoch *state digest* (FNV-1a over the
+//!   encoded payload) is how a resumed run proves itself bit-identical to
+//!   an uninterrupted one. Callers are responsible for iterating hash maps
+//!   in sorted key order; the codec itself is a plain byte pipe.
+//! - **No panic paths on decode** — checkpoints may be truncated or
+//!   corrupted by the very crash they exist to survive. Every read is
+//!   bounds-checked and every failure is a typed [`DecodeError`].
+//!
+//! # Examples
+//!
+//! ```
+//! use rt_gpu_sim::{ByteReader, ByteWriter};
+//!
+//! let mut w = ByteWriter::new();
+//! w.put_u64(0xdead_beef);
+//! w.put_bool(true);
+//! let bytes = w.into_bytes();
+//!
+//! let mut r = ByteReader::new(&bytes);
+//! assert_eq!(r.take_u64().unwrap(), 0xdead_beef);
+//! assert!(r.take_bool().unwrap());
+//! assert_eq!(r.remaining(), 0);
+//! ```
+
+use std::fmt;
+
+/// FNV-1a 64-bit hash of a byte slice.
+///
+/// Used both as the snapshot checksum and as the per-epoch state digest
+/// (hashing the canonical encoded state gives digest/serialization
+/// consistency from a single code path).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A typed decode failure. Every malformed, truncated, or corrupted
+/// snapshot maps to one of these variants — the codec has no panic paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ended before a field could be read in full.
+    UnexpectedEof {
+        /// Byte offset at which the read started.
+        offset: usize,
+        /// Bytes the field needed.
+        needed: usize,
+    },
+    /// The file does not start with the snapshot magic bytes.
+    BadMagic,
+    /// The snapshot was written by an unknown format version.
+    UnsupportedVersion {
+        /// The version number found in the header.
+        found: u32,
+    },
+    /// The payload checksum does not match the stored checksum.
+    ChecksumMismatch {
+        /// Checksum stored in the file.
+        expected: u64,
+        /// Checksum recomputed over the payload.
+        found: u64,
+    },
+    /// A field decoded to a value no encoder produces (bad enum tag,
+    /// non-0/1 bool, impossible length, trailing bytes).
+    Malformed {
+        /// What was wrong.
+        what: String,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof { offset, needed } => write!(
+                f,
+                "unexpected end of snapshot: needed {needed} byte(s) at offset {offset}"
+            ),
+            DecodeError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            DecodeError::UnsupportedVersion { found } => {
+                write!(f, "unsupported snapshot version {found}")
+            }
+            DecodeError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "snapshot checksum mismatch: stored {expected:#018x}, computed {found:#018x}"
+            ),
+            DecodeError::Malformed { what } => write!(f, "malformed snapshot: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl DecodeError {
+    /// Convenience constructor for [`DecodeError::Malformed`].
+    pub fn malformed(what: impl Into<String>) -> DecodeError {
+        DecodeError::Malformed { what: what.into() }
+    }
+}
+
+/// An append-only little-endian byte sink.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    /// The bytes written so far.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `i64`, little-endian two's complement.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a `u64` (snapshots are portable across
+    /// pointer widths).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends a bool as one byte (0 or 1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Appends a sequence length prefix (as `u64`).
+    pub fn put_len(&mut self, n: usize) {
+        self.put_u64(n as u64);
+    }
+
+    /// Appends raw bytes with no length prefix.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+}
+
+/// A bounds-checked little-endian byte source over a borrowed slice.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Current byte offset from the start of the input.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::UnexpectedEof {
+                offset: self.pos,
+                needed: n,
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn take_u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn take_u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn take_u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn take_i64(&mut self) -> Result<i64, DecodeError> {
+        Ok(self.take_u64()? as i64)
+    }
+
+    /// Reads a `usize` encoded as `u64`, rejecting values that do not fit
+    /// the host's pointer width.
+    pub fn take_usize(&mut self) -> Result<usize, DecodeError> {
+        let v = self.take_u64()?;
+        usize::try_from(v).map_err(|_| DecodeError::malformed("usize value out of range"))
+    }
+
+    /// Reads a bool byte; anything but 0 or 1 is malformed.
+    pub fn take_bool(&mut self) -> Result<bool, DecodeError> {
+        match self.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(DecodeError::malformed(format!("bad bool byte {v}"))),
+        }
+    }
+
+    /// Reads a sequence length prefix. `min_elem_bytes` is the smallest
+    /// possible encoding of one element; a length whose elements could
+    /// not all fit in the remaining input is rejected immediately, so a
+    /// corrupted length field cannot drive a huge allocation.
+    pub fn take_len(&mut self, min_elem_bytes: usize) -> Result<usize, DecodeError> {
+        let n = self.take_usize()?;
+        let need = n.checked_mul(min_elem_bytes.max(1));
+        match need {
+            Some(need) if need <= self.remaining() => Ok(n),
+            _ => Err(DecodeError::malformed(format!(
+                "sequence length {n} exceeds remaining input"
+            ))),
+        }
+    }
+
+    /// Reads exactly `n` raw bytes.
+    pub fn take_bytes(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        self.take(n)
+    }
+
+    /// Fails with a typed error if any input remains unread.
+    pub fn expect_end(&self) -> Result<(), DecodeError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(DecodeError::malformed(format!(
+                "{} trailing byte(s) after decoded state",
+                self.remaining()
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_primitives() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u32(0x1234_5678);
+        w.put_u64(u64::MAX);
+        w.put_i64(-42);
+        w.put_usize(99);
+        w.put_bool(true);
+        w.put_bool(false);
+        w.put_len(3);
+        w.put_bytes(b"abc");
+        let bytes = w.into_bytes();
+
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.take_u8().unwrap(), 7);
+        assert_eq!(r.take_u32().unwrap(), 0x1234_5678);
+        assert_eq!(r.take_u64().unwrap(), u64::MAX);
+        assert_eq!(r.take_i64().unwrap(), -42);
+        assert_eq!(r.take_usize().unwrap(), 99);
+        assert!(r.take_bool().unwrap());
+        assert!(!r.take_bool().unwrap());
+        assert_eq!(r.take_len(1).unwrap(), 3);
+        assert_eq!(r.take_bytes(3).unwrap(), b"abc");
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn truncated_reads_are_typed_eof() {
+        let mut r = ByteReader::new(&[1, 2, 3]);
+        match r.take_u64() {
+            Err(DecodeError::UnexpectedEof { offset: 0, needed: 8 }) => {}
+            other => panic!("expected EOF error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_bool_and_oversized_length_are_malformed() {
+        let mut r = ByteReader::new(&[9]);
+        assert!(matches!(r.take_bool(), Err(DecodeError::Malformed { .. })));
+
+        // A length prefix claiming more elements than bytes remain.
+        let mut w = ByteWriter::new();
+        w.put_len(1_000_000);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(r.take_len(8), Err(DecodeError::Malformed { .. })));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut r = ByteReader::new(&[0]);
+        assert!(r.expect_end().is_err());
+        r.take_u8().unwrap();
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn fnv_is_stable_and_order_sensitive() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a64(b"ab"), fnv1a64(b"ba"));
+        assert_eq!(fnv1a64(b"treelet"), fnv1a64(b"treelet"));
+    }
+}

@@ -10,6 +10,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use crate::codec::{ByteReader, ByteWriter, DecodeError};
+
 /// DRAM timing and topology parameters (in *memory-clock* cycles).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DramConfig {
@@ -153,6 +155,74 @@ impl Dram {
     pub fn total_accesses(&self) -> u64 {
         self.channels.iter().map(|c| c.accesses).sum()
     }
+
+    /// Serializes the DRAM state (channels verbatim, completion heap as a
+    /// sorted list — completion ids are line addresses, so equal entries
+    /// are indistinguishable and pop order is value-determined).
+    pub(crate) fn encode_state(&self, w: &mut ByteWriter) {
+        w.put_usize(self.config.channels);
+        w.put_u64(self.config.partition_stride);
+        w.put_u64(self.config.service_latency);
+        w.put_u64(self.config.burst_cycles);
+        w.put_len(self.channels.len());
+        for ch in &self.channels {
+            w.put_u64(ch.bus_free_at);
+            w.put_u64(ch.busy_cycles);
+            w.put_u64(ch.accesses);
+        }
+        let mut completions: Vec<(u64, u64)> =
+            self.completions.iter().map(|Reverse(p)| *p).collect();
+        completions.sort_unstable();
+        w.put_len(completions.len());
+        for (t, id) in completions {
+            w.put_u64(t);
+            w.put_u64(id);
+        }
+    }
+
+    /// Rebuilds a DRAM device from bytes produced by
+    /// [`Dram::encode_state`].
+    pub(crate) fn decode_state(r: &mut ByteReader<'_>) -> Result<Dram, DecodeError> {
+        let channels = r.take_usize()?;
+        let partition_stride = r.take_u64()?;
+        let service_latency = r.take_u64()?;
+        let burst_cycles = r.take_u64()?;
+        if channels == 0 || partition_stride == 0 || burst_cycles == 0 {
+            return Err(DecodeError::malformed("DRAM shape fields must be nonzero"));
+        }
+        let config = DramConfig {
+            channels,
+            partition_stride,
+            service_latency,
+            burst_cycles,
+        };
+        let n = r.take_len(24)?;
+        if n != channels {
+            return Err(DecodeError::malformed(format!(
+                "channel state count {n} does not match {channels} channels"
+            )));
+        }
+        let mut chans = Vec::with_capacity(n);
+        for _ in 0..n {
+            chans.push(Channel {
+                bus_free_at: r.take_u64()?,
+                busy_cycles: r.take_u64()?,
+                accesses: r.take_u64()?,
+            });
+        }
+        let n = r.take_len(16)?;
+        let mut completions = BinaryHeap::with_capacity(n);
+        for _ in 0..n {
+            let t = r.take_u64()?;
+            let id = r.take_u64()?;
+            completions.push(Reverse((t, id)));
+        }
+        Ok(Dram {
+            config,
+            channels: chans,
+            completions,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -246,5 +316,25 @@ mod tests {
         assert_eq!(d.in_flight(), 2);
         d.drain_completed(1_000);
         assert_eq!(d.in_flight(), 0);
+    }
+
+    #[test]
+    fn state_round_trips_through_the_codec() {
+        let mut d = dram();
+        for i in 0..10u64 {
+            d.enqueue(i, i * 192, i);
+        }
+        d.drain_completed(300);
+        let mut w = ByteWriter::new();
+        d.encode_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = Dram::decode_state(&mut r).expect("own encoding must decode");
+        r.expect_end().unwrap();
+        let mut w2 = ByteWriter::new();
+        back.encode_state(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes);
+        assert_eq!(back.in_flight(), d.in_flight());
+        assert_eq!(back.channel_accesses(), d.channel_accesses());
     }
 }

@@ -34,10 +34,12 @@
 #![warn(missing_debug_implementations)]
 
 mod cache;
+mod codec;
 mod dram;
 mod memsys;
 
 pub use cache::{Cache, CacheStats, FillOrigin, Organization, PrefetchEffect, ProbeOutcome};
+pub use codec::{fnv1a64, ByteReader, ByteWriter, DecodeError};
 pub use dram::{Dram, DramConfig};
 pub use memsys::{
     AccessKind, AuditReport, FaultInjection, Issue, LatencyHistogram, MemConfig, MemStats,

@@ -6,7 +6,11 @@
 //! 1365 MHz core / 3500 MHz memory clocks, 4 DRAM channels with a 256-byte
 //! partition stride.
 
-use crate::cache::{Cache, CacheStats, FillOrigin, Organization, PrefetchEffect, ProbeOutcome};
+use crate::cache::{
+    decode_origin, encode_origin, Cache, CacheStats, FillOrigin, Organization, PrefetchEffect,
+    ProbeOutcome,
+};
+use crate::codec::{ByteReader, ByteWriter, DecodeError};
 use crate::dram::{Dram, DramConfig};
 use rt_rng::{Rng, SmallRng};
 use std::cmp::Reverse;
@@ -26,6 +30,33 @@ pub enum AccessKind {
     Meta,
     /// A prefetch of any data.
     Prefetch,
+}
+
+impl AccessKind {
+    /// Canonical snapshot tag byte (also the sort key for encoding the
+    /// per-kind latency map deterministically).
+    pub fn tag(self) -> u8 {
+        match self {
+            AccessKind::Node => 0,
+            AccessKind::Triangle => 1,
+            AccessKind::Meta => 2,
+            AccessKind::Prefetch => 3,
+        }
+    }
+
+    /// Inverse of [`AccessKind::tag`]; unknown tags are a typed decode
+    /// error, never a panic.
+    pub fn from_tag(t: u8) -> Result<AccessKind, DecodeError> {
+        match t {
+            0 => Ok(AccessKind::Node),
+            1 => Ok(AccessKind::Triangle),
+            2 => Ok(AccessKind::Meta),
+            3 => Ok(AccessKind::Prefetch),
+            t => Err(DecodeError::malformed(format!(
+                "unknown access kind tag {t}"
+            ))),
+        }
+    }
 }
 
 /// Result of issuing an access this cycle.
@@ -251,14 +282,13 @@ impl LatencyHistogram {
         }
     }
 
-    /// Latency at percentile `p` in `[0, 100]`, reported as the upper
-    /// bound of the containing bin (0.0 when empty).
+    /// Latency at percentile `p`, reported as the upper bound of the
+    /// containing bin (0.0 when empty).
     ///
-    /// # Panics
-    ///
-    /// Panics if `p` is outside `[0, 100]`.
+    /// `p` is clamped to `[0, 100]` — library code stays panic-free, so a
+    /// caller asking for `p101` gets the maximum and `p-5` the minimum.
     pub fn percentile(&self, p: f64) -> f64 {
-        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+        let p = p.clamp(0.0, 100.0);
         if self.count == 0 {
             return 0.0;
         }
@@ -842,6 +872,428 @@ impl MemorySystem {
             self.dram.utilization(mem_now)
         }
     }
+
+    /// Serializes the complete hierarchy state — caches, MSHRs, event
+    /// queue, DRAM queues, in-flight request metadata, statistics, audit
+    /// counters, and the fault-injection RNG — into `w`.
+    ///
+    /// The encoding is canonical: hash maps are written in sorted key
+    /// order and heaps as sorted entry lists, so identical architectural
+    /// state always produces identical bytes (the property the per-epoch
+    /// state digests rely on). Queues and waiter lists are written
+    /// verbatim because their order is architecturally meaningful.
+    pub fn encode_state(&self, w: &mut ByteWriter) {
+        w.put_u64(self.cycle);
+        w.put_u64(self.next_req);
+        w.put_u64(self.next_seq);
+
+        w.put_len(self.l1.len());
+        for cache in &self.l1 {
+            cache.encode_state(w);
+        }
+        self.l2.encode_state(w);
+        self.dram.encode_state(w);
+
+        // Live events as (at, seq, event) triples, sorted. Pool indices
+        // are compacted on decode; `seq` values are preserved so future
+        // events keep ordering against `next_seq`.
+        let mut live: Vec<(u64, u64, usize)> = self.events.iter().map(|Reverse(t)| *t).collect();
+        live.sort_unstable();
+        w.put_len(live.len());
+        for (at, seq, idx) in live {
+            w.put_u64(at);
+            w.put_u64(seq);
+            encode_event(self.event_pool[idx], w);
+        }
+
+        w.put_len(self.l2_queues.len());
+        for queue in &self.l2_queues {
+            w.put_len(queue.len());
+            for &(who, line, origin) in queue {
+                encode_requester(who, w);
+                w.put_u64(line);
+                encode_origin(origin, w);
+            }
+        }
+
+        let mut keys: Vec<(usize, u64)> = self.l1_waiters.keys().copied().collect();
+        keys.sort_unstable();
+        w.put_len(keys.len());
+        for key in keys {
+            let (sm, line) = key;
+            w.put_usize(sm);
+            w.put_u64(line);
+            let reqs = &self.l1_waiters[&key];
+            w.put_len(reqs.len());
+            for &req in reqs {
+                w.put_u64(req);
+            }
+        }
+
+        let mut keys: Vec<u64> = self.l2_waiters.keys().copied().collect();
+        keys.sort_unstable();
+        w.put_len(keys.len());
+        for line in keys {
+            w.put_u64(line);
+            let sms = &self.l2_waiters[&line];
+            w.put_len(sms.len());
+            for &sm in sms {
+                w.put_usize(sm);
+            }
+        }
+
+        let mut pending: Vec<u64> = self.dram_pending.keys().copied().collect();
+        pending.sort_unstable();
+        w.put_len(pending.len());
+        for line in pending {
+            w.put_u64(line);
+        }
+
+        let mut reqs: Vec<RequestId> = self.meta.keys().copied().collect();
+        reqs.sort_unstable();
+        w.put_len(reqs.len());
+        for req in reqs {
+            let (kind, issued) = self.meta[&req];
+            w.put_u64(req);
+            w.put_u8(kind.tag());
+            w.put_u64(issued);
+        }
+
+        w.put_len(self.completed_out.len());
+        for out in &self.completed_out {
+            w.put_len(out.len());
+            for &req in out {
+                w.put_u64(req);
+            }
+        }
+
+        encode_mem_stats(&self.stats, w);
+
+        match &self.fault_rng {
+            None => w.put_bool(false),
+            Some(rng) => {
+                w.put_bool(true);
+                for word in rng.state() {
+                    w.put_u64(word);
+                }
+            }
+        }
+        w.put_u64(self.dram_sends);
+        w.put_u64(self.audit_completed);
+        w.put_u64(self.audit_double_completions);
+        w.put_u64(self.audit_dropped);
+    }
+
+    /// Rebuilds a hierarchy from bytes produced by
+    /// [`MemorySystem::encode_state`].
+    ///
+    /// `config` and `num_sms` come from the resuming run's configuration;
+    /// the decoded shape must agree with them (L1 count, partition count,
+    /// fault-RNG presence) or a typed [`DecodeError`] is returned. All
+    /// reads are bounds-checked — corrupted input cannot panic.
+    pub fn decode_state(
+        r: &mut ByteReader<'_>,
+        config: MemConfig,
+        num_sms: usize,
+    ) -> Result<MemorySystem, DecodeError> {
+        let cycle = r.take_u64()?;
+        let next_req = r.take_u64()?;
+        let next_seq = r.take_u64()?;
+
+        let n = r.take_len(1)?;
+        if n != num_sms || num_sms == 0 {
+            return Err(DecodeError::malformed(format!(
+                "snapshot has {n} L1 caches but the configuration expects {num_sms}"
+            )));
+        }
+        let mut l1 = Vec::with_capacity(n);
+        for _ in 0..n {
+            l1.push(Cache::decode_state(r)?);
+        }
+        let l2 = Cache::decode_state(r)?;
+        let dram = Dram::decode_state(r)?;
+
+        let n = r.take_len(17)?;
+        let mut events = BinaryHeap::with_capacity(n);
+        let mut event_pool = Vec::with_capacity(n);
+        for _ in 0..n {
+            let at = r.take_u64()?;
+            let seq = r.take_u64()?;
+            if seq >= next_seq {
+                return Err(DecodeError::malformed(format!(
+                    "event sequence {seq} not below next_seq {next_seq}"
+                )));
+            }
+            let event = decode_event(r)?;
+            let idx = event_pool.len();
+            event_pool.push(event);
+            events.push(Reverse((at, seq, idx)));
+        }
+
+        let n = r.take_len(8)?;
+        if n != config.l2_partitions {
+            return Err(DecodeError::malformed(format!(
+                "snapshot has {n} L2 partitions but the configuration expects {}",
+                config.l2_partitions
+            )));
+        }
+        let mut l2_queues = Vec::with_capacity(n);
+        for _ in 0..n {
+            let entries = r.take_len(10)?;
+            let mut queue = VecDeque::with_capacity(entries);
+            for _ in 0..entries {
+                let who = decode_requester(r)?;
+                let line = r.take_u64()?;
+                let origin = decode_origin(r)?;
+                queue.push_back((who, line, origin));
+            }
+            l2_queues.push(queue);
+        }
+
+        let n = r.take_len(24)?;
+        let mut l1_waiters: HashMap<(usize, u64), Vec<RequestId>> = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let sm = r.take_usize()?;
+            if sm >= num_sms {
+                return Err(DecodeError::malformed(format!(
+                    "L1 waiter names SM {sm} of {num_sms}"
+                )));
+            }
+            let line = r.take_u64()?;
+            let reqs = r.take_len(8)?;
+            let mut ids = Vec::with_capacity(reqs);
+            for _ in 0..reqs {
+                ids.push(r.take_u64()?);
+            }
+            l1_waiters.insert((sm, line), ids);
+        }
+
+        let n = r.take_len(16)?;
+        let mut l2_waiters: HashMap<u64, Vec<usize>> = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let line = r.take_u64()?;
+            let sms = r.take_len(8)?;
+            let mut waiting = Vec::with_capacity(sms);
+            for _ in 0..sms {
+                let sm = r.take_usize()?;
+                if sm >= num_sms {
+                    return Err(DecodeError::malformed(format!(
+                        "L2 waiter names SM {sm} of {num_sms}"
+                    )));
+                }
+                waiting.push(sm);
+            }
+            l2_waiters.insert(line, waiting);
+        }
+
+        let n = r.take_len(8)?;
+        let mut dram_pending = HashMap::with_capacity(n);
+        for _ in 0..n {
+            dram_pending.insert(r.take_u64()?, ());
+        }
+
+        let n = r.take_len(17)?;
+        let mut meta = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let req = r.take_u64()?;
+            if req >= next_req {
+                return Err(DecodeError::malformed(format!(
+                    "request id {req} not below next_req {next_req}"
+                )));
+            }
+            let kind = AccessKind::from_tag(r.take_u8()?)?;
+            let issued = r.take_u64()?;
+            meta.insert(req, (kind, issued));
+        }
+
+        let n = r.take_len(8)?;
+        if n != num_sms {
+            return Err(DecodeError::malformed(format!(
+                "snapshot has {n} completion queues but the configuration expects {num_sms}"
+            )));
+        }
+        let mut completed_out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let reqs = r.take_len(8)?;
+            let mut out = Vec::with_capacity(reqs);
+            for _ in 0..reqs {
+                out.push(r.take_u64()?);
+            }
+            completed_out.push(out);
+        }
+
+        let stats = decode_mem_stats(r)?;
+
+        let fault_rng = if r.take_bool()? {
+            let mut s = [0u64; 4];
+            for word in &mut s {
+                *word = r.take_u64()?;
+            }
+            Some(SmallRng::from_state(s))
+        } else {
+            None
+        };
+        if fault_rng.is_some() != config.fault_injection.is_some() {
+            return Err(DecodeError::malformed(
+                "fault-RNG presence does not match the configuration",
+            ));
+        }
+        let dram_sends = r.take_u64()?;
+        let audit_completed = r.take_u64()?;
+        let audit_double_completions = r.take_u64()?;
+        let audit_dropped = r.take_u64()?;
+
+        Ok(MemorySystem {
+            config,
+            cycle,
+            next_req,
+            next_seq,
+            l1,
+            l2,
+            dram,
+            events,
+            event_pool,
+            l2_queues,
+            l1_waiters,
+            l2_waiters,
+            dram_pending,
+            meta,
+            completed_out,
+            stats,
+            fault_rng,
+            dram_sends,
+            audit_completed,
+            audit_double_completions,
+            audit_dropped,
+        })
+    }
+}
+
+fn encode_event(event: Event, w: &mut ByteWriter) {
+    match event {
+        Event::L1HitDone { sm, req } => {
+            w.put_u8(0);
+            w.put_usize(sm);
+            w.put_u64(req);
+        }
+        Event::L2Arrive { who, line, origin } => {
+            w.put_u8(1);
+            encode_requester(who, w);
+            w.put_u64(line);
+            encode_origin(origin, w);
+        }
+        Event::L1Fill { sm, line } => {
+            w.put_u8(2);
+            w.put_usize(sm);
+            w.put_u64(line);
+        }
+        Event::DramSend { line } => {
+            w.put_u8(3);
+            w.put_u64(line);
+        }
+    }
+}
+
+fn decode_event(r: &mut ByteReader<'_>) -> Result<Event, DecodeError> {
+    match r.take_u8()? {
+        0 => Ok(Event::L1HitDone {
+            sm: r.take_usize()?,
+            req: r.take_u64()?,
+        }),
+        1 => Ok(Event::L2Arrive {
+            who: decode_requester(r)?,
+            line: r.take_u64()?,
+            origin: decode_origin(r)?,
+        }),
+        2 => Ok(Event::L1Fill {
+            sm: r.take_usize()?,
+            line: r.take_u64()?,
+        }),
+        3 => Ok(Event::DramSend { line: r.take_u64()? }),
+        t => Err(DecodeError::malformed(format!("unknown event tag {t}"))),
+    }
+}
+
+fn encode_requester(who: L2Requester, w: &mut ByteWriter) {
+    match who {
+        L2Requester::Sm(sm) => {
+            w.put_u8(0);
+            w.put_usize(sm);
+        }
+        L2Requester::L2Prefetch => w.put_u8(1),
+    }
+}
+
+fn decode_requester(r: &mut ByteReader<'_>) -> Result<L2Requester, DecodeError> {
+    match r.take_u8()? {
+        0 => Ok(L2Requester::Sm(r.take_usize()?)),
+        1 => Ok(L2Requester::L2Prefetch),
+        t => Err(DecodeError::malformed(format!(
+            "unknown L2 requester tag {t}"
+        ))),
+    }
+}
+
+fn encode_histogram(h: &LatencyHistogram, w: &mut ByteWriter) {
+    w.put_u64(h.bin_cycles);
+    w.put_len(h.bins.len());
+    for &count in &h.bins {
+        w.put_u64(count);
+    }
+    w.put_u64(h.count);
+    w.put_u64(h.total);
+}
+
+fn decode_histogram(r: &mut ByteReader<'_>) -> Result<LatencyHistogram, DecodeError> {
+    let bin_cycles = r.take_u64()?;
+    if bin_cycles == 0 {
+        return Err(DecodeError::malformed("histogram bin width must be nonzero"));
+    }
+    let n = r.take_len(8)?;
+    if n == 0 {
+        return Err(DecodeError::malformed("histogram needs at least one bin"));
+    }
+    let mut bins = Vec::with_capacity(n);
+    for _ in 0..n {
+        bins.push(r.take_u64()?);
+    }
+    let count = r.take_u64()?;
+    let total = r.take_u64()?;
+    Ok(LatencyHistogram {
+        bin_cycles,
+        bins,
+        count,
+        total,
+    })
+}
+
+fn encode_mem_stats(stats: &MemStats, w: &mut ByteWriter) {
+    let mut kinds: Vec<AccessKind> = stats.latency.keys().copied().collect();
+    kinds.sort_unstable_by_key(|k| k.tag());
+    w.put_len(kinds.len());
+    for kind in kinds {
+        w.put_u8(kind.tag());
+        encode_histogram(&stats.latency[&kind], w);
+    }
+    w.put_u64(stats.l2_to_l1_lines);
+    w.put_u64(stats.dram_to_l2_lines);
+}
+
+fn decode_mem_stats(r: &mut ByteReader<'_>) -> Result<MemStats, DecodeError> {
+    let n = r.take_len(25)?;
+    let mut latency = HashMap::with_capacity(n);
+    for _ in 0..n {
+        let kind = AccessKind::from_tag(r.take_u8()?)?;
+        let histogram = decode_histogram(r)?;
+        if latency.insert(kind, histogram).is_some() {
+            return Err(DecodeError::malformed("duplicate latency histogram kind"));
+        }
+    }
+    Ok(MemStats {
+        latency,
+        l2_to_l1_lines: r.take_u64()?,
+        dram_to_l2_lines: r.take_u64()?,
+    })
 }
 
 #[cfg(test)]
@@ -1067,9 +1519,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "percentile must be in")]
-    fn out_of_range_percentile_panics() {
-        LatencyHistogram::default().percentile(101.0);
+    fn out_of_range_percentile_clamps_instead_of_panicking() {
+        let mut h = LatencyHistogram::default();
+        for lat in [10u64, 20, 30, 5000] {
+            h.record(lat);
+        }
+        assert_eq!(h.percentile(101.0), h.percentile(100.0));
+        assert_eq!(h.percentile(1e9), h.percentile(100.0));
+        assert_eq!(h.percentile(-5.0), h.percentile(0.0));
+        // Empty histograms answer 0.0 for any p, in or out of range.
+        let empty = LatencyHistogram::default();
+        assert_eq!(empty.percentile(250.0), 0.0);
+        assert_eq!(empty.percentile(-1.0), 0.0);
     }
 
     #[test]
@@ -1209,6 +1670,72 @@ mod tests {
         }
         assert_eq!(ms.outstanding_requests(), 0);
         assert_eq!(ms.l1_waiter_counts(), vec![0, 0]);
+    }
+
+    fn encoded(ms: &MemorySystem) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        ms.encode_state(&mut w);
+        w.into_bytes()
+    }
+
+    #[test]
+    fn state_round_trips_and_continues_identically() {
+        let mut cfg = MemConfig::paper_default();
+        cfg.fault_injection = Some(FaultInjection::latency_storm(11));
+        let mut ms = MemorySystem::new(cfg, 2);
+        // Put traffic everywhere: L1 pending, L2 queues, DRAM in flight,
+        // an L2 prefetch, completed stats.
+        for i in 0..12u64 {
+            ms.access(
+                (i % 2) as usize,
+                0x50_0000 + i * 4096,
+                FillOrigin::Demand,
+                AccessKind::Node,
+            );
+        }
+        ms.prefetch_l2(0x90_0000);
+        for _ in 0..150 {
+            ms.tick();
+        }
+
+        let bytes = encoded(&ms);
+        let mut r = ByteReader::new(&bytes);
+        let mut back =
+            MemorySystem::decode_state(&mut r, cfg, 2).expect("own encoding must decode");
+        r.expect_end().unwrap();
+
+        // Canonical encoding: the decoded system re-encodes to the same
+        // bytes (the state-digest property).
+        assert_eq!(encoded(&back), bytes);
+
+        // And it *behaves* identically: tick both in lockstep, issuing
+        // the same new traffic, and the states stay byte-identical.
+        for i in 0..4u64 {
+            let a = ms.access(0, 0x70_0000 + i * 4096, FillOrigin::Demand, AccessKind::Triangle);
+            let b = back.access(0, 0x70_0000 + i * 4096, FillOrigin::Demand, AccessKind::Triangle);
+            assert_eq!(a, b);
+        }
+        for _ in 0..2_000 {
+            ms.tick();
+            back.tick();
+            assert_eq!(ms.drain_completed(0), back.drain_completed(0));
+            assert_eq!(ms.drain_completed(1), back.drain_completed(1));
+        }
+        assert_eq!(encoded(&back), encoded(&ms));
+        assert_eq!(back.audit(), ms.audit());
+    }
+
+    #[test]
+    fn truncated_state_decodes_to_typed_errors() {
+        let ms = sys();
+        let bytes = encoded(&ms);
+        for cut in [0, 1, 8, bytes.len() / 2, bytes.len() - 1] {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            match MemorySystem::decode_state(&mut r, MemConfig::paper_default(), 2) {
+                Err(_) => {}
+                Ok(_) => panic!("truncation at {cut} bytes must not decode"),
+            }
+        }
     }
 
     #[test]

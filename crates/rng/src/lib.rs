@@ -69,6 +69,21 @@ impl SmallRng {
         }
     }
 
+    /// The raw xoshiro256++ state, for checkpointing.
+    ///
+    /// Together with [`SmallRng::from_state`] this lets a simulator
+    /// snapshot capture an in-flight generator and restore it so the
+    /// resumed stream is bit-identical to the uninterrupted one.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a state captured with
+    /// [`SmallRng::state`].
+    pub fn from_state(s: [u64; 4]) -> SmallRng {
+        SmallRng { s }
+    }
+
     /// The next 64 uniformly distributed bits.
     pub fn next_u64(&mut self) -> u64 {
         let result = self.s[0]

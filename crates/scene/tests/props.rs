@@ -10,7 +10,7 @@ fn coord(rng: &mut SmallRng) -> f32 {
 }
 
 fn triangle(rng: &mut SmallRng) -> Triangle {
-    let mut v = |rng: &mut SmallRng| Vec3::new(coord(rng), coord(rng), coord(rng));
+    let v = |rng: &mut SmallRng| Vec3::new(coord(rng), coord(rng), coord(rng));
     let (a, b, c) = (v(rng), v(rng), v(rng));
     Triangle::new(a, b, c)
 }

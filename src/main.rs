@@ -18,8 +18,9 @@ use treelet_prefetching::bvh::{TreeStats, WideBvh};
 use treelet_prefetching::gpu::FaultInjection;
 use treelet_prefetching::scene::{load_obj, Camera, Scene, SceneId, Workload, WorkloadKind};
 use treelet_prefetching::treelet::{
-    compile_trace, trace_ray, try_simulate, write_traces, PrefetchHeuristic, SchedulerPolicy,
-    SimConfig, SimError, TreeletAssignment,
+    compile_trace, first_divergence, read_digest_log, trace_ray, try_resume, try_simulate,
+    try_simulate_checkpointed, write_traces, CheckpointOptions, PrefetchHeuristic,
+    SchedulerPolicy, SimConfig, SimError, TreeletAssignment,
 };
 
 /// Parsed command line.
@@ -29,6 +30,7 @@ enum Command {
     Stats(Options),
     Run(Options),
     Trace(Options, String),
+    Bisect(String, String),
     Help,
 }
 
@@ -47,6 +49,10 @@ struct Options {
     compare: bool,
     max_cycles: Option<u64>,
     inject_faults: Option<u64>,
+    checkpoint_every: Option<u64>,
+    checkpoint_path: Option<String>,
+    digest_log: Option<String>,
+    resume: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +77,10 @@ impl Default for Options {
             compare: false,
             max_cycles: None,
             inject_faults: None,
+            checkpoint_every: None,
+            checkpoint_path: None,
+            digest_log: None,
+            resume: false,
         }
     }
 }
@@ -79,7 +89,8 @@ impl Default for Options {
 ///
 /// Exit codes are part of the CLI contract so scripts can react per
 /// cause: 1 generic, 2 invalid config or input, 3 cycle budget exceeded,
-/// 4 livelock (no forward progress).
+/// 4 livelock (no forward progress), 5 corrupted or foreign checkpoint,
+/// 6 divergence found by `bisect-divergence`.
 #[derive(Debug)]
 struct Failure {
     message: String,
@@ -98,6 +109,7 @@ impl From<SimError> for Failure {
             SimError::Config(_) | SimError::EmptyInput { .. } => 2,
             SimError::CycleLimitExceeded { .. } => 3,
             SimError::NoForwardProgress { .. } => 4,
+            SimError::Snapshot(_) => 5,
             SimError::TreeletCoverage { .. } | SimError::Trace(_) => 1,
         };
         Failure {
@@ -137,6 +149,10 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             let out = out.ok_or_else(|| "trace requires --out FILE".to_string())?;
             Ok(Command::Trace(parse_options(&rest)?, out))
         }
+        "bisect-divergence" => match &args[1..] {
+            [a, b] => Ok(Command::Bisect(a.clone(), b.clone())),
+            _ => Err("bisect-divergence takes exactly two digest-log paths".to_string()),
+        },
         other => Err(format!("unknown subcommand {other:?}; try `help`")),
     }
 }
@@ -221,6 +237,22 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                         .map_err(|e| format!("bad --inject-faults seed: {e}"))?,
                 );
             }
+            "--checkpoint-every" => {
+                let v: u64 = value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("bad --checkpoint-every: {e}"))?;
+                if v == 0 {
+                    return Err("--checkpoint-every must be positive".into());
+                }
+                options.checkpoint_every = Some(v);
+            }
+            "--checkpoint-path" => {
+                options.checkpoint_path = Some(value("--checkpoint-path")?.clone());
+            }
+            "--digest-log" => {
+                options.digest_log = Some(value("--digest-log")?.clone());
+            }
+            "--resume" => options.resume = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -349,12 +381,40 @@ fn cmd_stats(options: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Assembles [`CheckpointOptions`] from the CLI flags, or `None` when
+/// checkpointing was not requested. `--resume` and `--checkpoint-path`
+/// imply checkpointing with a default interval.
+fn checkpoint_options(options: &Options) -> Result<Option<CheckpointOptions>, String> {
+    let wants =
+        options.checkpoint_every.is_some() || options.checkpoint_path.is_some() || options.resume;
+    if !wants {
+        if options.digest_log.is_some() {
+            return Err("--digest-log requires --checkpoint-every".into());
+        }
+        return Ok(None);
+    }
+    let every = options.checkpoint_every.unwrap_or(100_000);
+    let path = options
+        .checkpoint_path
+        .clone()
+        .unwrap_or_else(|| "checkpoint.rtsnap".to_string());
+    let mut opts = CheckpointOptions::new(every, path);
+    if let Some(log) = &options.digest_log {
+        opts = opts.with_digest_log(log);
+    }
+    Ok(Some(opts))
+}
+
 fn cmd_run(options: &Options) -> Result<(), Failure> {
     let scene = build_scene(options)?;
     let rays = Workload::new(options.workload, options.res, options.res).generate(&scene);
     let bvh = WideBvh::build(scene.mesh.into_triangles());
     let config = build_config(options);
-    let result = try_simulate(&bvh, &rays, &config)?;
+    let result = match checkpoint_options(options)? {
+        None => try_simulate(&bvh, &rays, &config)?,
+        Some(ck) if options.resume => try_resume(&bvh, &rays, &config, &ck)?,
+        Some(ck) => try_simulate_checkpointed(&bvh, &rays, &config, &ck)?,
+    };
     if options.compare {
         let base_config = apply_robustness(SimConfig::paper_baseline(), options);
         let base = try_simulate(&bvh, &rays, &base_config)?;
@@ -386,7 +446,49 @@ fn cmd_run(options: &Options) -> Result<(), Failure> {
             e.timely, e.late, e.too_late, e.early, e.unused
         );
     }
+    // Scripts (the CI kill-and-resume job among them) compare this line
+    // between a resumed and an uninterrupted run.
+    println!("state digest:      {:#018x}", result.state_digest);
     Ok(())
+}
+
+/// Compares two digest logs and reports the first epoch where their
+/// simulations diverged.
+fn cmd_bisect(log_a: &str, log_b: &str) -> Result<(), Failure> {
+    let a = read_digest_log(std::path::Path::new(log_a)).map_err(SimError::from)?;
+    let b = read_digest_log(std::path::Path::new(log_b)).map_err(SimError::from)?;
+    println!("{log_a}: {} epochs", a.len());
+    println!("{log_b}: {} epochs", b.len());
+    match first_divergence(&a, &b) {
+        None => {
+            println!("digest histories agree over their common prefix");
+            Ok(())
+        }
+        Some((ra, rb)) => {
+            println!("first divergence at epoch {}:", ra.epoch);
+            println!("  a: {ra}");
+            println!("  b: {rb}");
+            if ra.cycle != rb.cycle {
+                println!("  cycle differs: {} vs {}", ra.cycle, rb.cycle);
+            }
+            if ra.digest != rb.digest {
+                println!(
+                    "  state digest differs: {:#018x} vs {:#018x}",
+                    ra.digest, rb.digest
+                );
+            }
+            if ra.rays_remaining != rb.rays_remaining {
+                println!(
+                    "  rays remaining differ: {} vs {}",
+                    ra.rays_remaining, rb.rays_remaining
+                );
+            }
+            Err(Failure {
+                message: format!("runs diverge at epoch {}", ra.epoch),
+                code: 6,
+            })
+        }
+    }
 }
 
 fn cmd_trace(options: &Options, out_path: &str) -> Result<(), String> {
@@ -440,15 +542,32 @@ USAGE:
                             [--workload primary|diffuse|shadow]
                             [--obj path.obj] [--compare]
                             [--max-cycles N] [--inject-faults SEED]
+                            [--checkpoint-every N] [--checkpoint-path FILE]
+                            [--digest-log FILE] [--resume]
+  treelet-prefetching bisect-divergence LOG_A LOG_B
 
 ROBUSTNESS:
   --max-cycles N       abort with exit code 3 if the run exceeds N cycles
   --inject-faults SEED deterministic memory-latency fault storm (timing
                        changes; traversal results do not)
 
+CHECKPOINTING:
+  --checkpoint-every N   write a crash-safe checkpoint every N cycles
+                         (atomic write-then-rename; default path
+                         checkpoint.rtsnap, override --checkpoint-path)
+  --digest-log FILE      append a per-epoch state digest line alongside
+                         each checkpoint, for bisect-divergence
+  --resume               resume from the checkpoint at --checkpoint-path;
+                         scene/config flags must match the original run,
+                         or the run is refused with exit code 5
+  bisect-divergence      binary-search two digest logs for the first
+                         epoch whose state digests disagree; exit 0 if
+                         they agree, 6 on divergence
+
 EXIT CODES:
   0 ok · 1 generic error · 2 invalid config/input · 3 cycle budget
-  exceeded · 4 no forward progress (livelock)"
+  exceeded · 4 no forward progress (livelock) · 5 corrupted or foreign
+  checkpoint · 6 digest logs diverge"
     );
 }
 
@@ -473,6 +592,7 @@ fn main() -> ExitCode {
         Command::Stats(options) => cmd_stats(&options).map_err(Failure::from),
         Command::Run(options) => cmd_run(&options),
         Command::Trace(options, out) => cmd_trace(&options, &out).map_err(Failure::from),
+        Command::Bisect(a, b) => cmd_bisect(&a, &b),
     };
     match outcome {
         Ok(()) => ExitCode::SUCCESS,
@@ -653,8 +773,103 @@ mod tests {
             snapshot: snapshot(),
         });
         assert_eq!(f.code, 4);
+        let f = Failure::from(SimError::Snapshot(
+            treelet_prefetching::treelet::SnapshotError::IdentityMismatch {
+                expected: 1,
+                found: 2,
+            },
+        ));
+        assert_eq!(f.code, 5);
+        assert!(f.message.contains("different run"));
         let f = Failure::from("plain error".to_string());
         assert_eq!(f.code, 1);
+    }
+
+    #[test]
+    fn checkpoint_flags_parse_and_assemble() {
+        let cmd = parse(&[
+            "run",
+            "--scene",
+            "car",
+            "--checkpoint-every",
+            "5000",
+            "--checkpoint-path",
+            "/tmp/car.rtsnap",
+            "--digest-log",
+            "/tmp/car.digests",
+            "--resume",
+        ])
+        .unwrap();
+        let options = match cmd {
+            Command::Run(o) => o,
+            other => panic!("expected run, got {other:?}"),
+        };
+        assert!(options.resume);
+        let ck = checkpoint_options(&options).unwrap().expect("checkpointing");
+        assert_eq!(ck.every, 5000);
+        assert_eq!(ck.path, std::path::Path::new("/tmp/car.rtsnap"));
+        assert_eq!(
+            ck.digest_log.as_deref(),
+            Some(std::path::Path::new("/tmp/car.digests"))
+        );
+        // No checkpoint flags at all: no checkpointing.
+        assert_eq!(checkpoint_options(&Options::default()).unwrap(), None);
+        // --resume alone implies checkpointing at the default path.
+        let implied = checkpoint_options(&Options {
+            resume: true,
+            ..Options::default()
+        })
+        .unwrap()
+        .expect("implied");
+        assert_eq!(implied.path, std::path::Path::new("checkpoint.rtsnap"));
+        // An orphan --digest-log is rejected; a zero interval is too.
+        assert!(checkpoint_options(&Options {
+            digest_log: Some("x".into()),
+            ..Options::default()
+        })
+        .is_err());
+        assert!(parse(&["run", "--checkpoint-every", "0"]).is_err());
+    }
+
+    #[test]
+    fn bisect_takes_exactly_two_logs() {
+        match parse(&["bisect-divergence", "a.log", "b.log"]).unwrap() {
+            Command::Bisect(a, b) => {
+                assert_eq!(a, "a.log");
+                assert_eq!(b, "b.log");
+            }
+            other => panic!("expected bisect, got {other:?}"),
+        }
+        assert!(parse(&["bisect-divergence", "a.log"]).is_err());
+        assert!(parse(&["bisect-divergence", "a", "b", "c"]).is_err());
+    }
+
+    #[test]
+    fn bisect_reports_missing_and_divergent_logs() {
+        let dir = std::env::temp_dir().join(format!("treelet-cli-bisect-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.digests");
+        let b = dir.join("b.digests");
+        let missing = cmd_bisect(a.to_str().unwrap(), b.to_str().unwrap()).unwrap_err();
+        assert_eq!(missing.code, 5);
+        std::fs::write(
+            &a,
+            "epoch=0 cycle=100 digest=0x1 rays_remaining=9\n\
+             epoch=1 cycle=200 digest=0x2 rays_remaining=5\n",
+        )
+        .unwrap();
+        std::fs::write(
+            &b,
+            "epoch=0 cycle=100 digest=0x1 rays_remaining=9\n\
+             epoch=1 cycle=200 digest=0xff rays_remaining=5\n",
+        )
+        .unwrap();
+        let diverged = cmd_bisect(a.to_str().unwrap(), b.to_str().unwrap()).unwrap_err();
+        assert_eq!(diverged.code, 6);
+        assert!(diverged.message.contains("epoch 1"));
+        std::fs::copy(&a, &b).unwrap();
+        cmd_bisect(a.to_str().unwrap(), b.to_str().unwrap()).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
