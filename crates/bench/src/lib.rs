@@ -18,7 +18,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 pub use svg::bar_chart;
 pub use treelet_rt::{
-    geometric_mean, Bench, CheckpointOptions, SimConfig, SimError, SimResult,
+    geometric_mean, Bench, CheckpointOptions, SimConfig, SimError, SimResult, Telemetry,
+    TelemetryOptions, TelemetrySample,
 };
 
 /// Default scene detail for the experiment suite (full evaluation scale;

@@ -35,6 +35,8 @@ pub enum ConfigError {
     ZeroProgressWindow,
     /// The checkpoint interval is zero.
     ZeroCheckpointInterval,
+    /// The telemetry sampling interval is zero.
+    ZeroTelemetryInterval,
 }
 
 impl fmt::Display for ConfigError {
@@ -57,6 +59,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::ZeroCheckpointInterval => {
                 write!(f, "checkpoint interval must be nonzero")
+            }
+            ConfigError::ZeroTelemetryInterval => {
+                write!(f, "telemetry sampling interval must be nonzero")
             }
         }
     }

@@ -90,6 +90,23 @@ impl Bench {
         crate::try_simulate(&self.bvh, &self.rays, config)
     }
 
+    /// Runs under `config` while collecting a telemetry time-series
+    /// sampled every `opts.every` cycles. The result — including its
+    /// [`state_digest`](crate::SimResult::state_digest) — is
+    /// bit-identical to [`Bench::try_run`]'s for the same config.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`try_simulate_with_telemetry`](crate::try_simulate_with_telemetry)
+    /// can return.
+    pub fn try_run_with_telemetry(
+        &self,
+        config: &SimConfig,
+        opts: &crate::TelemetryOptions,
+    ) -> Result<(SimResult, crate::Telemetry), crate::SimError> {
+        crate::try_simulate_with_telemetry(&self.bvh, &self.rays, config, opts)
+    }
+
     /// Runs under `config` with crash-safe checkpointing, resuming from
     /// an existing checkpoint at `opts.path` when one is present.
     ///
@@ -165,6 +182,22 @@ mod tests {
         // but ray counts and tree stats always match.
         assert_eq!(a.rays, b.rays);
         assert_eq!(a.tree, b.tree);
+    }
+
+    #[test]
+    fn bench_telemetry_run_matches_plain_run() {
+        let bench = Bench::prepare(
+            SceneId::Wknd,
+            0.25,
+            Workload::new(WorkloadKind::Primary, 8, 8),
+        );
+        let config = SimConfig::paper_treelet_prefetch();
+        let plain = bench.try_run(&config).unwrap();
+        let (sampled, telemetry) = bench
+            .try_run_with_telemetry(&config, &crate::TelemetryOptions::new(128))
+            .unwrap();
+        assert_eq!(plain.state_digest, sampled.state_digest);
+        assert!(!telemetry.is_empty());
     }
 
     #[test]

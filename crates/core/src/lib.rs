@@ -52,6 +52,7 @@ mod power;
 mod prefetch;
 mod sim;
 mod snapshot;
+mod telemetry;
 mod trace_io;
 mod traversal;
 mod treelet;
@@ -69,16 +70,19 @@ pub use mta::{MtaPrefetcher, MtaStats};
 pub use power::{ActivityCounts, EnergyModel, PowerReport};
 pub use prefetch::{
     full_vote, full_vote_counts, pseudo_vote, pseudo_vote_counts, MappingMode, PrefetchEntry,
-    PrefetchHeuristic, PrefetcherStats, TreeletPrefetcher, Vote, VoterAreaModel, VoterKind,
+    PrefetchHeuristic, PrefetchUsefulness, PrefetcherStats, TreeletPrefetcher, UsefulnessTracker,
+    Vote, VoterAreaModel, VoterKind,
 };
 pub use sim::{
     simulate, simulate_batches, simulate_with_treelets, try_resume, try_simulate,
-    try_simulate_batches, try_simulate_checkpointed, try_simulate_with_treelets, SimResult,
+    try_simulate_batches, try_simulate_checkpointed, try_simulate_with_telemetry,
+    try_simulate_with_treelets, SimResult,
 };
 pub use snapshot::{
     first_divergence, parse_digest_log, read_checkpoint, read_digest_log, write_atomic,
     Checkpoint, DigestRecord, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };
+pub use telemetry::{Telemetry, TelemetryOptions, TelemetrySample, DEFAULT_TELEMETRY_EVERY};
 pub use trace_io::{read_traces, write_traces, ParseTraceError};
 pub use traversal::{
     compile_trace, trace_ray, trace_ray_with, CompiledStep, RayTrace, TraceStep,

@@ -676,6 +676,124 @@ impl VoterAreaModel {
     }
 }
 
+/// Per-prefetch usefulness in the paper's timeliness taxonomy (Fig. 10):
+/// *useful* prefetches land before the demand access, *late* ones are
+/// still in flight when the demand arrives (the demand sees at best a
+/// partial latency saving), and *useless* ones are evicted — or the run
+/// ends — without ever being touched by a demand access.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefetchUsefulness {
+    /// Prefetches that completed before their first demand access.
+    pub useful: u64,
+    /// Prefetches whose demand access arrived while the fill was still
+    /// in flight.
+    pub late: u64,
+    /// Prefetches evicted (or left behind at end of run) untouched.
+    pub useless: u64,
+}
+
+impl PrefetchUsefulness {
+    /// Folds the cache model's five-way timeliness counters
+    /// ([`PrefetchEffect`](rt_gpu_sim::PrefetchEffect)) into the paper's
+    /// three-way taxonomy: `timely` fills are useful; `late` and
+    /// `too_late` fills both mean the demand arrived first; `early`
+    /// (evicted before use) and `unused` fills are useless.
+    pub fn from_effect(e: &rt_gpu_sim::PrefetchEffect) -> PrefetchUsefulness {
+        PrefetchUsefulness {
+            useful: e.timely,
+            late: e.late + e.too_late,
+            useless: e.early + e.unused,
+        }
+    }
+
+    /// Total classified prefetches.
+    pub fn total(&self) -> u64 {
+        self.useful + self.late + self.useless
+    }
+}
+
+/// Event-level classifier for prefetch usefulness.
+///
+/// Feed it the lifecycle events of prefetched lines — issue, fill,
+/// demand access, eviction — and it classifies each line the first time
+/// its fate is decided:
+///
+/// - demand access after the fill completed → **useful**
+/// - demand access while the fill is still in flight → **late**
+/// - eviction (or [`finalize`](Self::finalize)) with no demand access →
+///   **useless**
+///
+/// Repeat demand hits on an already-classified line are ignored; a line
+/// re-prefetched after eviction starts a new lifecycle.
+#[derive(Debug, Clone, Default)]
+pub struct UsefulnessTracker {
+    /// Prefetches issued whose fill has not yet arrived.
+    in_flight: std::collections::HashSet<u64>,
+    /// Filled prefetched lines, mapped to "touched by a demand access".
+    resident: std::collections::HashMap<u64, bool>,
+    counts: PrefetchUsefulness,
+}
+
+impl UsefulnessTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> UsefulnessTracker {
+        UsefulnessTracker::default()
+    }
+
+    /// A prefetch for `line` was issued to the memory system.
+    pub fn on_issue(&mut self, line: u64) {
+        if !self.resident.contains_key(&line) {
+            self.in_flight.insert(line);
+        }
+    }
+
+    /// The prefetch fill for `line` arrived from the memory system.
+    pub fn on_fill(&mut self, line: u64) {
+        if self.in_flight.remove(&line) {
+            self.resident.insert(line, false);
+        }
+    }
+
+    /// A demand access touched `line`.
+    pub fn on_demand(&mut self, line: u64) {
+        if self.in_flight.remove(&line) {
+            // Demand arrived before the fill: the prefetch was late. The
+            // fill will still land; track it as an already-touched
+            // resident line so the eviction does not double-count it.
+            self.counts.late += 1;
+            self.resident.insert(line, true);
+        } else if let Some(touched) = self.resident.get_mut(&line) {
+            if !*touched {
+                *touched = true;
+                self.counts.useful += 1;
+            }
+        }
+    }
+
+    /// `line` was evicted from the cache.
+    pub fn on_evict(&mut self, line: u64) {
+        if let Some(touched) = self.resident.remove(&line) {
+            if !touched {
+                self.counts.useless += 1;
+            }
+        }
+    }
+
+    /// Counts classified so far (lines still resident or in flight are
+    /// not yet counted).
+    pub fn counts(&self) -> PrefetchUsefulness {
+        self.counts
+    }
+
+    /// Ends the run: every line never touched by a demand access —
+    /// resident or still in flight — is classified useless.
+    pub fn finalize(mut self) -> PrefetchUsefulness {
+        self.counts.useless += self.in_flight.len() as u64;
+        self.counts.useless += self.resident.values().filter(|&&t| !t).count() as u64;
+        self.counts
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -914,5 +1032,107 @@ mod tests {
             512,
             64,
         );
+    }
+
+    #[test]
+    fn useful_sequence_issue_fill_then_demand() {
+        let mut t = UsefulnessTracker::new();
+        t.on_issue(0x100);
+        t.on_fill(0x100);
+        t.on_demand(0x100);
+        // A second hit on the same line does not double-count.
+        t.on_demand(0x100);
+        t.on_evict(0x100);
+        let c = t.finalize();
+        assert_eq!(
+            c,
+            PrefetchUsefulness {
+                useful: 1,
+                late: 0,
+                useless: 0
+            }
+        );
+    }
+
+    #[test]
+    fn late_sequence_demand_beats_fill() {
+        let mut t = UsefulnessTracker::new();
+        t.on_issue(0x200);
+        t.on_demand(0x200); // demand arrives while the fill is in flight
+        t.on_fill(0x200);
+        t.on_evict(0x200);
+        let c = t.finalize();
+        assert_eq!(
+            c,
+            PrefetchUsefulness {
+                useful: 0,
+                late: 1,
+                useless: 0
+            }
+        );
+    }
+
+    #[test]
+    fn useless_sequences_evicted_or_stranded_untouched() {
+        let mut t = UsefulnessTracker::new();
+        // Filled, never demanded, evicted.
+        t.on_issue(0x300);
+        t.on_fill(0x300);
+        t.on_evict(0x300);
+        assert_eq!(t.counts().useless, 1);
+        // Filled, never demanded, still resident at end of run.
+        t.on_issue(0x400);
+        t.on_fill(0x400);
+        // Issued, never even filled by end of run.
+        t.on_issue(0x500);
+        let c = t.finalize();
+        assert_eq!(
+            c,
+            PrefetchUsefulness {
+                useful: 0,
+                late: 0,
+                useless: 3
+            }
+        );
+    }
+
+    #[test]
+    fn mixed_sequence_classifies_each_line_once() {
+        let mut t = UsefulnessTracker::new();
+        for line in [0x100, 0x200, 0x300] {
+            t.on_issue(line);
+        }
+        t.on_fill(0x100);
+        t.on_demand(0x100); // useful
+        t.on_demand(0x200); // late (fill still in flight)
+        t.on_fill(0x200);
+        t.on_fill(0x300);
+        t.on_evict(0x300); // useless
+        assert_eq!(
+            t.counts(),
+            PrefetchUsefulness {
+                useful: 1,
+                late: 1,
+                useless: 1
+            }
+        );
+        assert_eq!(t.counts().total(), 3);
+        assert_eq!(t.finalize().total(), 3);
+    }
+
+    #[test]
+    fn taxonomy_folds_the_cache_effect_counters() {
+        let e = rt_gpu_sim::PrefetchEffect {
+            too_late: 2,
+            late: 3,
+            timely: 5,
+            early: 7,
+            unused: 11,
+        };
+        let u = PrefetchUsefulness::from_effect(&e);
+        assert_eq!(u.useful, 5);
+        assert_eq!(u.late, 5);
+        assert_eq!(u.useless, 18);
+        assert_eq!(u.total(), e.total());
     }
 }

@@ -12,10 +12,11 @@ use crate::ghb::{GhbPrefetcher, GhbStats};
 use crate::mta::{MtaPrefetcher, MtaStats};
 use crate::power::{ActivityCounts, EnergyModel, PowerReport};
 use crate::prefetch::{
-    full_vote_counts, pseudo_vote_counts, MappingMode, PrefetchEntry, PrefetcherStats,
-    TreeletPrefetcher, VoterKind,
+    full_vote_counts, pseudo_vote_counts, MappingMode, PrefetchEntry, PrefetchUsefulness,
+    PrefetcherStats, TreeletPrefetcher, VoterKind,
 };
 use crate::snapshot::{self, Checkpoint, DigestRecord, SnapshotError};
+use crate::telemetry::{Telemetry, TelemetryOptions, TelemetrySample};
 use crate::traversal::{compile_trace, trace_ray_with, CompiledStep, RayTrace, TraversalStats};
 use crate::treelet::TreeletAssignment;
 use rt_bvh::{MemoryImage, PackOptions, TreeStats, WideBvh};
@@ -128,8 +129,49 @@ pub fn simulate(bvh: &WideBvh, rays: &[Ray], config: &SimConfig) -> SimResult {
 ///   scheduled for a full `config.progress_window` (a livelock, e.g.
 ///   under fault injection).
 pub fn try_simulate(bvh: &WideBvh, rays: &[Ray], config: &SimConfig) -> Result<SimResult, SimError> {
-    let treelets = TreeletAssignment::form_with_policy(bvh, config.treelet_bytes, config.formation);
+    config.validate()?;
+    let treelets =
+        TreeletAssignment::try_form_with_policy(bvh, config.treelet_bytes, config.formation)?;
     try_simulate_with_treelets(bvh, rays, config, &treelets)
+}
+
+/// Like [`try_simulate`], but also collects a [`Telemetry`] time-series,
+/// sampling the engine's counters every `opts.every` cycles (plus a
+/// final sample at the retiring cycle).
+///
+/// Sampling is read-only — it touches nothing the state digest covers —
+/// so the returned [`SimResult`] (including
+/// [`state_digest`](SimResult::state_digest)) is bit-identical to
+/// [`try_simulate`]'s for the same inputs.
+///
+/// # Errors
+///
+/// As [`try_simulate`], plus [`SimError::Config`] for a zero telemetry
+/// sampling interval.
+pub fn try_simulate_with_telemetry(
+    bvh: &WideBvh,
+    rays: &[Ray],
+    config: &SimConfig,
+    opts: &TelemetryOptions,
+) -> Result<(SimResult, Telemetry), SimError> {
+    config.validate()?;
+    opts.validate()?;
+    let treelets =
+        TreeletAssignment::try_form_with_policy(bvh, config.treelet_bytes, config.formation)?;
+    let mem = MemorySystem::new(config.mem, config.num_sms);
+    let mut telemetry = Telemetry::new(opts);
+    let (result, _) = try_run_engine(
+        bvh,
+        rays,
+        config,
+        &treelets,
+        mem,
+        true,
+        None,
+        None,
+        Some(&mut telemetry),
+    )?;
+    Ok((result, telemetry))
 }
 
 /// Like [`simulate`], but with an externally supplied treelet assignment
@@ -168,7 +210,8 @@ pub fn try_simulate_with_treelets(
 ) -> Result<SimResult, SimError> {
     config.validate()?;
     let mem = MemorySystem::new(config.mem, config.num_sms);
-    try_run_engine(bvh, rays, config, treelets, mem, true, None, None).map(|(result, _)| result)
+    try_run_engine(bvh, rays, config, treelets, mem, true, None, None, None)
+        .map(|(result, _)| result)
 }
 
 /// Like [`try_simulate`], but writes a crash-safe checkpoint of the
@@ -195,9 +238,10 @@ pub fn try_simulate_checkpointed(
 ) -> Result<SimResult, SimError> {
     config.validate()?;
     opts.validate()?;
-    let treelets = TreeletAssignment::form_with_policy(bvh, config.treelet_bytes, config.formation);
+    let treelets =
+        TreeletAssignment::try_form_with_policy(bvh, config.treelet_bytes, config.formation)?;
     let mem = MemorySystem::new(config.mem, config.num_sms);
-    try_run_engine(bvh, rays, config, &treelets, mem, true, Some(opts), None)
+    try_run_engine(bvh, rays, config, &treelets, mem, true, Some(opts), None, None)
         .map(|(result, _)| result)
 }
 
@@ -225,7 +269,8 @@ pub fn try_resume(
     config.validate()?;
     opts.validate()?;
     let checkpoint = snapshot::read_checkpoint(&opts.path)?;
-    let treelets = TreeletAssignment::form_with_policy(bvh, config.treelet_bytes, config.formation);
+    let treelets =
+        TreeletAssignment::try_form_with_policy(bvh, config.treelet_bytes, config.formation)?;
     let identity = run_identity(bvh, rays, config, &treelets);
     if checkpoint.identity != identity {
         return Err(SnapshotError::IdentityMismatch {
@@ -244,6 +289,7 @@ pub fn try_resume(
         true,
         Some(opts),
         Some(checkpoint),
+        None,
     )
     .map(|(result, _)| result)
 }
@@ -308,7 +354,8 @@ pub fn try_simulate_batches(
         return Err(SimError::EmptyInput { what: "batch" });
     }
     config.validate()?;
-    let treelets = TreeletAssignment::form_with_policy(bvh, config.treelet_bytes, config.formation);
+    let treelets =
+        TreeletAssignment::try_form_with_policy(bvh, config.treelet_bytes, config.formation)?;
     let mut mem = Some(MemorySystem::new(config.mem, config.num_sms));
     let mut results = Vec::with_capacity(batches.len());
     for (i, batch) in batches.iter().enumerate() {
@@ -320,6 +367,7 @@ pub fn try_simulate_batches(
             &treelets,
             mem.take().expect("memory system threaded through batches"),
             finalize,
+            None,
             None,
             None,
         )?;
@@ -339,6 +387,7 @@ fn try_run_engine(
     finalize: bool,
     checkpoint: Option<&CheckpointOptions>,
     resume: Option<Checkpoint>,
+    mut telemetry: Option<&mut Telemetry>,
 ) -> Result<(SimResult, MemorySystem), SimError> {
     config.validate()?;
     if rays.is_empty() {
@@ -468,7 +517,15 @@ fn try_run_engine(
             )?)
         }
     };
-    let end_cycle = engine.run(runner.as_mut())?;
+    let end_cycle = engine.run(runner.as_mut(), telemetry.as_deref_mut())?;
+    // A closing sample at the retiring cycle, so short runs (and the tail
+    // between the last epoch and retirement) are never invisible.
+    if let Some(t) = telemetry {
+        if t.samples().last().is_none_or(|s| s.cycle != end_cycle) {
+            let sample = engine.telemetry_sample(end_cycle);
+            t.record(sample);
+        }
+    }
     let cycles = end_cycle - start_cycle;
     // Always-on-in-debug memory audit: every request the engine issued
     // must have been answered exactly once (fault injection legitimately
@@ -1001,8 +1058,15 @@ impl<'a> Engine<'a> {
     /// hard cycle budget and forward progress. When `ckpt` is set, the
     /// complete dynamic state is checkpointed at every epoch boundary —
     /// including the one on which a budget error fires, so an exhausted
-    /// run can be resumed under a larger budget.
-    fn run(&mut self, mut ckpt: Option<&mut CheckpointRunner>) -> Result<u64, SimError> {
+    /// run can be resumed under a larger budget. When `telem` is set, a
+    /// read-only counter sample is recorded on its own epoch boundary;
+    /// sampling never touches digested state, so the run's trajectory is
+    /// bit-identical with telemetry on or off.
+    fn run(
+        &mut self,
+        mut ckpt: Option<&mut CheckpointRunner>,
+        mut telem: Option<&mut Telemetry>,
+    ) -> Result<u64, SimError> {
         let max_cycles = self.config.max_cycles;
         let window = self.config.progress_window;
         while self.remaining > 0 {
@@ -1021,6 +1085,12 @@ impl<'a> Engine<'a> {
                 if now.is_multiple_of(c.every) {
                     let payload = self.encode_dynamic();
                     c.emit(payload, now, self.remaining as u64)?;
+                }
+            }
+            if let Some(t) = telem.as_deref_mut() {
+                if now.is_multiple_of(t.every()) {
+                    let sample = self.telemetry_sample(now);
+                    t.record(sample);
                 }
             }
             if !advanced && now - self.last_progress >= window {
@@ -1071,6 +1141,47 @@ impl<'a> Engine<'a> {
                 .iter()
                 .map(|s| s.prefetcher.as_ref().map_or(0, TreeletPrefetcher::queue_len))
                 .collect(),
+        }
+    }
+
+    /// Builds one telemetry epoch from read-only accessors. Nothing here
+    /// may mutate the engine or memory system: the zero-perturbation
+    /// guarantee (bit-identical state digests with telemetry on or off)
+    /// rests on this method taking `&self`.
+    fn telemetry_sample(&self, now: u64) -> TelemetrySample {
+        let l1 = self.mem.l1_stats_total();
+        let l2 = self.mem.l2_stats();
+        let usefulness = PrefetchUsefulness::from_effect(&self.mem.prefetch_effect_snapshot());
+        let stats = self.mem.stats();
+        let dram = self.mem.dram();
+        let accesses = dram.channel_accesses();
+        let line_bytes = self.config.mem.line_bytes;
+        TelemetrySample {
+            cycle: now,
+            rays_remaining: self.remaining as u64,
+            warp_buffer_occupancy: self.occupied_slots,
+            warp_queue_depth: self.sms.iter().map(|s| s.warp_queue.len()).sum(),
+            test_heap_depth: self.sms.iter().map(|s| s.test_heap.len()).sum(),
+            prefetch_queue_depth: self
+                .sms
+                .iter()
+                .map(|s| s.prefetcher.as_ref().map_or(0, TreeletPrefetcher::queue_len))
+                .sum(),
+            outstanding_requests: self.mem.outstanding_requests(),
+            l1_hit_rate: l1.demand_hit_rate(),
+            l1_mshrs_in_use: self.mem.l1_mshrs_in_use(),
+            l1_mshr_rejections: l1.mshr_rejections,
+            l2_hit_rate: l2.demand_hit_rate(),
+            l2_mshrs_in_use: self.mem.l2_mshrs_in_use(),
+            l2_queue_depth: self.mem.l2_queue_depth(),
+            l2_to_l1_lines: stats.l2_to_l1_lines,
+            dram_to_l2_lines: stats.dram_to_l2_lines,
+            prefetch_useful: usefulness.useful,
+            prefetch_late: usefulness.late,
+            prefetch_useless: usefulness.useless,
+            dram_channel_queue: dram.channel_in_flight(),
+            dram_channel_bytes: accesses.iter().map(|&a| a * line_bytes).collect(),
+            dram_channel_accesses: accesses,
         }
     }
 
@@ -1911,6 +2022,74 @@ mod tests {
         let b = simulate(&bvh, &rays, &SimConfig::paper_treelet_prefetch());
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.l1, b.l1);
+    }
+
+    #[test]
+    fn telemetry_sampling_is_zero_perturbation() {
+        let (bvh, rays) = fixture();
+        let config = SimConfig::paper_treelet_prefetch();
+        let plain = try_simulate(&bvh, &rays, &config).expect("plain run");
+        let (sampled, telemetry) =
+            try_simulate_with_telemetry(&bvh, &rays, &config, &TelemetryOptions::new(64))
+                .expect("telemetry run");
+        // Bit-identical trajectory: same digest, same cycle count, same
+        // cache counters.
+        assert_eq!(plain.state_digest, sampled.state_digest);
+        assert_eq!(plain.cycles, sampled.cycles);
+        assert_eq!(plain.l1, sampled.l1);
+        assert_eq!(plain.dram_channel_accesses, sampled.dram_channel_accesses);
+        // The time-series itself: epochs are present, cycle-ordered, and
+        // close with a final sample at the retiring cycle.
+        assert!(!telemetry.is_empty());
+        let samples = telemetry.samples();
+        assert!(samples.windows(2).all(|w| w[0].cycle < w[1].cycle));
+        let last = samples.last().unwrap();
+        assert_eq!(last.cycle, sampled.cycles);
+        assert_eq!(last.rays_remaining, 0);
+        assert_eq!(last.dram_channel_accesses.len(), 4);
+        assert_eq!(&last.dram_channel_accesses, &sampled.dram_channel_accesses);
+        // Per-channel bytes are accesses × line size.
+        for (b, a) in last
+            .dram_channel_bytes
+            .iter()
+            .zip(last.dram_channel_accesses.iter())
+        {
+            assert_eq!(*b, a * config.mem.line_bytes);
+        }
+        // Cumulative counters never decrease across epochs.
+        assert!(samples
+            .windows(2)
+            .all(|w| w[0].l2_to_l1_lines <= w[1].l2_to_l1_lines));
+        // The prefetch taxonomy shows up for a prefetching config.
+        assert!(last.prefetch_useful + last.prefetch_late + last.prefetch_useless > 0);
+    }
+
+    #[test]
+    fn telemetry_rejects_zero_interval() {
+        let (bvh, rays) = fixture();
+        let err = try_simulate_with_telemetry(
+            &bvh,
+            &rays,
+            &SimConfig::paper_baseline(),
+            &TelemetryOptions::new(0),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::Config(crate::error::ConfigError::ZeroTelemetryInterval)
+        ));
+    }
+
+    #[test]
+    fn undersized_treelet_budget_is_a_typed_error_not_a_panic() {
+        let (bvh, rays) = fixture();
+        let mut config = SimConfig::paper_baseline();
+        config.treelet_bytes = 0;
+        let err = try_simulate(&bvh, &rays, &config).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::Config(crate::error::ConfigError::TreeletBudgetTooSmall { bytes: 0 })
+        ));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! greedy, upper-level treelets tend to be full-size — which the paper
 //! exploits, since upper levels are accessed most.
 
+use crate::error::ConfigError;
 use rt_bvh::{WideBvh, NODE_SIZE_BYTES};
 use std::collections::VecDeque;
 use std::fmt;
@@ -105,10 +106,39 @@ impl TreeletAssignment {
         max_bytes: u64,
         policy: FormationPolicy,
     ) -> TreeletAssignment {
-        assert!(
-            max_bytes >= NODE_SIZE_BYTES,
-            "a treelet must fit at least one node"
-        );
+        match TreeletAssignment::try_form_with_policy(bvh, max_bytes, policy) {
+            Ok(t) => t,
+            Err(_) => panic!("a treelet must fit at least one node"),
+        }
+    }
+
+    /// Forms treelets with the greedy algorithm of §3.1, returning a
+    /// typed error instead of panicking on an undersized budget.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::TreeletBudgetTooSmall`] if `max_bytes` cannot hold
+    /// one 64-byte node.
+    pub fn try_form(bvh: &WideBvh, max_bytes: u64) -> Result<TreeletAssignment, ConfigError> {
+        TreeletAssignment::try_form_with_policy(bvh, max_bytes, FormationPolicy::GreedyBfs)
+    }
+
+    /// Forms treelets with an explicit growth [`FormationPolicy`],
+    /// returning a typed error instead of panicking on an undersized
+    /// budget.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::TreeletBudgetTooSmall`] if `max_bytes` cannot hold
+    /// one 64-byte node.
+    pub fn try_form_with_policy(
+        bvh: &WideBvh,
+        max_bytes: u64,
+        policy: FormationPolicy,
+    ) -> Result<TreeletAssignment, ConfigError> {
+        if max_bytes < NODE_SIZE_BYTES {
+            return Err(ConfigError::TreeletBudgetTooSmall { bytes: max_bytes });
+        }
         let n = bvh.node_count();
         let mut of_node = vec![u32::MAX; n];
         let mut treelets: Vec<Vec<u32>> = Vec::new();
@@ -159,11 +189,11 @@ impl TreeletAssignment {
             treelets.push(members);
         }
         debug_assert!(of_node.iter().all(|&t| t != u32::MAX));
-        TreeletAssignment {
+        Ok(TreeletAssignment {
             treelets,
             of_node,
             max_bytes,
-        }
+        })
     }
 
     /// Number of treelets.
@@ -490,6 +520,23 @@ mod tests {
     fn budget_below_node_size_panics() {
         let bvh = grid_bvh(10);
         let _ = TreeletAssignment::form(&bvh, 32);
+    }
+
+    #[test]
+    fn try_form_returns_typed_error_for_undersized_budget() {
+        let bvh = grid_bvh(10);
+        assert_eq!(
+            TreeletAssignment::try_form(&bvh, 0).unwrap_err(),
+            ConfigError::TreeletBudgetTooSmall { bytes: 0 }
+        );
+        assert_eq!(
+            TreeletAssignment::try_form(&bvh, NODE_SIZE_BYTES - 1).unwrap_err(),
+            ConfigError::TreeletBudgetTooSmall {
+                bytes: NODE_SIZE_BYTES - 1
+            }
+        );
+        let a = TreeletAssignment::try_form(&bvh, 512).expect("valid budget forms");
+        assert!(a.count() > 0);
     }
 
     #[test]

@@ -139,6 +139,18 @@ impl Dram {
         self.channels.iter().map(|c| c.accesses).collect()
     }
 
+    /// Per-channel in-flight request counts.
+    ///
+    /// Completion ids are line addresses (see `encode`), so each pending
+    /// completion maps back to the channel that is servicing it.
+    pub fn channel_in_flight(&self) -> Vec<usize> {
+        let mut per = vec![0usize; self.config.channels];
+        for &Reverse((_, id)) in self.completions.iter() {
+            per[self.channel_of(id)] += 1;
+        }
+        per
+    }
+
     /// Mean data-bus utilization across channels over `elapsed` memory
     /// cycles (Fig. 1a's DRAM utilization metric).
     ///
@@ -316,6 +328,18 @@ mod tests {
         assert_eq!(d.in_flight(), 2);
         d.drain_completed(1_000);
         assert_eq!(d.in_flight(), 0);
+    }
+
+    #[test]
+    fn channel_in_flight_buckets_by_servicing_channel() {
+        let mut d = dram();
+        d.enqueue(0, 0, 0); // ch 0
+        d.enqueue(256, 256, 0); // ch 1
+        d.enqueue(320, 320, 0); // ch 1
+        assert_eq!(d.channel_in_flight(), vec![1, 2, 0, 0]);
+        assert_eq!(d.channel_in_flight().iter().sum::<usize>(), d.in_flight());
+        d.drain_completed(10_000);
+        assert_eq!(d.channel_in_flight(), vec![0, 0, 0, 0]);
     }
 
     #[test]

@@ -821,6 +821,16 @@ impl MemorySystem {
         self.l2.stats()
     }
 
+    /// MSHRs currently allocated across all L1s (MSHR pressure).
+    pub fn l1_mshrs_in_use(&self) -> usize {
+        self.l1.iter().map(Cache::mshrs_in_use).sum()
+    }
+
+    /// MSHRs currently allocated at the L2.
+    pub fn l2_mshrs_in_use(&self) -> usize {
+        self.l2.mshrs_in_use()
+    }
+
     /// Sums the prefetch-effectiveness counters across all L1s *without*
     /// finalizing (still-unread prefetched lines are not yet classified
     /// as unused) — for mid-session snapshots.

@@ -1,0 +1,67 @@
+//! Typed scene-construction errors.
+
+use std::fmt;
+
+/// Why a scene (or one of its procedural generators) refused to build.
+///
+/// Both variants exist to turn what used to be a panic or an unbounded
+/// allocation into a prompt, typed failure the CLI can map to its
+/// invalid-input exit code.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SceneError {
+    /// The detail factor is zero, negative, NaN, or infinite.
+    InvalidDetail {
+        /// The rejected detail factor.
+        detail: f32,
+    },
+    /// A generator call would exceed the per-call triangle ceiling
+    /// ([`MAX_GENERATOR_TRIANGLES`](crate::generators::MAX_GENERATOR_TRIANGLES))
+    /// — the fail-fast guard against runaway detail factors allocating
+    /// until OOM.
+    TooManyTriangles {
+        /// Triangles the call would have generated (saturating).
+        requested: u64,
+        /// The ceiling it exceeded.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SceneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SceneError::InvalidDetail { detail } => {
+                write!(f, "detail must be positive and finite, got {detail}")
+            }
+            SceneError::TooManyTriangles { requested, limit } => {
+                write!(
+                    f,
+                    "scene generation would produce {requested} triangles \
+                     (ceiling {limit}); lower the detail factor"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SceneError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_cause() {
+        // The legacy panic message asserted "detail must be positive";
+        // the typed error keeps that prefix.
+        let e = SceneError::InvalidDetail {
+            detail: f32::INFINITY,
+        };
+        assert!(e.to_string().contains("detail must be positive"));
+        let e = SceneError::TooManyTriangles {
+            requested: 1 << 40,
+            limit: 1 << 26,
+        };
+        assert!(e.to_string().contains("triangles"));
+        assert!(e.to_string().contains("detail"));
+    }
+}

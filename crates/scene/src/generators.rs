@@ -5,13 +5,42 @@
 //! reproducible across runs.
 
 use crate::Mesh;
+use crate::SceneError;
 use rt_rng::Rng;
 use rt_geometry::{Triangle, Vec3};
 
+/// Ceiling on the triangles a single generator call may produce (2²⁶,
+/// ~67 M — well above any paper scene, well below allocation-until-OOM).
+///
+/// Parameterized generators compute their triangle count in closed form
+/// *before* allocating and return
+/// [`SceneError::TooManyTriangles`] when a runaway detail factor (e.g.
+/// `--detail 1e30` saturating resolutions to `u32::MAX`) would blow past
+/// it, so bad input fails in microseconds instead of hanging.
+pub const MAX_GENERATOR_TRIANGLES: u64 = 1 << 26;
+
+/// Fails fast when a generator would produce more than
+/// [`MAX_GENERATOR_TRIANGLES`] triangles. Counts are computed in `u128`
+/// so `u32::MAX`-saturated resolutions cannot overflow the check itself.
+fn budget(requested: u128) -> Result<(), SceneError> {
+    if requested > MAX_GENERATOR_TRIANGLES as u128 {
+        return Err(SceneError::TooManyTriangles {
+            requested: requested.min(u64::MAX as u128) as u64,
+            limit: MAX_GENERATOR_TRIANGLES,
+        });
+    }
+    Ok(())
+}
+
 /// Tessellated rectangle in the XZ plane at height `y`, spanning
 /// `[-half, half]²`, subdivided into `res × res` quads (2 triangles each).
-pub fn ground_plane(half: f32, y: f32, res: u32) -> Mesh {
+///
+/// # Errors
+///
+/// [`SceneError::TooManyTriangles`] if `2·res²` exceeds the ceiling.
+pub fn ground_plane(half: f32, y: f32, res: u32) -> Result<Mesh, SceneError> {
     let res = res.max(1);
+    budget(2 * res as u128 * res as u128)?;
     let mut mesh = Mesh::new();
     let step = 2.0 * half / res as f32;
     for i in 0..res {
@@ -27,7 +56,7 @@ pub fn ground_plane(half: f32, y: f32, res: u32) -> Mesh {
             mesh.push(Triangle::new(a, c, d));
         }
     }
-    mesh
+    Ok(mesh)
 }
 
 /// Axis-aligned box with corners `min`/`max` (12 triangles).
@@ -61,21 +90,32 @@ pub fn cuboid(min: Vec3, max: Vec3) -> Mesh {
 }
 
 /// Latitude/longitude sphere with `stacks × slices` resolution.
-pub fn uv_sphere(center: Vec3, radius: f32, stacks: u32, slices: u32) -> Mesh {
+///
+/// # Errors
+///
+/// [`SceneError::TooManyTriangles`] if `2·stacks·slices` exceeds the
+/// ceiling.
+pub fn uv_sphere(center: Vec3, radius: f32, stacks: u32, slices: u32) -> Result<Mesh, SceneError> {
     displaced_sphere(center, radius, stacks, slices, |_, _| 0.0)
 }
 
 /// Sphere whose radius is perturbed by `displace(theta, phi)` — used for
 /// organic "blob" objects (bunny/fox stand-ins).
+///
+/// # Errors
+///
+/// [`SceneError::TooManyTriangles`] if `2·stacks·slices` exceeds the
+/// ceiling.
 pub fn displaced_sphere<F: Fn(f32, f32) -> f32>(
     center: Vec3,
     radius: f32,
     stacks: u32,
     slices: u32,
     displace: F,
-) -> Mesh {
+) -> Result<Mesh, SceneError> {
     let stacks = stacks.max(2);
     let slices = slices.max(3);
+    budget(2 * stacks as u128 * slices as u128)?;
     let vertex = |i: u32, j: u32| {
         let theta = std::f32::consts::PI * i as f32 / stacks as f32;
         let phi = 2.0 * std::f32::consts::PI * j as f32 / slices as f32;
@@ -110,12 +150,22 @@ pub fn displaced_sphere<F: Fn(f32, f32) -> f32>(
             }
         }
     }
-    mesh
+    Ok(mesh)
 }
 
 /// Open cone with apex above the base center (tree/stand-in foliage).
-pub fn cone(base_center: Vec3, base_radius: f32, height: f32, slices: u32) -> Mesh {
+///
+/// # Errors
+///
+/// [`SceneError::TooManyTriangles`] if `2·slices` exceeds the ceiling.
+pub fn cone(
+    base_center: Vec3,
+    base_radius: f32,
+    height: f32,
+    slices: u32,
+) -> Result<Mesh, SceneError> {
     let slices = slices.max(3);
+    budget(2 * slices as u128)?;
     let apex = base_center + Vec3::new(0.0, height, 0.0);
     let ring = |j: u32| {
         let phi = 2.0 * std::f32::consts::PI * j as f32 / slices as f32;
@@ -127,12 +177,22 @@ pub fn cone(base_center: Vec3, base_radius: f32, height: f32, slices: u32) -> Me
         mesh.push(Triangle::new(a, b, apex));
         mesh.push(Triangle::new(b, a, base_center)); // base disk
     }
-    mesh
+    Ok(mesh)
 }
 
 /// Open cylinder along +Y (tree trunks, columns).
-pub fn cylinder(base_center: Vec3, radius: f32, height: f32, slices: u32) -> Mesh {
+///
+/// # Errors
+///
+/// [`SceneError::TooManyTriangles`] if `2·slices` exceeds the ceiling.
+pub fn cylinder(
+    base_center: Vec3,
+    radius: f32,
+    height: f32,
+    slices: u32,
+) -> Result<Mesh, SceneError> {
     let slices = slices.max(3);
+    budget(2 * slices as u128)?;
     let ring = |j: u32, y: f32| {
         let phi = 2.0 * std::f32::consts::PI * j as f32 / slices as f32;
         base_center + Vec3::new(radius * phi.cos(), y, radius * phi.sin())
@@ -145,10 +205,15 @@ pub fn cylinder(base_center: Vec3, radius: f32, height: f32, slices: u32) -> Mes
         mesh.push(Triangle::new(a, b, c));
         mesh.push(Triangle::new(a, c, d));
     }
-    mesh
+    Ok(mesh)
 }
 
 /// Tube swept along a helix (spring stand-in).
+///
+/// # Errors
+///
+/// [`SceneError::TooManyTriangles`] if `2·segments·sides` exceeds the
+/// ceiling.
 pub fn helix_tube(
     center: Vec3,
     coil_radius: f32,
@@ -157,9 +222,10 @@ pub fn helix_tube(
     height: f32,
     segments: u32,
     sides: u32,
-) -> Mesh {
+) -> Result<Mesh, SceneError> {
     let segments = segments.max(2);
     let sides = sides.max(3);
+    budget(2 * segments as u128 * sides as u128)?;
     let spine = |i: u32| {
         let t = i as f32 / segments as f32;
         let angle = turns * 2.0 * std::f32::consts::PI * t;
@@ -207,13 +273,22 @@ pub fn helix_tube(
         }
         prev = cur;
     }
-    mesh
+    Ok(mesh)
 }
 
 /// Heightfield terrain over `[-half, half]²` with `res × res` cells and
 /// height given by `height(x, z)`.
-pub fn terrain<F: Fn(f32, f32) -> f32>(half: f32, res: u32, height: F) -> Mesh {
+///
+/// # Errors
+///
+/// [`SceneError::TooManyTriangles`] if `2·res²` exceeds the ceiling.
+pub fn terrain<F: Fn(f32, f32) -> f32>(
+    half: f32,
+    res: u32,
+    height: F,
+) -> Result<Mesh, SceneError> {
     let res = res.max(1);
+    budget(2 * res as u128 * res as u128)?;
     let step = 2.0 * half / res as f32;
     let point = |i: u32, j: u32| {
         let x = -half + i as f32 * step;
@@ -231,12 +306,23 @@ pub fn terrain<F: Fn(f32, f32) -> f32>(half: f32, res: u32, height: F) -> Mesh {
             mesh.push(Triangle::new(a, c, d));
         }
     }
-    mesh
+    Ok(mesh)
 }
 
 /// `count` random small triangles scattered uniformly inside a box — the
 /// maximally incoherent "confetti" workload (party stand-in).
-pub fn confetti<R: Rng>(rng: &mut R, count: usize, min: Vec3, max: Vec3, size: f32) -> Mesh {
+///
+/// # Errors
+///
+/// [`SceneError::TooManyTriangles`] if `count` exceeds the ceiling.
+pub fn confetti<R: Rng>(
+    rng: &mut R,
+    count: usize,
+    min: Vec3,
+    max: Vec3,
+    size: f32,
+) -> Result<Mesh, SceneError> {
+    budget(count as u128)?;
     let mut mesh = Mesh::new();
     let ext = max - min;
     for _ in 0..count {
@@ -255,7 +341,7 @@ pub fn confetti<R: Rng>(rng: &mut R, count: usize, min: Vec3, max: Vec3, size: f
         };
         mesh.push(Triangle::new(p + rv(rng), p + rv(rng), p + rv(rng)));
     }
-    mesh
+    Ok(mesh)
 }
 
 /// Deterministic value-noise-like ripple used to displace organic shapes.
@@ -279,7 +365,7 @@ mod tests {
 
     #[test]
     fn ground_plane_counts() {
-        let m = ground_plane(10.0, 0.0, 4);
+        let m = ground_plane(10.0, 0.0, 4).unwrap();
         assert_eq!(m.len(), 4 * 4 * 2);
         let b = m.aabb();
         assert_eq!(b.min, Vec3::new(-10.0, 0.0, -10.0));
@@ -296,7 +382,7 @@ mod tests {
 
     #[test]
     fn sphere_bounds_match_radius() {
-        let m = uv_sphere(Vec3::ZERO, 2.0, 8, 12);
+        let m = uv_sphere(Vec3::ZERO, 2.0, 8, 12).unwrap();
         assert!(!m.is_empty());
         let b = m.aabb();
         assert!(b.max.max_component() <= 2.0 + 1e-4);
@@ -307,20 +393,20 @@ mod tests {
 
     #[test]
     fn displaced_sphere_respects_displacement() {
-        let m = displaced_sphere(Vec3::ZERO, 1.0, 8, 12, |_, _| 0.5);
+        let m = displaced_sphere(Vec3::ZERO, 1.0, 8, 12, |_, _| 0.5).unwrap();
         let b = m.aabb();
         assert!(b.max.max_component() > 1.2);
     }
 
     #[test]
     fn cone_and_cylinder_counts() {
-        assert_eq!(cone(Vec3::ZERO, 1.0, 2.0, 8).len(), 16);
-        assert_eq!(cylinder(Vec3::ZERO, 1.0, 2.0, 8).len(), 16);
+        assert_eq!(cone(Vec3::ZERO, 1.0, 2.0, 8).unwrap().len(), 16);
+        assert_eq!(cylinder(Vec3::ZERO, 1.0, 2.0, 8).unwrap().len(), 16);
     }
 
     #[test]
     fn helix_tube_spans_height() {
-        let m = helix_tube(Vec3::ZERO, 2.0, 0.2, 3.0, 5.0, 32, 6);
+        let m = helix_tube(Vec3::ZERO, 2.0, 0.2, 3.0, 5.0, 32, 6).unwrap();
         let b = m.aabb();
         assert!(b.max.y > 4.5);
         assert!(b.min.y < 0.5);
@@ -329,7 +415,7 @@ mod tests {
 
     #[test]
     fn terrain_follows_height_function() {
-        let m = terrain(5.0, 8, |x, z| 0.1 * (x + z));
+        let m = terrain(5.0, 8, |x, z| 0.1 * (x + z)).unwrap();
         assert_eq!(m.len(), 8 * 8 * 2);
         let b = m.aabb();
         assert!(b.max.y <= 1.0 + 1e-4);
@@ -340,8 +426,8 @@ mod tests {
     fn confetti_is_deterministic_per_seed() {
         let mut r1 = SmallRng::seed_from_u64(7);
         let mut r2 = SmallRng::seed_from_u64(7);
-        let a = confetti(&mut r1, 50, Vec3::ZERO, Vec3::ONE, 0.05);
-        let b = confetti(&mut r2, 50, Vec3::ZERO, Vec3::ONE, 0.05);
+        let a = confetti(&mut r1, 50, Vec3::ZERO, Vec3::ONE, 0.05).unwrap();
+        let b = confetti(&mut r2, 50, Vec3::ZERO, Vec3::ONE, 0.05).unwrap();
         assert_eq!(a.len(), 50);
         assert_eq!(a.triangles()[10], b.triangles()[10]);
     }
@@ -349,7 +435,7 @@ mod tests {
     #[test]
     fn confetti_stays_near_box() {
         let mut rng = SmallRng::seed_from_u64(1);
-        let m = confetti(&mut rng, 100, Vec3::ZERO, Vec3::splat(4.0), 0.1);
+        let m = confetti(&mut rng, 100, Vec3::ZERO, Vec3::splat(4.0), 0.1).unwrap();
         let b = m.aabb();
         assert!(b.min.min_component() >= -0.2);
         assert!(b.max.max_component() <= 4.2);
@@ -360,6 +446,40 @@ mod tests {
         for i in 0..50 {
             let v = ripple(i as f32 * 0.1, i as f32 * 0.2, 3, 0.2);
             assert!(v.abs() < 0.5);
+        }
+    }
+
+    #[test]
+    fn oversized_requests_fail_fast_without_allocating() {
+        // 2 * u32::MAX^2 overflows u64; the budget math must still reject
+        // it promptly instead of wrapping around or allocating.
+        let mut rng = SmallRng::seed_from_u64(1);
+        let big = u32::MAX;
+        assert!(ground_plane(1.0, 0.0, big).is_err());
+        assert!(uv_sphere(Vec3::ZERO, 1.0, big, big).is_err());
+        assert!(displaced_sphere(Vec3::ZERO, 1.0, big, big, |_, _| 0.0).is_err());
+        assert!(cone(Vec3::ZERO, 1.0, 1.0, big).is_err());
+        assert!(cylinder(Vec3::ZERO, 1.0, 1.0, big).is_err());
+        assert!(helix_tube(Vec3::ZERO, 1.0, 0.1, 1.0, 1.0, big, big).is_err());
+        assert!(terrain(1.0, big, |_, _| 0.0).is_err());
+        assert!(confetti(
+            &mut rng,
+            (MAX_GENERATOR_TRIANGLES + 1) as usize,
+            Vec3::ZERO,
+            Vec3::ONE,
+            0.1
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn over_budget_error_reports_request_and_limit() {
+        match ground_plane(1.0, 0.0, u32::MAX) {
+            Err(SceneError::TooManyTriangles { requested, limit }) => {
+                assert_eq!(limit, MAX_GENERATOR_TRIANGLES);
+                assert!(requested > limit);
+            }
+            other => panic!("expected TooManyTriangles, got {other:?}"),
         }
     }
 }

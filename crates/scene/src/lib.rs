@@ -23,6 +23,7 @@
 #![warn(missing_debug_implementations)]
 
 mod camera;
+mod error;
 pub mod generators;
 mod mesh;
 mod obj;
@@ -30,6 +31,7 @@ mod rays;
 mod scenes;
 
 pub use camera::Camera;
+pub use error::SceneError;
 pub use mesh::Mesh;
 pub use obj::{load_obj, parse_obj, write_obj, ParseObjError};
 pub use rays::{Workload, WorkloadKind};

@@ -15,7 +15,7 @@ use crate::generators::{
     cone, confetti, cuboid, cylinder, displaced_sphere, ground_plane, helix_tube, ripple, terrain,
     uv_sphere,
 };
-use crate::{Camera, Mesh};
+use crate::{Camera, Mesh, SceneError};
 use rt_rng::SmallRng;
 use rt_geometry::{Aabb, Vec3};
 use std::fmt;
@@ -161,15 +161,34 @@ impl Scene {
     ///
     /// # Panics
     ///
-    /// Panics if `detail` is not finite and positive.
+    /// Panics if `detail` is not finite and positive, or if the scene
+    /// would exceed the generator triangle ceiling; use
+    /// [`Scene::try_build_with_detail`] for a typed error instead.
     pub fn build_with_detail(id: SceneId, detail: f32) -> Scene {
-        assert!(
-            detail.is_finite() && detail > 0.0,
-            "detail must be positive, got {detail}"
-        );
-        let mesh = build_mesh(id, detail);
+        match Scene::try_build_with_detail(id, detail) {
+            Ok(scene) => scene,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds the scene with a linear detail multiplier, returning a
+    /// typed [`SceneError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`SceneError::InvalidDetail`] when `detail` is zero, negative,
+    /// NaN, or infinite; [`SceneError::TooManyTriangles`] when the
+    /// scaled scene would exceed
+    /// [`MAX_GENERATOR_TRIANGLES`](crate::generators::MAX_GENERATOR_TRIANGLES)
+    /// triangles in a single generator call (the fail-fast guard
+    /// against runaway detail factors).
+    pub fn try_build_with_detail(id: SceneId, detail: f32) -> Result<Scene, SceneError> {
+        if !(detail.is_finite() && detail > 0.0) {
+            return Err(SceneError::InvalidDetail { detail });
+        }
+        let mesh = build_mesh(id, detail)?;
         let camera = framing_camera(&mesh.aabb());
-        Scene { id, mesh, camera }
+        Ok(Scene { id, mesh, camera })
     }
 
     /// Number of triangles in the scene.
@@ -229,7 +248,7 @@ fn count(base: usize, detail: f32, lo: usize) -> usize {
     ((base as f32 * detail * detail).round() as usize).max(lo)
 }
 
-fn build_mesh(id: SceneId, d: f32) -> Mesh {
+fn build_mesh(id: SceneId, d: f32) -> Result<Mesh, SceneError> {
     match id {
         SceneId::Wknd => wknd(d),
         SceneId::Park => park(d),
@@ -252,8 +271,8 @@ fn build_mesh(id: SceneId, d: f32) -> Mesh {
 
 /// Tiny "one weekend" scene: three spheres on a plane. Its BVH fits in the
 /// L1 cache, which is why the paper sees no speedup on it.
-fn wknd(d: f32) -> Mesh {
-    let mut m = ground_plane(12.0, 0.0, res(8, d, 2));
+fn wknd(d: f32) -> Result<Mesh, SceneError> {
+    let mut m = ground_plane(12.0, 0.0, res(8, d, 2))?;
     for (i, r) in [1.0f32, 0.8, 1.2].iter().enumerate() {
         let x = -4.0 + 4.0 * i as f32;
         m.append(&uv_sphere(
@@ -261,39 +280,41 @@ fn wknd(d: f32) -> Mesh {
             *r,
             res(12, d, 4),
             res(16, d, 6),
-        ));
+        )?);
     }
-    m
+    Ok(m)
 }
 
 /// Park: rolling terrain with scattered trees and rocks.
-fn park(d: f32) -> Mesh {
+fn park(d: f32) -> Result<Mesh, SceneError> {
     let mut rng = SmallRng::seed_from_u64(0x5041_524b);
     let mut m = terrain(80.0, res(100, d, 8), |x, z| {
         2.0 * (0.05 * x).sin() * (0.06 * z).cos()
-    });
-    let mut place = |n: usize, f: &mut dyn FnMut(&mut SmallRng, Vec3) -> Mesh| {
+    })?;
+    type Place<'a> = &'a mut (dyn FnMut(&mut SmallRng, Vec3) -> Result<Mesh, SceneError> + 'a);
+    let mut place = |n: usize, f: Place<'_>| -> Result<(), SceneError> {
         use rt_rng::Rng;
         for _ in 0..n {
             let x = rng.gen_range(-75.0..75.0);
             let z = rng.gen_range(-75.0..75.0);
             let y = 2.0 * (0.05f32 * x).sin() * (0.06f32 * z).cos();
-            let sub = f(&mut rng, Vec3::new(x, y, z));
+            let sub = f(&mut rng, Vec3::new(x, y, z))?;
             m.append(&sub);
         }
+        Ok(())
     };
     place(count(400, d, 4), &mut |rng, p| {
         use rt_rng::Rng;
         let h: f32 = rng.gen_range(3.0..7.0);
-        let mut t = cylinder(p, 0.3, h * 0.4, res(10, d, 4));
+        let mut t = cylinder(p, 0.3, h * 0.4, res(10, d, 4))?;
         t.append(&cone(
             p + Vec3::new(0.0, h * 0.4, 0.0),
             h * 0.35,
             h * 0.6,
             res(20, d, 5),
-        ));
-        t
-    });
+        )?);
+        Ok(t)
+    })?;
     place(count(120, d, 2), &mut |rng, p| {
         use rt_rng::Rng;
         let r: f32 = rng.gen_range(0.3..0.9);
@@ -303,20 +324,20 @@ fn park(d: f32) -> Mesh {
             res(8, d, 3),
             res(10, d, 4),
         )
-    });
-    m
+    })?;
+    Ok(m)
 }
 
 /// Car: one very dense triangle shell (body) with wheels — the largest
 /// scenes in the paper are dense scanned/CAD surfaces like this.
-fn car(d: f32) -> Mesh {
+fn car(d: f32) -> Result<Mesh, SceneError> {
     let body = displaced_sphere(Vec3::ZERO, 1.0, res(180, d, 12), res(280, d, 16), |t, p| {
         0.04 * ripple(t, p, 3, 1.0)
-    })
+    })?
     .scaled(Vec3::new(4.2, 1.25, 1.8));
     let mut m = body;
     for (sx, sz) in [(-1.0f32, -1.0f32), (-1.0, 1.0), (1.0, -1.0), (1.0, 1.0)] {
-        let wheel = uv_sphere(Vec3::ZERO, 0.6, res(24, d, 6), res(36, d, 8))
+        let wheel = uv_sphere(Vec3::ZERO, 0.6, res(24, d, 6), res(36, d, 8))?
             .scaled(Vec3::new(1.0, 1.0, 0.45))
             .translated(Vec3::new(2.4 * sx, -1.0, 1.8 * sz));
         m.append(&wheel);
@@ -325,21 +346,23 @@ fn car(d: f32) -> Mesh {
         Vec3::new(-1.6, -0.4, -1.0),
         Vec3::new(1.6, 0.6, 1.0),
     ));
-    m
+    Ok(m)
 }
 
 /// Robot: articulated figure built from many dense organic segments — the
 /// deepest, largest BVH of the suite.
-fn robot(d: f32) -> Mesh {
-    let blob = |c: Vec3, r: Vec3, st: u32, sl: u32| {
-        displaced_sphere(Vec3::ZERO, 1.0, res(st, d, 8), res(sl, d, 10), |t, p| {
-            0.05 * ripple(t, p, 2, 1.0)
-        })
-        .scaled(r)
-        .translated(c)
+fn robot(d: f32) -> Result<Mesh, SceneError> {
+    let blob = |c: Vec3, r: Vec3, st: u32, sl: u32| -> Result<Mesh, SceneError> {
+        Ok(
+            displaced_sphere(Vec3::ZERO, 1.0, res(st, d, 8), res(sl, d, 10), |t, p| {
+                0.05 * ripple(t, p, 2, 1.0)
+            })?
+            .scaled(r)
+            .translated(c),
+        )
     };
-    let mut m = blob(Vec3::new(0.0, 3.0, 0.0), Vec3::new(1.4, 2.0, 0.9), 120, 180); // torso
-    m.append(&blob(Vec3::new(0.0, 6.0, 0.0), Vec3::splat(0.9), 70, 100)); // head
+    let mut m = blob(Vec3::new(0.0, 3.0, 0.0), Vec3::new(1.4, 2.0, 0.9), 120, 180)?; // torso
+    m.append(&blob(Vec3::new(0.0, 6.0, 0.0), Vec3::splat(0.9), 70, 100)?); // head
     for side in [-1.0f32, 1.0] {
         // Arms: two segments each.
         m.append(&blob(
@@ -347,32 +370,32 @@ fn robot(d: f32) -> Mesh {
             Vec3::new(0.45, 1.1, 0.45),
             50,
             70,
-        ));
+        )?);
         m.append(&blob(
             Vec3::new(2.1 * side, 2.2, 0.3),
             Vec3::new(0.4, 1.0, 0.4),
             50,
             70,
-        ));
+        )?);
         // Legs: two segments each.
         m.append(&blob(
             Vec3::new(0.7 * side, 0.2, 0.0),
             Vec3::new(0.5, 1.2, 0.5),
             50,
             70,
-        ));
+        )?);
         m.append(&blob(
             Vec3::new(0.7 * side, -2.0, 0.2),
             Vec3::new(0.45, 1.1, 0.5),
             50,
             70,
-        ));
+        )?);
     }
-    m
+    Ok(m)
 }
 
 /// Springs: two interleaved helical coils.
-fn sprng(d: f32) -> Mesh {
+fn sprng(d: f32) -> Result<Mesh, SceneError> {
     let mut m = helix_tube(
         Vec3::ZERO,
         2.0,
@@ -381,7 +404,7 @@ fn sprng(d: f32) -> Mesh {
         8.0,
         res(600, d, 24),
         res(16, d, 5),
-    );
+    )?;
     m.append(&helix_tube(
         Vec3::new(5.0, 0.0, 0.0),
         1.4,
@@ -390,14 +413,14 @@ fn sprng(d: f32) -> Mesh {
         8.0,
         res(500, d, 20),
         res(14, d, 5),
-    ));
-    m.append(&ground_plane(10.0, -0.2, res(10, d, 2)));
-    m
+    )?);
+    m.append(&ground_plane(10.0, -0.2, res(10, d, 2))?);
+    Ok(m)
 }
 
 /// Party: uniformly scattered confetti — maximal ray divergence. The paper
 /// notes PARTY is the scene where treelet traversal costs the most.
-fn party(d: f32) -> Mesh {
+fn party(d: f32) -> Result<Mesh, SceneError> {
     let mut rng = SmallRng::seed_from_u64(0x5041_5254);
     confetti(
         &mut rng,
@@ -409,17 +432,17 @@ fn party(d: f32) -> Mesh {
 }
 
 /// Fox: organic body + head + tail, dense smooth surfaces.
-fn fox(d: f32) -> Mesh {
-    let organic = |c: Vec3, r: Vec3, st: u32, sl: u32, seed: f32| {
-        displaced_sphere(
+fn fox(d: f32) -> Result<Mesh, SceneError> {
+    let organic = |c: Vec3, r: Vec3, st: u32, sl: u32, seed: f32| -> Result<Mesh, SceneError> {
+        Ok(displaced_sphere(
             Vec3::ZERO,
             1.0,
             res(st, d, 8),
             res(sl, d, 10),
             move |t, p| 0.08 * ripple(t + seed, p, 3, 1.0),
-        )
+        )?
         .scaled(r)
-        .translated(c)
+        .translated(c))
     };
     let mut m = organic(
         Vec3::new(0.0, 1.2, 0.0),
@@ -427,14 +450,14 @@ fn fox(d: f32) -> Mesh {
         140,
         200,
         0.0,
-    );
+    )?;
     m.append(&organic(
         Vec3::new(2.6, 1.9, 0.0),
         Vec3::splat(0.7),
         60,
         90,
         1.3,
-    ));
+    )?);
     m.append(&helix_tube(
         Vec3::new(-2.2, 1.0, 0.0),
         0.5,
@@ -443,36 +466,36 @@ fn fox(d: f32) -> Mesh {
         1.5,
         res(300, d, 12),
         res(10, d, 4),
-    ));
+    )?);
     for side in [-1.0f32, 1.0] {
         m.append(&cone(
             Vec3::new(2.7, 2.4, 0.35 * side),
             0.2,
             0.6,
             res(10, d, 4),
-        ));
+        )?);
         m.append(&cylinder(
             Vec3::new(1.2, 0.0, 0.5 * side),
             0.18,
             1.2,
             res(10, d, 4),
-        ));
+        )?);
         m.append(&cylinder(
             Vec3::new(-1.2, 0.0, 0.5 * side),
             0.18,
             1.2,
             res(10, d, 4),
-        ));
+        )?);
     }
-    m
+    Ok(m)
 }
 
 /// Forest: terrain densely covered with two-tier conifer trees.
-fn frst(d: f32) -> Mesh {
+fn frst(d: f32) -> Result<Mesh, SceneError> {
     let mut rng = SmallRng::seed_from_u64(0x4652_5354);
     let mut m = terrain(60.0, res(60, d, 6), |x, z| {
         1.5 * (0.08 * x).cos() * (0.07 * z).sin()
-    });
+    })?;
     use rt_rng::Rng;
     for _ in 0..count(600, d, 6) {
         let x = rng.gen_range(-56.0..56.0);
@@ -480,25 +503,25 @@ fn frst(d: f32) -> Mesh {
         let y = 1.5 * (0.08f32 * x).cos() * (0.07f32 * z).sin();
         let h: f32 = rng.gen_range(3.0..6.5);
         let p = Vec3::new(x, y, z);
-        m.append(&cylinder(p, 0.25, h * 0.3, res(8, d, 3)));
+        m.append(&cylinder(p, 0.25, h * 0.3, res(8, d, 3))?);
         m.append(&cone(
             p + Vec3::new(0.0, h * 0.3, 0.0),
             h * 0.3,
             h * 0.45,
             res(16, d, 5),
-        ));
+        )?);
         m.append(&cone(
             p + Vec3::new(0.0, h * 0.55, 0.0),
             h * 0.22,
             h * 0.45,
             res(12, d, 4),
-        ));
+        )?);
     }
-    m
+    Ok(m)
 }
 
 /// Landscape: one large high-resolution heightfield.
-fn lands(d: f32) -> Mesh {
+fn lands(d: f32) -> Result<Mesh, SceneError> {
     terrain(100.0, res(150, d, 10), |x, z| {
         6.0 * (0.03 * x).sin() * (0.04 * z).cos()
             + 2.0 * (0.11 * x + 1.0).cos() * (0.09 * z).sin()
@@ -507,29 +530,29 @@ fn lands(d: f32) -> Mesh {
 }
 
 /// Bunny: a single medium-resolution organic blob.
-fn bunny(d: f32) -> Mesh {
+fn bunny(d: f32) -> Result<Mesh, SceneError> {
     let mut m = displaced_sphere(
         Vec3::new(0.0, 1.0, 0.0),
         1.0,
         res(64, d, 8),
         res(82, d, 10),
         |t, p| 0.12 * ripple(t, p, 4, 1.0),
-    );
+    )?;
     for side in [-1.0f32, 1.0] {
         m.append(
-            &uv_sphere(Vec3::ZERO, 0.45, res(16, d, 5), res(20, d, 6))
+            &uv_sphere(Vec3::ZERO, 0.45, res(16, d, 5), res(20, d, 6))?
                 .scaled(Vec3::new(0.35, 1.0, 0.2))
                 .translated(Vec3::new(0.35 * side, 2.2, 0.0)),
         );
     }
-    m
+    Ok(m)
 }
 
 /// Carnival: a mixture of structured rides, tents, and booths.
-fn crnvl(d: f32) -> Mesh {
+fn crnvl(d: f32) -> Result<Mesh, SceneError> {
     let mut rng = SmallRng::seed_from_u64(0x4352_4e56);
     use rt_rng::Rng;
-    let mut m = ground_plane(40.0, 0.0, res(30, d, 4));
+    let mut m = ground_plane(40.0, 0.0, res(30, d, 4))?;
     // Ferris wheel: a ring of cabins plus a rim tube.
     let wheel_center = Vec3::new(0.0, 11.0, -15.0);
     m.append(&helix_tube(
@@ -540,7 +563,7 @@ fn crnvl(d: f32) -> Mesh {
         0.01,
         res(200, d, 16),
         res(8, d, 4),
-    ));
+    )?);
     for k in 0..count(24, d, 4) {
         let a = 2.0 * std::f32::consts::PI * k as f32 / count(24, d, 4) as f32;
         let c = wheel_center + Vec3::new(9.0 * a.cos(), 9.0 * a.sin(), 0.0);
@@ -552,34 +575,34 @@ fn crnvl(d: f32) -> Mesh {
         5.0,
         0.5,
         res(32, d, 8),
-    ));
-    m.append(&cone(Vec3::new(15.0, 4.0, 5.0), 5.5, 2.5, res(32, d, 8)));
+    )?);
+    m.append(&cone(Vec3::new(15.0, 4.0, 5.0), 5.5, 2.5, res(32, d, 8))?);
     for k in 0..count(16, d, 3) {
         let a = 2.0 * std::f32::consts::PI * k as f32 / count(16, d, 3) as f32;
         let c = Vec3::new(15.0 + 4.0 * a.cos(), 1.8, 5.0 + 4.0 * a.sin());
-        m.append(&uv_sphere(c, 0.6, res(16, d, 5), res(24, d, 6)));
+        m.append(&uv_sphere(c, 0.6, res(16, d, 5), res(24, d, 6))?);
     }
     // Tents.
     for _ in 0..count(20, d, 3) {
         let x = rng.gen_range(-35.0..35.0);
         let z = rng.gen_range(-35.0..35.0);
         let r: f32 = rng.gen_range(1.5..3.5);
-        m.append(&cone(Vec3::new(x, 0.0, z), r, r * 1.4, res(24, d, 6)));
+        m.append(&cone(Vec3::new(x, 0.0, z), r, r * 1.4, res(24, d, 6))?);
     }
-    m
+    Ok(m)
 }
 
 /// Ship: a small hull with masts and deck structures — like WKND, a small
 /// BVH, but deeper.
-fn ship(d: f32) -> Mesh {
+fn ship(d: f32) -> Result<Mesh, SceneError> {
     let hull = displaced_sphere(Vec3::ZERO, 1.0, res(24, d, 8), res(36, d, 10), |t, p| {
         0.05 * ripple(t, p, 2, 1.0)
-    })
+    })?
     .scaled(Vec3::new(4.0, 1.2, 1.4))
     .translated(Vec3::new(0.0, 1.0, 0.0));
     let mut m = hull;
     for x in [-1.5f32, 1.5] {
-        m.append(&cylinder(Vec3::new(x, 2.0, 0.0), 0.12, 5.0, res(8, d, 4)));
+        m.append(&cylinder(Vec3::new(x, 2.0, 0.0), 0.12, 5.0, res(8, d, 4))?);
         m.append(&cuboid(
             Vec3::new(x - 1.2, 4.0, -0.05),
             Vec3::new(x + 1.2, 6.0, 0.05),
@@ -589,14 +612,14 @@ fn ship(d: f32) -> Mesh {
         Vec3::new(-1.0, 2.0, -0.9),
         Vec3::new(1.0, 2.8, 0.9),
     ));
-    m
+    Ok(m)
 }
 
 /// Sponza-like atrium: floor, walls, and a colonnade.
-fn spnza(d: f32) -> Mesh {
-    let mut m = ground_plane(30.0, 0.0, res(28, d, 4));
+fn spnza(d: f32) -> Result<Mesh, SceneError> {
+    let mut m = ground_plane(30.0, 0.0, res(28, d, 4))?;
     // Four walls (vertical planes via mapping from a ground plane).
-    let wall = ground_plane(30.0, 0.0, res(28, d, 4));
+    let wall = ground_plane(30.0, 0.0, res(28, d, 4))?;
     m.append(
         &wall
             .mapped(|v| Vec3::new(v.x, v.z + 30.0, -30.0))
@@ -622,7 +645,7 @@ fn spnza(d: f32) -> Mesh {
         for k in 0..14 {
             let x = -26.0 + 4.0 * k as f32;
             let base = Vec3::new(x, 0.0, row);
-            m.append(&cylinder(base, 0.8, 8.0, res(16, d, 6)));
+            m.append(&cylinder(base, 0.8, 8.0, res(16, d, 6))?);
             m.append(&cuboid(
                 base + Vec3::new(-1.1, 8.0, -1.1),
                 base + Vec3::new(1.1, 9.0, 1.1),
@@ -632,23 +655,23 @@ fn spnza(d: f32) -> Mesh {
                 1.0,
                 res(10, d, 4),
                 res(14, d, 5),
-            ));
+            )?);
         }
     }
-    m
+    Ok(m)
 }
 
 /// Bathroom: a tiled room with a tub, sink, and plumbing.
-fn bath(d: f32) -> Mesh {
-    let mut m = ground_plane(12.0, 0.0, res(50, d, 6));
-    let wall = ground_plane(12.0, 0.0, res(40, d, 5));
+fn bath(d: f32) -> Result<Mesh, SceneError> {
+    let mut m = ground_plane(12.0, 0.0, res(50, d, 6))?;
+    let wall = ground_plane(12.0, 0.0, res(40, d, 5))?;
     m.append(&wall.mapped(|v| Vec3::new(v.x, v.z + 12.0, -12.0)));
     m.append(&wall.mapped(|v| Vec3::new(-12.0, v.z + 12.0, v.x)));
     // Tub: a squashed open blob.
     m.append(
         &displaced_sphere(Vec3::ZERO, 1.0, res(80, d, 10), res(120, d, 12), |t, p| {
             0.03 * ripple(t, p, 2, 1.0)
-        })
+        })?
         .scaled(Vec3::new(3.2, 1.1, 1.8))
         .translated(Vec3::new(-6.0, 1.0, -8.0)),
     );
@@ -658,7 +681,7 @@ fn bath(d: f32) -> Mesh {
         1.0,
         res(40, d, 8),
         res(60, d, 10),
-    ));
+    )?);
     m.append(&cuboid(
         Vec3::new(5.0, 0.0, -11.0),
         Vec3::new(7.0, 2.2, -9.0),
@@ -672,14 +695,14 @@ fn bath(d: f32) -> Mesh {
         8.0,
         res(240, d, 12),
         res(8, d, 4),
-    ));
-    m
+    )?);
+    Ok(m)
 }
 
 /// Reflection test room: mirror spheres and boxes in an enclosure.
-fn rf(d: f32) -> Mesh {
-    let mut m = ground_plane(16.0, 0.0, res(20, d, 4));
-    let wall = ground_plane(16.0, 0.0, res(16, d, 3));
+fn rf(d: f32) -> Result<Mesh, SceneError> {
+    let mut m = ground_plane(16.0, 0.0, res(20, d, 4))?;
+    let wall = ground_plane(16.0, 0.0, res(16, d, 3))?;
     m.append(&wall.mapped(|v| Vec3::new(v.x, v.z + 16.0, -16.0)));
     m.append(&wall.mapped(|v| Vec3::new(-16.0, v.z + 16.0, v.x)));
     let mut rng = SmallRng::seed_from_u64(0x5245_465f);
@@ -690,26 +713,26 @@ fn rf(d: f32) -> Mesh {
             rng.gen_range(1.5..4.0),
             rng.gen_range(-10.0..10.0),
         );
-        m.append(&uv_sphere(p, 1.5, res(24, d, 6), res(36, d, 8)));
+        m.append(&uv_sphere(p, 1.5, res(24, d, 6), res(36, d, 8))?);
     }
     for _ in 0..count(8, d, 2) {
         let p = Vec3::new(rng.gen_range(-12.0..12.0), 0.0, rng.gen_range(-12.0..12.0));
         let s: f32 = rng.gen_range(0.8..2.0);
         m.append(&cuboid(p, p + Vec3::new(s, s * 1.5, s)));
     }
-    m
+    Ok(m)
 }
 
 /// Chestnut tree: trunk, branches, a dense canopy, and fallen nuts.
-fn chsnt(d: f32) -> Mesh {
-    let mut m = ground_plane(20.0, 0.0, res(16, d, 3));
-    m.append(&cylinder(Vec3::ZERO, 0.9, 6.0, res(24, d, 6)));
+fn chsnt(d: f32) -> Result<Mesh, SceneError> {
+    let mut m = ground_plane(20.0, 0.0, res(16, d, 3))?;
+    m.append(&cylinder(Vec3::ZERO, 0.9, 6.0, res(24, d, 6))?);
     let mut rng = SmallRng::seed_from_u64(0x4348_534e);
     use rt_rng::Rng;
     for k in 0..5 {
         let a = 2.0 * std::f32::consts::PI * k as f32 / 5.0;
         m.append(
-            &cylinder(Vec3::ZERO, 0.3, 3.5, res(10, d, 4))
+            &cylinder(Vec3::ZERO, 0.3, 3.5, res(10, d, 4))?
                 .rotated_y(a)
                 .mapped(|v| {
                     Vec3::new(
@@ -726,12 +749,12 @@ fn chsnt(d: f32) -> Mesh {
         res(70, d, 10),
         res(105, d, 12),
         |t, p| 0.15 * ripple(t, p, 4, 1.0),
-    ));
+    )?);
     for _ in 0..count(30, d, 3) {
         let p = Vec3::new(rng.gen_range(-6.0..6.0), 0.15, rng.gen_range(-6.0..6.0));
-        m.append(&uv_sphere(p, 0.15, res(6, d, 3), res(8, d, 4)));
+        m.append(&uv_sphere(p, 0.15, res(6, d, 3), res(8, d, 4))?);
     }
-    m
+    Ok(m)
 }
 
 #[cfg(test)]
@@ -808,5 +831,32 @@ mod tests {
     #[should_panic(expected = "detail must be positive")]
     fn zero_detail_panics() {
         let _ = Scene::build_with_detail(SceneId::Wknd, 0.0);
+    }
+
+    #[test]
+    fn non_finite_detail_is_a_typed_error() {
+        for bad in [f32::INFINITY, f32::NEG_INFINITY, f32::NAN, 0.0, -1.0] {
+            match Scene::try_build_with_detail(SceneId::Wknd, bad) {
+                Err(SceneError::InvalidDetail { detail }) => {
+                    assert!(detail.is_nan() == bad.is_nan() || detail == bad);
+                }
+                other => panic!("detail {bad} produced {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn huge_detail_fails_fast_with_typed_error() {
+        // Every builder's first generator call is detail-scaled, so a
+        // runaway detail factor must fail at the budget check instead of
+        // allocating until OOM (this used to hang).
+        for id in SceneId::ALL {
+            match Scene::try_build_with_detail(id, 1e30) {
+                Err(SceneError::TooManyTriangles { requested, limit }) => {
+                    assert!(requested > limit, "{id}: {requested} <= {limit}");
+                }
+                other => panic!("{id} at detail 1e30 produced {other:?}"),
+            }
+        }
     }
 }

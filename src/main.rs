@@ -14,13 +14,14 @@
 
 use std::process::ExitCode;
 use treelet_prefetching::bvh::MemoryImage;
-use treelet_prefetching::bvh::{TreeStats, WideBvh};
+use treelet_prefetching::bvh::{TreeStats, WideBvh, NODE_SIZE_BYTES};
 use treelet_prefetching::gpu::FaultInjection;
 use treelet_prefetching::scene::{load_obj, Camera, Scene, SceneId, Workload, WorkloadKind};
 use treelet_prefetching::treelet::{
     compile_trace, first_divergence, read_digest_log, trace_ray, try_resume, try_simulate,
-    try_simulate_checkpointed, write_traces, CheckpointOptions, PrefetchHeuristic,
-    SchedulerPolicy, SimConfig, SimError, TreeletAssignment,
+    try_simulate_checkpointed, try_simulate_with_telemetry, write_traces, CheckpointOptions,
+    PrefetchHeuristic, SchedulerPolicy, SimConfig, SimError, Telemetry, TelemetryOptions,
+    TreeletAssignment, DEFAULT_TELEMETRY_EVERY,
 };
 
 /// Parsed command line.
@@ -53,6 +54,9 @@ struct Options {
     checkpoint_path: Option<String>,
     digest_log: Option<String>,
     resume: bool,
+    telemetry: bool,
+    telemetry_path: Option<String>,
+    telemetry_every: Option<u64>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +85,9 @@ impl Default for Options {
             checkpoint_path: None,
             digest_log: None,
             resume: false,
+            telemetry: false,
+            telemetry_path: None,
+            telemetry_every: None,
         }
     }
 }
@@ -157,30 +164,35 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
     }
 }
 
+/// Pulls the value token following a flag, or errors naming the flag.
+fn next_value<'a>(
+    it: &mut std::iter::Peekable<std::slice::Iter<'a, String>>,
+    name: &str,
+) -> Result<&'a String, String> {
+    it.next().ok_or_else(|| format!("{name} needs a value"))
+}
+
 fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut options = Options::default();
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| -> Result<&String, String> {
-            it.next().ok_or_else(|| format!("{name} needs a value"))
-        };
         match flag.as_str() {
             "--scene" => {
-                let v = value("--scene")?;
+                let v = next_value(&mut it, "--scene")?;
                 options.scene = SceneId::from_name(v)
                     .ok_or_else(|| format!("unknown scene {v:?}; see `scenes`"))?;
             }
-            "--obj" => options.obj = Some(value("--obj")?.clone()),
+            "--obj" => options.obj = Some(next_value(&mut it, "--obj")?.clone()),
             "--detail" => {
-                options.detail = value("--detail")?
+                options.detail = next_value(&mut it, "--detail")?
                     .parse()
                     .map_err(|e| format!("bad --detail: {e}"))?;
-                if options.detail <= 0.0 || options.detail.is_nan() {
-                    return Err("--detail must be positive".into());
+                if !options.detail.is_finite() || options.detail <= 0.0 {
+                    return Err("--detail must be positive and finite".into());
                 }
             }
             "--res" => {
-                options.res = value("--res")?
+                options.res = next_value(&mut it, "--res")?
                     .parse()
                     .map_err(|e| format!("bad --res: {e}"))?;
                 if options.res == 0 {
@@ -188,7 +200,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 }
             }
             "--config" => {
-                options.config = match value("--config")?.as_str() {
+                options.config = match next_value(&mut it, "--config")?.as_str() {
                     "baseline" => ConfigKind::Baseline,
                     "traversal" => ConfigKind::TraversalOnly,
                     "prefetch" => ConfigKind::Prefetch,
@@ -196,11 +208,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 };
             }
             "--heuristic" => {
-                let v = value("--heuristic")?;
+                let v = next_value(&mut it, "--heuristic")?;
                 options.heuristic = Some(parse_heuristic(v)?);
             }
             "--scheduler" => {
-                options.scheduler = Some(match value("--scheduler")?.as_str() {
+                options.scheduler = Some(match next_value(&mut it, "--scheduler")?.as_str() {
                     "baseline" => SchedulerPolicy::Baseline,
                     "omr" => SchedulerPolicy::OldestMatchingRay,
                     "pmr" => SchedulerPolicy::PrioritizeMostRays,
@@ -208,12 +220,17 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 });
             }
             "--treelet-bytes" => {
-                options.treelet_bytes = value("--treelet-bytes")?
+                options.treelet_bytes = next_value(&mut it, "--treelet-bytes")?
                     .parse()
                     .map_err(|e| format!("bad --treelet-bytes: {e}"))?;
+                if options.treelet_bytes < NODE_SIZE_BYTES {
+                    return Err(format!(
+                        "--treelet-bytes must be at least one node ({NODE_SIZE_BYTES} B)"
+                    ));
+                }
             }
             "--workload" => {
-                options.workload = match value("--workload")?.as_str() {
+                options.workload = match next_value(&mut it, "--workload")?.as_str() {
                     "primary" => WorkloadKind::Primary,
                     "diffuse" => WorkloadKind::Diffuse,
                     "shadow" => WorkloadKind::Shadow,
@@ -222,7 +239,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--compare" => options.compare = true,
             "--max-cycles" => {
-                let v: u64 = value("--max-cycles")?
+                let v: u64 = next_value(&mut it, "--max-cycles")?
                     .parse()
                     .map_err(|e| format!("bad --max-cycles: {e}"))?;
                 if v == 0 {
@@ -232,13 +249,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--inject-faults" => {
                 options.inject_faults = Some(
-                    value("--inject-faults")?
+                    next_value(&mut it, "--inject-faults")?
                         .parse()
                         .map_err(|e| format!("bad --inject-faults seed: {e}"))?,
                 );
             }
             "--checkpoint-every" => {
-                let v: u64 = value("--checkpoint-every")?
+                let v: u64 = next_value(&mut it, "--checkpoint-every")?
                     .parse()
                     .map_err(|e| format!("bad --checkpoint-every: {e}"))?;
                 if v == 0 {
@@ -247,12 +264,36 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 options.checkpoint_every = Some(v);
             }
             "--checkpoint-path" => {
-                options.checkpoint_path = Some(value("--checkpoint-path")?.clone());
+                options.checkpoint_path = Some(next_value(&mut it, "--checkpoint-path")?.clone());
             }
             "--digest-log" => {
-                options.digest_log = Some(value("--digest-log")?.clone());
+                options.digest_log = Some(next_value(&mut it, "--digest-log")?.clone());
             }
             "--resume" => options.resume = true,
+            "--telemetry" => {
+                options.telemetry = true;
+                // The output path is optional: `--telemetry out.csv`
+                // writes a file, bare `--telemetry` only prints a
+                // summary (and is what `stats --telemetry` uses).
+                if let Some(next) = it.peek() {
+                    if !next.starts_with("--") {
+                        options.telemetry_path = Some(
+                            it.next()
+                                .expect("peeked token must be present")
+                                .clone(),
+                        );
+                    }
+                }
+            }
+            "--telemetry-every" => {
+                let v: u64 = next_value(&mut it, "--telemetry-every")?
+                    .parse()
+                    .map_err(|e| format!("bad --telemetry-every: {e}"))?;
+                if v == 0 {
+                    return Err("--telemetry-every must be positive".into());
+                }
+                options.telemetry_every = Some(v);
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -310,13 +351,19 @@ fn apply_robustness(mut config: SimConfig, options: &Options) -> SimConfig {
 
 /// Builds the workload geometry: either a named procedural scene or a
 /// user OBJ framed by the same camera logic.
-fn build_scene(options: &Options) -> Result<Scene, String> {
+///
+/// Scene-construction failures (bad detail, triangle-budget overflow)
+/// are invalid input — exit code 2 — not generic errors.
+fn build_scene(options: &Options) -> Result<Scene, Failure> {
     match &options.obj {
-        None => Ok(Scene::build_with_detail(options.scene, options.detail)),
+        None => Scene::try_build_with_detail(options.scene, options.detail).map_err(|e| Failure {
+            message: e.to_string(),
+            code: 2,
+        }),
         Some(path) => {
-            let mesh = load_obj(path).map_err(|e| e.to_string())?;
+            let mesh = load_obj(path).map_err(|e| e.to_string()).map_err(Failure::from)?;
             if mesh.is_empty() {
-                return Err(format!("{path}: no triangles found"));
+                return Err(format!("{path}: no triangles found").into());
             }
             let aabb = mesh.aabb();
             let center = aabb.center();
@@ -356,11 +403,13 @@ fn cmd_scenes() {
     }
 }
 
-fn cmd_stats(options: &Options) -> Result<(), String> {
+fn cmd_stats(options: &Options) -> Result<(), Failure> {
     let scene = build_scene(options)?;
+    let rays = Workload::new(options.workload, options.res, options.res).generate(&scene);
     let bvh = WideBvh::build(scene.mesh.into_triangles());
     let stats = TreeStats::of(&bvh);
-    let treelets = TreeletAssignment::form(&bvh, options.treelet_bytes);
+    let treelets =
+        TreeletAssignment::try_form(&bvh, options.treelet_bytes).map_err(SimError::from)?;
     println!(
         "scene:     {}",
         options.obj.as_deref().unwrap_or(options.scene.name())
@@ -378,7 +427,104 @@ fn cmd_stats(options: &Options) -> Result<(), String> {
         options.treelet_bytes,
         treelets.mean_occupancy() * 100.0
     );
+    // `stats --telemetry` additionally runs the workload once and
+    // summarizes the sampled time-series (writing it out when a path
+    // was given), so a scene can be profiled in one command.
+    if let Some(telemetry_opts) = telemetry_options(options).map_err(invalid)? {
+        let config = build_config(options);
+        let (result, telemetry) =
+            try_simulate_with_telemetry(&bvh, &rays, &config, &telemetry_opts)?;
+        print_telemetry_summary(&telemetry, result.cycles);
+        if let Some(path) = &options.telemetry_path {
+            write_telemetry(&telemetry, path)?;
+            println!("telemetry: wrote {} samples to {path}", telemetry.len());
+        }
+    }
     Ok(())
+}
+
+/// Wraps a flag-validation message as the invalid-input failure (exit 2).
+fn invalid(message: String) -> Failure {
+    Failure { message, code: 2 }
+}
+
+/// Assembles [`TelemetryOptions`] from the CLI flags, or `None` when
+/// telemetry was not requested.
+fn telemetry_options(options: &Options) -> Result<Option<TelemetryOptions>, String> {
+    if !options.telemetry {
+        if options.telemetry_every.is_some() {
+            return Err("--telemetry-every requires --telemetry".into());
+        }
+        return Ok(None);
+    }
+    if options.checkpoint_every.is_some() || options.checkpoint_path.is_some() || options.resume {
+        return Err("--telemetry cannot be combined with checkpoint flags".into());
+    }
+    let every = options.telemetry_every.unwrap_or(DEFAULT_TELEMETRY_EVERY);
+    Ok(Some(TelemetryOptions::new(every)))
+}
+
+/// Writes the telemetry time-series to `path`: JSON when the extension
+/// is `.json`, CSV otherwise.
+fn write_telemetry(telemetry: &Telemetry, path: &str) -> Result<(), Failure> {
+    let p = std::path::Path::new(path);
+    let json = p
+        .extension()
+        .is_some_and(|e| e.eq_ignore_ascii_case("json"));
+    let io = if json {
+        telemetry.write_json(p)
+    } else {
+        telemetry.write_csv(p)
+    };
+    io.map_err(|e| Failure::from(format!("{path}: {e}")))
+}
+
+/// Prints the compact per-run telemetry digest shared by `run` and
+/// `stats --telemetry`.
+fn print_telemetry_summary(telemetry: &Telemetry, cycles: u64) {
+    let samples = telemetry.samples();
+    let Some(last) = samples.last() else {
+        println!("telemetry: no samples collected");
+        return;
+    };
+    println!(
+        "telemetry: {} samples over {} cycles (every {} cycles)",
+        samples.len(),
+        cycles,
+        telemetry.every()
+    );
+    let mean = |f: fn(&treelet_prefetching::treelet::TelemetrySample) -> f64| -> f64 {
+        samples.iter().map(f).sum::<f64>() / samples.len() as f64
+    };
+    println!(
+        "  warp buffer occupancy: {:.1} mean / {} peak",
+        mean(|s| s.warp_buffer_occupancy as f64),
+        samples
+            .iter()
+            .map(|s| s.warp_buffer_occupancy)
+            .max()
+            .unwrap_or(0)
+    );
+    println!(
+        "  L1 hit rate:           {:.1}% mean (final {:.1}%)",
+        mean(|s| s.l1_hit_rate * 100.0),
+        last.l1_hit_rate * 100.0
+    );
+    println!(
+        "  L2 hit rate:           {:.1}% mean (final {:.1}%)",
+        mean(|s| s.l2_hit_rate * 100.0),
+        last.l2_hit_rate * 100.0
+    );
+    println!(
+        "  prefetches:            {} useful, {} late, {} useless",
+        last.prefetch_useful, last.prefetch_late, last.prefetch_useless
+    );
+    let per_channel: Vec<String> = last
+        .dram_channel_bytes
+        .iter()
+        .map(|b| format!("{:.1}", *b as f64 / 1024.0))
+        .collect();
+    println!("  DRAM KiB per channel:  [{}]", per_channel.join(", "));
 }
 
 /// Assembles [`CheckpointOptions`] from the CLI flags, or `None` when
@@ -410,10 +556,17 @@ fn cmd_run(options: &Options) -> Result<(), Failure> {
     let rays = Workload::new(options.workload, options.res, options.res).generate(&scene);
     let bvh = WideBvh::build(scene.mesh.into_triangles());
     let config = build_config(options);
-    let result = match checkpoint_options(options)? {
-        None => try_simulate(&bvh, &rays, &config)?,
-        Some(ck) if options.resume => try_resume(&bvh, &rays, &config, &ck)?,
-        Some(ck) => try_simulate_checkpointed(&bvh, &rays, &config, &ck)?,
+    let telemetry_opts = telemetry_options(options).map_err(invalid)?;
+    let mut telemetry = None;
+    let result = match (checkpoint_options(options).map_err(invalid)?, telemetry_opts) {
+        (None, Some(topts)) => {
+            let (result, t) = try_simulate_with_telemetry(&bvh, &rays, &config, &topts)?;
+            telemetry = Some(t);
+            result
+        }
+        (None, None) => try_simulate(&bvh, &rays, &config)?,
+        (Some(ck), _) if options.resume => try_resume(&bvh, &rays, &config, &ck)?,
+        (Some(ck), _) => try_simulate_checkpointed(&bvh, &rays, &config, &ck)?,
     };
     if options.compare {
         let base_config = apply_robustness(SimConfig::paper_baseline(), options);
@@ -449,6 +602,13 @@ fn cmd_run(options: &Options) -> Result<(), Failure> {
     // Scripts (the CI kill-and-resume job among them) compare this line
     // between a resumed and an uninterrupted run.
     println!("state digest:      {:#018x}", result.state_digest);
+    if let Some(telemetry) = telemetry {
+        print_telemetry_summary(&telemetry, result.cycles);
+        if let Some(path) = &options.telemetry_path {
+            write_telemetry(&telemetry, path)?;
+            println!("telemetry: wrote {} samples to {path}", telemetry.len());
+        }
+    }
     Ok(())
 }
 
@@ -491,13 +651,14 @@ fn cmd_bisect(log_a: &str, log_b: &str) -> Result<(), Failure> {
     }
 }
 
-fn cmd_trace(options: &Options, out_path: &str) -> Result<(), String> {
+fn cmd_trace(options: &Options, out_path: &str) -> Result<(), Failure> {
     use treelet_prefetching::treelet::TraversalAlgorithm;
     let scene = build_scene(options)?;
     let rays = Workload::new(options.workload, options.res, options.res).generate(&scene);
     let bvh = WideBvh::build(scene.mesh.into_triangles());
     let config = build_config(options);
-    let treelets = TreeletAssignment::form(&bvh, options.treelet_bytes);
+    let treelets =
+        TreeletAssignment::try_form(&bvh, options.treelet_bytes).map_err(SimError::from)?;
     let image = match config.traversal {
         // The trace dump pairs the algorithm with its natural layout.
         TraversalAlgorithm::BaselineDfs => MemoryImage::depth_first(&bvh),
@@ -514,8 +675,10 @@ fn cmd_trace(options: &Options, out_path: &str) -> Result<(), String> {
         .iter()
         .map(|r| compile_trace(&trace_ray(&bvh, &treelets, r, config.traversal), &image, 64))
         .collect();
-    let file = std::fs::File::create(out_path).map_err(|e| format!("{out_path}: {e}"))?;
-    write_traces(std::io::BufWriter::new(file), &traces).map_err(|e| e.to_string())?;
+    let file = std::fs::File::create(out_path)
+        .map_err(|e| Failure::from(format!("{out_path}: {e}")))?;
+    write_traces(std::io::BufWriter::new(file), &traces)
+        .map_err(|e| Failure::from(e.to_string()))?;
     let steps: usize = traces.iter().map(Vec::len).sum();
     println!(
         "wrote {} rays / {} steps ({}) to {out_path}",
@@ -544,6 +707,7 @@ USAGE:
                             [--max-cycles N] [--inject-faults SEED]
                             [--checkpoint-every N] [--checkpoint-path FILE]
                             [--digest-log FILE] [--resume]
+                            [--telemetry [FILE]] [--telemetry-every N]
   treelet-prefetching bisect-divergence LOG_A LOG_B
 
 ROBUSTNESS:
@@ -564,6 +728,19 @@ CHECKPOINTING:
                          epoch whose state digests disagree; exit 0 if
                          they agree, 6 on divergence
 
+TELEMETRY:
+  --telemetry [FILE]   sample runtime counters every N cycles (warp
+                       buffer occupancy, cache hit rates and MSHR
+                       pressure, per-channel DRAM load, prefetch
+                       useful/late/useless counts) and print a summary;
+                       with FILE, also write the full time-series
+                       (.json extension selects JSON, anything else CSV).
+                       Sampling is read-only: the run's state digest is
+                       bit-identical with telemetry on or off. Works
+                       with `run` and with `stats` (which then runs the
+                       workload once); not combinable with checkpointing
+  --telemetry-every N  sampling interval in cycles (default 1000)
+
 EXIT CODES:
   0 ok · 1 generic error · 2 invalid config/input · 3 cycle budget
   exceeded · 4 no forward progress (livelock) · 5 corrupted or foreign
@@ -576,8 +753,10 @@ fn main() -> ExitCode {
     let command = match parse_args(&args) {
         Ok(c) => c,
         Err(e) => {
+            // Unparseable or invalid flags are invalid input (exit 2),
+            // distinct from generic runtime failures (exit 1).
             eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
     let outcome: Result<(), Failure> = match command {
@@ -589,9 +768,9 @@ fn main() -> ExitCode {
             cmd_scenes();
             Ok(())
         }
-        Command::Stats(options) => cmd_stats(&options).map_err(Failure::from),
+        Command::Stats(options) => cmd_stats(&options),
         Command::Run(options) => cmd_run(&options),
-        Command::Trace(options, out) => cmd_trace(&options, &out).map_err(Failure::from),
+        Command::Trace(options, out) => cmd_trace(&options, &out),
         Command::Bisect(a, b) => cmd_bisect(&a, &b),
     };
     match outcome {
@@ -701,7 +880,79 @@ mod tests {
     fn invalid_detail_and_res_rejected() {
         assert!(parse(&["run", "--detail", "0"]).is_err());
         assert!(parse(&["run", "--detail", "-1"]).is_err());
+        // Non-finite details used to slip through the old `<= 0 || NaN`
+        // check and panic deep inside scene generation.
+        assert!(parse(&["run", "--detail", "inf"]).is_err());
+        assert!(parse(&["run", "--detail", "-inf"]).is_err());
+        assert!(parse(&["run", "--detail", "NaN"]).is_err());
         assert!(parse(&["run", "--res", "0"]).is_err());
+    }
+
+    #[test]
+    fn undersized_treelet_budget_rejected_at_parse_time() {
+        assert!(parse(&["run", "--treelet-bytes", "0"]).is_err());
+        assert!(parse(&["run", "--treelet-bytes", "63"]).is_err());
+        assert!(parse(&["stats", "--treelet-bytes", "0"]).is_err());
+        assert!(parse(&["run", "--treelet-bytes", "64"]).is_ok());
+    }
+
+    #[test]
+    fn telemetry_flags_parse() {
+        // Bare --telemetry: summary only, default interval.
+        let opts = match parse(&["run", "--telemetry"]).unwrap() {
+            Command::Run(o) => o,
+            other => panic!("expected run, got {other:?}"),
+        };
+        assert!(opts.telemetry);
+        assert_eq!(opts.telemetry_path, None);
+        let t = telemetry_options(&opts).unwrap().expect("telemetry on");
+        assert_eq!(t.every, DEFAULT_TELEMETRY_EVERY);
+        // --telemetry FILE captures the path; a following flag does not.
+        let opts = match parse(&["run", "--telemetry", "out.csv", "--res", "8"]).unwrap() {
+            Command::Run(o) => o,
+            other => panic!("expected run, got {other:?}"),
+        };
+        assert_eq!(opts.telemetry_path.as_deref(), Some("out.csv"));
+        assert_eq!(opts.res, 8);
+        let opts = match parse(&["stats", "--telemetry", "--res", "8"]).unwrap() {
+            Command::Stats(o) => o,
+            other => panic!("expected stats, got {other:?}"),
+        };
+        assert!(opts.telemetry);
+        assert_eq!(opts.telemetry_path, None);
+        assert_eq!(opts.res, 8);
+        // Interval plumbing and its zero rejection.
+        let opts = match parse(&["run", "--telemetry", "--telemetry-every", "250"]).unwrap() {
+            Command::Run(o) => o,
+            other => panic!("expected run, got {other:?}"),
+        };
+        assert_eq!(telemetry_options(&opts).unwrap().unwrap().every, 250);
+        assert!(parse(&["run", "--telemetry", "--telemetry-every", "0"]).is_err());
+    }
+
+    #[test]
+    fn telemetry_conflicts_are_rejected() {
+        // --telemetry-every without --telemetry.
+        let lonely = Options {
+            telemetry_every: Some(100),
+            ..Options::default()
+        };
+        assert!(telemetry_options(&lonely).is_err());
+        // Telemetry and checkpointing cannot be combined.
+        let both = Options {
+            telemetry: true,
+            checkpoint_every: Some(1000),
+            ..Options::default()
+        };
+        assert!(telemetry_options(&both).is_err());
+        let resumed = Options {
+            telemetry: true,
+            resume: true,
+            ..Options::default()
+        };
+        assert!(telemetry_options(&resumed).is_err());
+        // No telemetry flags at all: no telemetry.
+        assert_eq!(telemetry_options(&Options::default()).unwrap(), None);
     }
 
     #[test]

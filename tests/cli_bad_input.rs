@@ -1,0 +1,222 @@
+//! End-to-end CLI contract tests: bad input must exit promptly with
+//! code 2 and a clean `error:` line — never a panic backtrace — and
+//! telemetry must not perturb the simulated run's state digest.
+
+use std::process::{Command, Output};
+
+const BIN: &str = env!("CARGO_BIN_EXE_treelet-prefetching");
+
+fn run_cli(args: &[&str]) -> Output {
+    Command::new(BIN)
+        .args(args)
+        // Force backtraces on so a panicking binary cannot pass the
+        // "no backtrace in stderr" assertion by accident.
+        .env("RUST_BACKTRACE", "1")
+        .output()
+        .expect("failed to spawn CLI")
+}
+
+#[test]
+fn bad_input_exits_with_code_2_and_no_panic() {
+    struct Case {
+        name: &'static str,
+        args: &'static [&'static str],
+        needle: &'static str,
+    }
+    let cases = [
+        Case {
+            name: "zero treelet budget (used to assert in treelet.rs)",
+            args: &["run", "--scene", "WKND", "--treelet-bytes", "0"],
+            needle: "--treelet-bytes",
+        },
+        Case {
+            name: "sub-node treelet budget",
+            args: &["run", "--scene", "WKND", "--treelet-bytes", "63"],
+            needle: "--treelet-bytes",
+        },
+        Case {
+            name: "zero treelet budget via stats",
+            args: &["stats", "--scene", "WKND", "--treelet-bytes", "0"],
+            needle: "--treelet-bytes",
+        },
+        Case {
+            name: "infinite detail (used to panic in scenes.rs)",
+            args: &["run", "--scene", "WKND", "--detail", "inf"],
+            needle: "--detail",
+        },
+        Case {
+            name: "negative-infinite detail",
+            args: &["run", "--scene", "WKND", "--detail", "-inf"],
+            needle: "--detail",
+        },
+        Case {
+            name: "NaN detail",
+            args: &["run", "--scene", "WKND", "--detail", "NaN"],
+            needle: "--detail",
+        },
+        Case {
+            name: "zero detail",
+            args: &["run", "--scene", "WKND", "--detail", "0"],
+            needle: "--detail",
+        },
+        Case {
+            name: "negative detail",
+            args: &["stats", "--scene", "WKND", "--detail", "-1"],
+            needle: "--detail",
+        },
+        Case {
+            name: "huge detail (used to hang generating triangles)",
+            args: &["run", "--scene", "LANDS", "--detail", "1e30"],
+            needle: "triangles",
+        },
+        Case {
+            name: "unknown flag",
+            args: &["run", "--frobnicate"],
+            needle: "--frobnicate",
+        },
+        Case {
+            name: "unknown scene",
+            args: &["run", "--scene", "NOPE"],
+            needle: "NOPE",
+        },
+        Case {
+            name: "missing flag value",
+            args: &["run", "--detail"],
+            needle: "--detail",
+        },
+        Case {
+            name: "zero telemetry interval",
+            args: &["run", "--telemetry", "--telemetry-every", "0"],
+            needle: "--telemetry-every",
+        },
+        Case {
+            name: "telemetry interval without telemetry",
+            args: &["run", "--scene", "WKND", "--telemetry-every", "5"],
+            needle: "--telemetry-every",
+        },
+        Case {
+            name: "telemetry combined with checkpointing",
+            args: &["run", "--scene", "WKND", "--telemetry", "--resume"],
+            needle: "--telemetry",
+        },
+    ];
+    for case in &cases {
+        let out = run_cli(case.args);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{}: expected exit code 2, got {:?}\nstderr: {stderr}",
+            case.name,
+            out.status.code()
+        );
+        assert!(
+            stderr.contains("error:"),
+            "{}: stderr missing `error:` line: {stderr}",
+            case.name
+        );
+        assert!(
+            stderr.contains(case.needle),
+            "{}: stderr does not name the cause ({:?}): {stderr}",
+            case.name,
+            case.needle
+        );
+        for forbidden in ["panicked", "RUST_BACKTRACE", "stack backtrace"] {
+            assert!(
+                !stderr.contains(forbidden),
+                "{}: stderr leaked a panic ({forbidden}): {stderr}",
+                case.name
+            );
+        }
+    }
+}
+
+fn digest_line(stdout: &str) -> &str {
+    stdout
+        .lines()
+        .find(|l| l.starts_with("state digest:"))
+        .expect("run output has a state digest line")
+}
+
+#[test]
+fn telemetry_does_not_change_the_state_digest() {
+    let dir = std::env::temp_dir().join(format!("treelet-cli-telemetry-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv_path = dir.join("telemetry.csv");
+    let base_args = [
+        "run",
+        "--scene",
+        "WKND",
+        "--detail",
+        "0.2",
+        "--res",
+        "8",
+        "--config",
+        "prefetch",
+    ];
+    let plain = run_cli(&base_args);
+    assert!(plain.status.success(), "plain run failed");
+    let mut telemetry_args = base_args.to_vec();
+    let csv = csv_path.to_str().unwrap();
+    telemetry_args.extend(["--telemetry", csv, "--telemetry-every", "64"]);
+    let sampled = run_cli(&telemetry_args);
+    let sampled_stdout = String::from_utf8_lossy(&sampled.stdout);
+    assert!(
+        sampled.status.success(),
+        "telemetry run failed: {}",
+        String::from_utf8_lossy(&sampled.stderr)
+    );
+    let plain_stdout = String::from_utf8_lossy(&plain.stdout);
+    assert_eq!(
+        digest_line(&plain_stdout),
+        digest_line(&sampled_stdout),
+        "telemetry perturbed the simulation"
+    );
+    assert!(sampled_stdout.contains("telemetry:"));
+    // The exported CSV has the schema the figures consume: a header
+    // plus at least one epoch row.
+    let csv_text = std::fs::read_to_string(&csv_path).unwrap();
+    let mut lines = csv_text.lines();
+    let header = lines.next().expect("csv header");
+    for column in [
+        "cycle",
+        "l1_hit_rate",
+        "prefetch_useful",
+        "prefetch_late",
+        "prefetch_useless",
+        "ch0_queue_depth",
+        "ch0_bytes",
+    ] {
+        assert!(header.contains(column), "csv header missing {column}: {header}");
+    }
+    assert!(lines.count() >= 1, "csv has no epoch rows");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn telemetry_json_export_is_an_array() {
+    let dir = std::env::temp_dir().join(format!("treelet-cli-telem-json-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let json_path = dir.join("telemetry.json");
+    let out = run_cli(&[
+        "run",
+        "--scene",
+        "WKND",
+        "--detail",
+        "0.2",
+        "--res",
+        "8",
+        "--telemetry",
+        json_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "json telemetry run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&json_path).unwrap();
+    let trimmed = text.trim();
+    assert!(trimmed.starts_with('[') && trimmed.ends_with(']'));
+    assert!(trimmed.contains("\"prefetch_useful\""));
+    std::fs::remove_dir_all(&dir).ok();
+}
