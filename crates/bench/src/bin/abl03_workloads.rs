@@ -6,7 +6,7 @@
 
 use rt_bench::{pct, SimConfig};
 use rt_scene::{Scene, SceneId, Workload, WorkloadKind};
-use treelet_rt::{bounce_rays, direction_coherence, simulate, BounceKind};
+use treelet_rt::{bounce_rays, direction_coherence, BounceKind, SimSession};
 
 fn main() {
     let detail = std::env::var("TREELET_DETAIL")
@@ -35,8 +35,12 @@ fn main() {
             if rays.is_empty() {
                 continue;
             }
-            let base = simulate(&bvh, rays, &SimConfig::paper_baseline());
-            let pf = simulate(&bvh, rays, &SimConfig::paper_treelet_prefetch());
+            let base = SimSession::new(&bvh, rays, SimConfig::paper_baseline())
+                .run()
+                .expect("baseline");
+            let pf = SimSession::new(&bvh, rays, SimConfig::paper_treelet_prefetch())
+                .run()
+                .expect("prefetch");
             println!(
                 "{:<7} {:<10} {:>9.3} {:>10} {:>10} {:>9}",
                 scene_id.name(),

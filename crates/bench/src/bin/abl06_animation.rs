@@ -14,7 +14,7 @@ use rt_bench::pct;
 use rt_bvh::WideBvh;
 use rt_geometry::{Triangle, Vec3};
 use rt_scene::{Scene, SceneId, Workload};
-use treelet_rt::{simulate, simulate_with_treelets, SimConfig, TreeletAssignment};
+use treelet_rt::{SimConfig, SimSession, TreeletAssignment};
 
 const AMPLITUDE: f32 = 0.4;
 
@@ -71,23 +71,23 @@ fn main() {
 
         // Quality ceiling: fresh build + fresh treelets every frame.
         let rebuilt = WideBvh::build(deform(&rest, phase));
-        let rb_base = simulate(&rebuilt, &rays, &SimConfig::paper_baseline());
-        let rb_pf = simulate(&rebuilt, &rays, &SimConfig::paper_treelet_prefetch());
+        let rb_base = SimSession::new(&rebuilt, &rays, SimConfig::paper_baseline())
+            .run()
+            .expect("rebuild baseline");
+        let rb_pf = SimSession::new(&rebuilt, &rays, SimConfig::paper_treelet_prefetch())
+            .run()
+            .expect("rebuild prefetch");
 
         // Cheap path: refit the frame-0 topology, keep frame-0 treelets.
         refit_bvh.refit(deform(&reordered_rest, phase));
-        let rf_base = simulate_with_treelets(
-            &refit_bvh,
-            &rays,
-            &SimConfig::paper_baseline(),
-            &frame0_treelets,
-        );
-        let rf_pf = simulate_with_treelets(
-            &refit_bvh,
-            &rays,
-            &SimConfig::paper_treelet_prefetch(),
-            &frame0_treelets,
-        );
+        let rf_base = SimSession::new(&refit_bvh, &rays, SimConfig::paper_baseline())
+            .treelets(&frame0_treelets)
+            .run()
+            .expect("refit baseline");
+        let rf_pf = SimSession::new(&refit_bvh, &rays, SimConfig::paper_treelet_prefetch())
+            .treelets(&frame0_treelets)
+            .run()
+            .expect("refit prefetch");
 
         let rb = rb_pf.speedup_over(&rb_base);
         let rf = rf_pf.speedup_over(&rf_base);

@@ -18,8 +18,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 pub use svg::bar_chart;
 pub use treelet_rt::{
-    geometric_mean, Bench, CheckpointOptions, SimConfig, SimError, SimResult, Telemetry,
-    TelemetryOptions, TelemetrySample,
+    default_jobs, geometric_mean, run_indexed, Bench, CheckpointOptions, SimConfig, SimError,
+    SimResult, SimSession, Sweep, SweepOutcome, Telemetry, TelemetryOptions, TelemetrySample,
 };
 
 /// Default scene detail for the experiment suite (full evaluation scale;
@@ -67,16 +67,30 @@ impl Suite {
         &self.benches
     }
 
-    /// Runs `config` on every scene, in suite order. Scenes run on
-    /// parallel threads (each simulation itself is deterministic and
-    /// single-threaded, so results are identical to a serial run).
+    /// Runs `config` on every scene, in suite order. Scenes are sharded
+    /// across the machine's worker pool (each simulation itself is
+    /// deterministic and single-threaded, so results are identical to a
+    /// serial run).
     ///
     /// # Panics
     ///
     /// Panics with the failing scene's recorded reason if any scene
     /// fails; use [`Suite::run_all_robust`] to keep the survivors.
     pub fn run_all(&self, config: &SimConfig) -> Vec<SimResult> {
-        self.run_all_robust(config)
+        self.run_all_parallel(config, default_jobs())
+    }
+
+    /// [`Suite::run_all`] with an explicit worker count. `jobs == 1`
+    /// runs the scenes serially inline; any worker count produces
+    /// bit-identical per-scene results — including their
+    /// [`state_digest`](SimResult::state_digest)s — in suite order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` is zero, or with the failing scene's recorded
+    /// reason if any scene fails.
+    pub fn run_all_parallel(&self, config: &SimConfig, jobs: usize) -> Vec<SimResult> {
+        self.run_all_robust_with_jobs(jobs, |b| b.try_run(config))
             .into_iter()
             .map(|outcome| match outcome {
                 SceneOutcome::Completed { result, .. } => result,
@@ -136,68 +150,67 @@ impl Suite {
     where
         F: Fn(&Bench) -> Result<SimResult, SimError> + Sync,
     {
-        let run = &run;
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .benches
-                .iter()
-                .map(|b| {
-                    scope.spawn(move || {
-                        let mut attempts = 1;
-                        let mut attempt = catch_unwind(AssertUnwindSafe(|| run(b)));
-                        if attempt.is_err() {
-                            // A panic may be environmental (e.g. stack
-                            // exhaustion under thread contention); give
-                            // the scene one more chance before recording
-                            // it as lost.
-                            attempts = 2;
-                            attempt = catch_unwind(AssertUnwindSafe(|| run(b)));
-                        }
-                        match attempt {
-                            Ok(Ok(result)) => {
-                                if attempts > 1 {
-                                    eprintln!(
-                                        "scene {} completed on attempt {attempts}",
-                                        b.scene()
-                                    );
-                                }
-                                SceneOutcome::Completed { result, attempts }
-                            }
-                            Ok(Err(e)) => {
-                                eprintln!(
-                                    "scene {} failed after {attempts} attempt(s): {e}",
-                                    b.scene()
-                                );
-                                SceneOutcome::Failed {
-                                    scene: b.scene(),
-                                    reason: e.to_string(),
-                                    attempts,
-                                }
-                            }
-                            Err(payload) => {
-                                let reason =
-                                    format!("panicked: {}", panic_message(&*payload));
-                                eprintln!(
-                                    "scene {} failed after {attempts} attempt(s): {reason}",
-                                    b.scene()
-                                );
-                                SceneOutcome::Failed {
-                                    scene: b.scene(),
-                                    reason,
-                                    attempts,
-                                }
-                            }
-                        }
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join()
-                        .expect("scene outcome threads themselves never panic")
-                })
-                .collect()
+        self.run_all_robust_with_jobs(default_jobs(), run)
+    }
+
+    /// [`Suite::run_all_robust_with`] with an explicit worker count.
+    /// Scenes are claimed dynamically from a bounded pool (rather than
+    /// one unbounded thread per scene), so a 16-scene suite on a 4-core
+    /// box runs 4 simulations at a time instead of oversubscribing.
+    /// Outcomes come back in suite order regardless of which scene
+    /// finished first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` is zero. Panics *inside* `run` are caught and
+    /// reported per scene, as before.
+    #[allow(clippy::result_large_err)]
+    pub fn run_all_robust_with_jobs<F>(&self, jobs: usize, run: F) -> Vec<SceneOutcome>
+    where
+        F: Fn(&Bench) -> Result<SimResult, SimError> + Sync,
+    {
+        run_indexed(jobs, self.benches.len(), |i| {
+            let b = &self.benches[i];
+            let mut attempts = 1;
+            let mut attempt = catch_unwind(AssertUnwindSafe(|| run(b)));
+            if attempt.is_err() {
+                // A panic may be environmental (e.g. stack exhaustion
+                // under thread contention); give the scene one more
+                // chance before recording it as lost.
+                attempts = 2;
+                attempt = catch_unwind(AssertUnwindSafe(|| run(b)));
+            }
+            match attempt {
+                Ok(Ok(result)) => {
+                    if attempts > 1 {
+                        eprintln!("scene {} completed on attempt {attempts}", b.scene());
+                    }
+                    SceneOutcome::Completed { result, attempts }
+                }
+                Ok(Err(e)) => {
+                    eprintln!(
+                        "scene {} failed after {attempts} attempt(s): {e}",
+                        b.scene()
+                    );
+                    SceneOutcome::Failed {
+                        scene: b.scene(),
+                        reason: e.to_string(),
+                        attempts,
+                    }
+                }
+                Err(payload) => {
+                    let reason = format!("panicked: {}", panic_message(&*payload));
+                    eprintln!(
+                        "scene {} failed after {attempts} attempt(s): {reason}",
+                        b.scene()
+                    );
+                    SceneOutcome::Failed {
+                        scene: b.scene(),
+                        reason,
+                        attempts,
+                    }
+                }
+            }
         })
     }
 }
@@ -384,6 +397,22 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(text, "scene,a,b-x\nWKND,1,2.5\nCAR,0.5,4\n");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parallel_suite_digests_match_serial() {
+        // The determinism contract behind `--jobs N`: every worker count
+        // yields the serial run's per-scene digests, in suite order.
+        let suite = Suite::prepare(0.05, Workload::new(rt_scene::WorkloadKind::Primary, 4, 4));
+        let config = SimConfig::paper_treelet_prefetch();
+        let serial = suite.run_all_parallel(&config, 1);
+        let parallel = suite.run_all_parallel(&config, 4);
+        assert_eq!(serial.len(), SceneId::ALL.len());
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.state_digest, b.state_digest);
+            assert_eq!(a.cycles, b.cycles);
+        }
     }
 
     #[test]

@@ -37,6 +37,14 @@ pub enum ConfigError {
     ZeroCheckpointInterval,
     /// The telemetry sampling interval is zero.
     ZeroTelemetryInterval,
+    /// A session asked to resume without configuring checkpointing.
+    ResumeWithoutCheckpoint,
+    /// A batched session configured an option that only single-ray-set
+    /// sessions support (`what` names it: "checkpointing", "resume").
+    UnsupportedBatchOption {
+        /// The unsupported option's name.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -62,6 +70,12 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::ZeroTelemetryInterval => {
                 write!(f, "telemetry sampling interval must be nonzero")
+            }
+            ConfigError::ResumeWithoutCheckpoint => {
+                write!(f, "resuming requires checkpoint options")
+            }
+            ConfigError::UnsupportedBatchOption { what } => {
+                write!(f, "batched sessions do not support {what}")
             }
         }
     }
@@ -153,6 +167,18 @@ pub enum SimError {
         /// State at abort.
         snapshot: ProgressSnapshot,
     },
+    /// A completed batch left the shared memory hierarchy with broken
+    /// request books (typically fault injection dropping responses);
+    /// running the next batch on the poisoned hierarchy would leak MSHRs
+    /// and could wedge it, so the session refuses instead.
+    BatchPoisoned {
+        /// Zero-based index of the batch that poisoned the hierarchy.
+        batch: usize,
+        /// DRAM responses swallowed (requests that can never complete).
+        dropped_responses: u64,
+        /// Completions delivered twice — always a hierarchy bug.
+        double_completions: u64,
+    },
     /// A trace file failed to load or parse.
     Trace(ParseTraceError),
     /// A checkpoint could not be written, read, or applied (corrupt
@@ -180,6 +206,17 @@ impl fmt::Display for SimError {
             SimError::NoForwardProgress { window, snapshot } => write!(
                 f,
                 "no forward progress for {window} cycles — livelock? ({snapshot})"
+            ),
+            SimError::BatchPoisoned {
+                batch,
+                dropped_responses,
+                double_completions,
+            } => write!(
+                f,
+                "batch {batch} poisoned the shared memory hierarchy \
+                 ({dropped_responses} dropped responses, \
+                 {double_completions} double completions); refusing to \
+                 run the next batch on corrupt state"
             ),
             SimError::Trace(e) => write!(f, "{e}"),
             SimError::Snapshot(e) => write!(f, "checkpoint failure: {e}"),

@@ -2,7 +2,8 @@
 //! under many simulator configurations, as the paper's evaluation does.
 
 use crate::config::SimConfig;
-use crate::sim::{simulate, SimResult};
+use crate::session::SimSession;
+use crate::sim::SimResult;
 use rt_bvh::{TreeStats, WideBvh};
 use rt_geometry::Ray;
 use rt_scene::{Scene, SceneId, Workload};
@@ -73,6 +74,13 @@ impl Bench {
         TreeStats::of(&self.bvh)
     }
 
+    /// A [`SimSession`] over this bench's BVH and rays — the front door
+    /// for runs needing option combinations the convenience methods
+    /// below don't cover.
+    pub fn session(&self, config: SimConfig) -> SimSession<'_> {
+        SimSession::new(&self.bvh, &self.rays, config)
+    }
+
     /// Runs the simulation under `config`.
     ///
     /// # Panics
@@ -80,14 +88,17 @@ impl Bench {
     /// Panics with the [`SimError`](crate::SimError) message on any
     /// failure; use [`Bench::try_run`] to handle failures per cause.
     pub fn run(&self, config: &SimConfig) -> SimResult {
-        simulate(&self.bvh, &self.rays, config)
+        match self.try_run(config) {
+            Ok(result) => result,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Runs the simulation under `config`, returning a typed error
     /// instead of panicking on invalid configs, watchdog aborts, or
     /// uncovered BVHs.
     pub fn try_run(&self, config: &SimConfig) -> Result<SimResult, crate::SimError> {
-        crate::try_simulate(&self.bvh, &self.rays, config)
+        self.session(config.clone()).run()
     }
 
     /// Runs under `config` while collecting a telemetry time-series
@@ -97,14 +108,15 @@ impl Bench {
     ///
     /// # Errors
     ///
-    /// Everything [`try_simulate_with_telemetry`](crate::try_simulate_with_telemetry)
-    /// can return.
+    /// Everything [`SimSession::run_with_telemetry`] can return.
     pub fn try_run_with_telemetry(
         &self,
         config: &SimConfig,
         opts: &crate::TelemetryOptions,
     ) -> Result<(SimResult, crate::Telemetry), crate::SimError> {
-        crate::try_simulate_with_telemetry(&self.bvh, &self.rays, config, opts)
+        self.session(config.clone())
+            .telemetry(opts.clone())
+            .run_with_telemetry()
     }
 
     /// Runs under `config` with crash-safe checkpointing, resuming from
@@ -117,20 +129,24 @@ impl Bench {
     ///
     /// # Errors
     ///
-    /// Everything [`try_simulate_checkpointed`](crate::try_simulate_checkpointed)
-    /// can return.
+    /// Everything a checkpointed [`SimSession::run`] can return.
     pub fn try_run_resumable(
         &self,
         config: &SimConfig,
         opts: &crate::CheckpointOptions,
     ) -> Result<SimResult, crate::SimError> {
         if opts.path.exists() {
-            match crate::try_resume(&self.bvh, &self.rays, config, opts) {
+            let resumed = self
+                .session(config.clone())
+                .checkpoint(opts.clone())
+                .resume_from_checkpoint()
+                .run();
+            match resumed {
                 Err(crate::SimError::Snapshot(_)) => {}
                 other => return other,
             }
         }
-        crate::try_simulate_checkpointed(&self.bvh, &self.rays, config, opts)
+        self.session(config.clone()).checkpoint(opts.clone()).run()
     }
 }
 

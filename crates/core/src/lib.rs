@@ -16,23 +16,28 @@
 //! - [`TreeletPrefetcher`] — the majority-voter prefetcher with the
 //!   ALWAYS / POPULARITY / PARTIAL heuristics (§4.1–4.2) and the
 //!   [`VoterAreaModel`] storage arithmetic (§6.5),
-//! - [`SimConfig`] / [`simulate`] — the RT-unit timing model with the
+//! - [`SimConfig`] / [`SimSession`] — the RT-unit timing model with the
 //!   Baseline / OMR / PMR schedulers (§4.3) and the BVH repacking or
-//!   mapping-table options (§4.4),
+//!   mapping-table options (§4.4), behind one builder front door,
 //! - [`MtaPrefetcher`] — the Lee et al. stride-prefetching comparison
 //!   (Fig. 8),
-//! - [`Bench`] — a scene-level harness for reproducing the paper's
-//!   tables and figures.
+//! - [`Bench`] / [`Sweep`] — a scene-level harness and a parallel
+//!   (scene × config) sweep grid for reproducing the paper's tables and
+//!   figures.
 //!
 //! # Quickstart
 //!
 //! ```no_run
 //! use rt_scene::{SceneId, Workload};
-//! use treelet_rt::{Bench, SimConfig};
+//! use treelet_rt::{Bench, SimConfig, SimSession};
 //!
 //! let bench = Bench::prepare(SceneId::Bunny, 0.5, Workload::paper_default());
-//! let baseline = bench.run(&SimConfig::paper_baseline());
-//! let treelet = bench.run(&SimConfig::paper_treelet_prefetch());
+//! let baseline = SimSession::new(bench.bvh(), bench.rays(), SimConfig::paper_baseline())
+//!     .run()
+//!     .expect("baseline");
+//! let treelet = SimSession::new(bench.bvh(), bench.rays(), SimConfig::paper_treelet_prefetch())
+//!     .run()
+//!     .expect("treelet prefetch");
 //! println!(
 //!     "BUNNY: {:.1}% speedup",
 //!     (treelet.speedup_over(&baseline) - 1.0) * 100.0
@@ -50,6 +55,8 @@ mod metrics;
 mod mta;
 mod power;
 mod prefetch;
+mod runner;
+mod session;
 mod sim;
 mod snapshot;
 mod telemetry;
@@ -73,10 +80,16 @@ pub use prefetch::{
     PrefetchHeuristic, PrefetchUsefulness, PrefetcherStats, TreeletPrefetcher, UsefulnessTracker,
     Vote, VoterAreaModel, VoterKind,
 };
+pub use runner::{default_jobs, run_indexed, Sweep, SweepOutcome};
+pub use session::SimSession;
+pub use sim::SimResult;
+// The legacy free functions stay exported (and deprecated) so existing
+// callers keep compiling while they migrate to `SimSession`.
+#[allow(deprecated)]
 pub use sim::{
     simulate, simulate_batches, simulate_with_treelets, try_resume, try_simulate,
     try_simulate_batches, try_simulate_checkpointed, try_simulate_with_telemetry,
-    try_simulate_with_treelets, SimResult,
+    try_simulate_with_treelets,
 };
 pub use snapshot::{
     first_divergence, parse_digest_log, read_checkpoint, read_digest_log, write_atomic,

@@ -1,0 +1,281 @@
+//! Parallel execution of independent simulation jobs.
+//!
+//! Suites and config sweeps are embarrassingly parallel: every
+//! (scene, config) cell is an isolated, deterministic, single-threaded
+//! simulation. This module shards such cells across a small hand-rolled
+//! scoped thread pool (no external dependencies — the build is offline)
+//! while preserving the serial contract exactly:
+//!
+//! - **Deterministic ordering** — results come back in job-index order
+//!   no matter which worker finished first.
+//! - **Bit-identical results** — each job runs the same single-threaded
+//!   simulation a serial loop would, so every
+//!   [`state_digest`](crate::SimResult::state_digest) matches the
+//!   `jobs == 1` run bit for bit.
+//! - **`jobs == 1` is literally serial** — the closure runs inline on
+//!   the caller's thread; no worker threads are spawned.
+
+use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::experiments::Bench;
+use crate::sim::SimResult;
+use rt_scene::SceneId;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default worker count: the machine's available parallelism, or 1 when
+/// it cannot be determined.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `run(0..count)` across `jobs` workers and returns the results in
+/// index order.
+///
+/// Workers claim indices from a shared atomic counter (dynamic load
+/// balancing: a slow job never stalls the queue behind it) and collect
+/// `(index, result)` pairs privately; the pairs are merged and sorted
+/// after the scope joins, so output order is independent of completion
+/// order. With `jobs == 1` the closure runs inline on the caller's
+/// thread — byte-for-byte today's serial behaviour.
+///
+/// # Panics
+///
+/// Panics if `jobs` is zero, and resumes the panic of any `run` call
+/// that panics (callers wanting per-job isolation wrap `run` in
+/// `catch_unwind`, as [`Suite::run_all_robust_with`] does in `rt-bench`).
+pub fn run_indexed<T, F>(jobs: usize, count: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    assert!(jobs > 0, "need at least one worker");
+    if jobs == 1 || count <= 1 {
+        return (0..count).map(run).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (next, run) = (&next, &run);
+    let mut indexed: Vec<(usize, T)> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..jobs.min(count))
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        mine.push((i, run(i)));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| {
+                w.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
+            .collect()
+    });
+    indexed.sort_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, t)| t).collect()
+}
+
+/// One cell of a [`Sweep`]: which config label and scene produced it,
+/// and what came out.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Label of the configuration that produced this cell.
+    pub label: String,
+    /// The scene this cell simulated.
+    pub scene: SceneId,
+    /// The cell's result, or why it could not run.
+    pub result: Result<SimResult, SimError>,
+}
+
+/// A (scene × config) sweep grid: prepared benches crossed with labeled
+/// configurations, run cell-by-cell across a worker pool.
+///
+/// # Examples
+///
+/// ```no_run
+/// use rt_scene::{SceneId, Workload};
+/// use treelet_rt::{Bench, SimConfig, Sweep};
+///
+/// let benches = vec![
+///     Bench::prepare(SceneId::Wknd, 0.5, Workload::paper_default()),
+///     Bench::prepare(SceneId::Car, 0.5, Workload::paper_default()),
+/// ];
+/// let sweep = Sweep::new(benches)
+///     .with_config("baseline", SimConfig::paper_baseline())
+///     .with_config("prefetch", SimConfig::paper_treelet_prefetch());
+/// for cell in sweep.run_parallel(4) {
+///     let cycles = cell.result.map(|r| r.cycles);
+///     println!("{}/{}: {cycles:?}", cell.label, cell.scene);
+/// }
+/// ```
+#[derive(Debug)]
+pub struct Sweep {
+    benches: Vec<Bench>,
+    configs: Vec<(String, SimConfig)>,
+}
+
+impl Sweep {
+    /// A sweep over `benches` with no configurations yet.
+    pub fn new(benches: Vec<Bench>) -> Sweep {
+        Sweep {
+            benches,
+            configs: Vec::new(),
+        }
+    }
+
+    /// Adds a labeled configuration column to the grid.
+    pub fn with_config(mut self, label: impl Into<String>, config: SimConfig) -> Sweep {
+        self.configs.push((label.into(), config));
+        self
+    }
+
+    /// The prepared benches, in grid row order.
+    pub fn benches(&self) -> &[Bench] {
+        &self.benches
+    }
+
+    /// The labeled configurations, in grid column order.
+    pub fn configs(&self) -> &[(String, SimConfig)] {
+        &self.configs
+    }
+
+    /// Number of (scene, config) cells in the grid.
+    pub fn cell_count(&self) -> usize {
+        self.benches.len() * self.configs.len()
+    }
+
+    /// Runs every (scene, config) cell across `jobs` workers, returning
+    /// outcomes in config-major order (all scenes of the first config,
+    /// then the second, …) regardless of completion order. Each cell is
+    /// an independent single-threaded simulation, so every result —
+    /// including its [`state_digest`](crate::SimResult::state_digest) —
+    /// is bit-identical to what `jobs == 1` produces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` is zero.
+    pub fn run_parallel(&self, jobs: usize) -> Vec<SweepOutcome> {
+        let per_config = self.benches.len();
+        run_indexed(jobs, self.cell_count(), |i| {
+            let (label, config) = &self.configs[i / per_config];
+            let bench = &self.benches[i % per_config];
+            SweepOutcome {
+                label: label.clone(),
+                scene: bench.scene(),
+                result: bench.try_run(config),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_scene::{Workload, WorkloadKind};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn run_indexed_handles_empty_and_serial() {
+        let none: Vec<usize> = run_indexed(4, 0, |i| i);
+        assert!(none.is_empty());
+        let serial: Vec<usize> = run_indexed(1, 5, |i| i * 2);
+        assert_eq!(serial, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn run_indexed_preserves_order_under_a_slow_first_job() {
+        // The first job sleeps while the others race ahead; results must
+        // still come back in index order, and every index must run
+        // exactly once.
+        let calls = AtomicUsize::new(0);
+        let out: Vec<usize> = run_indexed(4, 16, |i| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            i
+        });
+        assert_eq!(out, (0..16).collect::<Vec<_>>());
+        assert_eq!(calls.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn run_indexed_with_more_workers_than_jobs() {
+        let out: Vec<usize> = run_indexed(8, 3, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one worker")]
+    fn run_indexed_rejects_zero_workers() {
+        let _ = run_indexed(0, 1, |i| i);
+    }
+
+    #[test]
+    #[should_panic(expected = "job 2 exploded")]
+    fn run_indexed_propagates_worker_panics() {
+        let _ = run_indexed(2, 4, |i| {
+            if i == 2 {
+                panic!("job 2 exploded");
+            }
+            i
+        });
+    }
+
+    fn two_scene_sweep() -> Sweep {
+        let workload = Workload::new(WorkloadKind::Primary, 4, 4);
+        Sweep::new(vec![
+            Bench::prepare(SceneId::Wknd, 0.1, workload),
+            Bench::prepare(SceneId::Car, 0.1, workload),
+        ])
+        .with_config("baseline", SimConfig::paper_baseline())
+        .with_config("prefetch", SimConfig::paper_treelet_prefetch())
+    }
+
+    #[test]
+    fn sweep_digests_identical_across_job_counts() {
+        // The tentpole contract: `--jobs N` is bit-identical to serial.
+        let sweep = two_scene_sweep();
+        let digests = |jobs: usize| -> Vec<(String, SceneId, u64)> {
+            sweep
+                .run_parallel(jobs)
+                .into_iter()
+                .map(|c| (c.label, c.scene, c.result.expect("cell completes").state_digest))
+                .collect()
+        };
+        let serial = digests(1);
+        assert_eq!(serial.len(), 4);
+        // Config-major ordering: both scenes of a label are adjacent.
+        assert_eq!(serial[0].0, "baseline");
+        assert_eq!(serial[1].0, "baseline");
+        assert_eq!(serial[0].1, SceneId::Wknd);
+        assert_eq!(serial[1].1, SceneId::Car);
+        assert_eq!(serial, digests(2));
+        assert_eq!(serial, digests(4));
+    }
+
+    #[test]
+    fn sweep_reports_typed_errors_per_cell() {
+        let mut bad = SimConfig::paper_baseline();
+        bad.num_sms = 0;
+        let workload = Workload::new(WorkloadKind::Primary, 2, 2);
+        let sweep = Sweep::new(vec![Bench::prepare(SceneId::Wknd, 0.1, workload)])
+            .with_config("good", SimConfig::paper_baseline())
+            .with_config("bad", bad);
+        let outcomes = sweep.run_parallel(2);
+        assert!(outcomes[0].result.is_ok());
+        assert!(matches!(
+            outcomes[1].result,
+            Err(SimError::Config(_))
+        ));
+    }
+}

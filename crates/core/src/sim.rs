@@ -15,6 +15,7 @@ use crate::prefetch::{
     full_vote_counts, pseudo_vote_counts, MappingMode, PrefetchEntry, PrefetchUsefulness,
     PrefetcherStats, TreeletPrefetcher, VoterKind,
 };
+use crate::session::SimSession;
 use crate::snapshot::{self, Checkpoint, DigestRecord, SnapshotError};
 use crate::telemetry::{Telemetry, TelemetryOptions, TelemetrySample};
 use crate::traversal::{compile_trace, trace_ray_with, CompiledStep, RayTrace, TraversalStats};
@@ -108,9 +109,10 @@ impl SimResult {
 ///
 /// Panics with the [`SimError`] message if [`try_simulate`] would return
 /// an error. Callers that want to handle failures should use
-/// [`try_simulate`] directly.
+/// [`SimSession`] directly.
+#[deprecated(note = "use SimSession::new(bvh, rays, config).run()")]
 pub fn simulate(bvh: &WideBvh, rays: &[Ray], config: &SimConfig) -> SimResult {
-    match try_simulate(bvh, rays, config) {
+    match SimSession::new(bvh, rays, config.clone()).run() {
         Ok(result) => result,
         Err(e) => panic!("{e}"),
     }
@@ -128,11 +130,9 @@ pub fn simulate(bvh: &WideBvh, rays: &[Ray], config: &SimConfig) -> SimResult {
 /// - [`SimError::NoForwardProgress`] if nothing retires, drains, or is
 ///   scheduled for a full `config.progress_window` (a livelock, e.g.
 ///   under fault injection).
+#[deprecated(note = "use SimSession::new(bvh, rays, config).run()")]
 pub fn try_simulate(bvh: &WideBvh, rays: &[Ray], config: &SimConfig) -> Result<SimResult, SimError> {
-    config.validate()?;
-    let treelets =
-        TreeletAssignment::try_form_with_policy(bvh, config.treelet_bytes, config.formation)?;
-    try_simulate_with_treelets(bvh, rays, config, &treelets)
+    SimSession::new(bvh, rays, config.clone()).run()
 }
 
 /// Like [`try_simulate`], but also collects a [`Telemetry`] time-series,
@@ -148,30 +148,16 @@ pub fn try_simulate(bvh: &WideBvh, rays: &[Ray], config: &SimConfig) -> Result<S
 ///
 /// As [`try_simulate`], plus [`SimError::Config`] for a zero telemetry
 /// sampling interval.
+#[deprecated(note = "use SimSession::new(bvh, rays, config).telemetry(opts).run_with_telemetry()")]
 pub fn try_simulate_with_telemetry(
     bvh: &WideBvh,
     rays: &[Ray],
     config: &SimConfig,
     opts: &TelemetryOptions,
 ) -> Result<(SimResult, Telemetry), SimError> {
-    config.validate()?;
-    opts.validate()?;
-    let treelets =
-        TreeletAssignment::try_form_with_policy(bvh, config.treelet_bytes, config.formation)?;
-    let mem = MemorySystem::new(config.mem, config.num_sms);
-    let mut telemetry = Telemetry::new(opts);
-    let (result, _) = try_run_engine(
-        bvh,
-        rays,
-        config,
-        &treelets,
-        mem,
-        true,
-        None,
-        None,
-        Some(&mut telemetry),
-    )?;
-    Ok((result, telemetry))
+    SimSession::new(bvh, rays, config.clone())
+        .telemetry(opts.clone())
+        .run_with_telemetry()
 }
 
 /// Like [`simulate`], but with an externally supplied treelet assignment
@@ -184,13 +170,14 @@ pub fn try_simulate_with_telemetry(
 ///
 /// Panics with the [`SimError`] message if
 /// [`try_simulate_with_treelets`] would return an error.
+#[deprecated(note = "use SimSession::new(bvh, rays, config).treelets(treelets).run()")]
 pub fn simulate_with_treelets(
     bvh: &WideBvh,
     rays: &[Ray],
     config: &SimConfig,
     treelets: &TreeletAssignment,
 ) -> SimResult {
-    match try_simulate_with_treelets(bvh, rays, config, treelets) {
+    match SimSession::new(bvh, rays, config.clone()).treelets(treelets).run() {
         Ok(result) => result,
         Err(e) => panic!("{e}"),
     }
@@ -202,16 +189,14 @@ pub fn simulate_with_treelets(
 ///
 /// As [`try_simulate`], plus [`SimError::TreeletCoverage`] if `treelets`
 /// does not cover `bvh`'s nodes.
+#[deprecated(note = "use SimSession::new(bvh, rays, config).treelets(treelets).run()")]
 pub fn try_simulate_with_treelets(
     bvh: &WideBvh,
     rays: &[Ray],
     config: &SimConfig,
     treelets: &TreeletAssignment,
 ) -> Result<SimResult, SimError> {
-    config.validate()?;
-    let mem = MemorySystem::new(config.mem, config.num_sms);
-    try_run_engine(bvh, rays, config, treelets, mem, true, None, None, None)
-        .map(|(result, _)| result)
+    SimSession::new(bvh, rays, config.clone()).treelets(treelets).run()
 }
 
 /// Like [`try_simulate`], but writes a crash-safe checkpoint of the
@@ -230,19 +215,16 @@ pub fn try_simulate_with_treelets(
 /// As [`try_simulate`], plus [`SimError::Config`] for a zero checkpoint
 /// interval and [`SimError::Snapshot`] if a checkpoint or digest-log
 /// write fails.
+#[deprecated(note = "use SimSession::new(bvh, rays, config).checkpoint(opts).run()")]
 pub fn try_simulate_checkpointed(
     bvh: &WideBvh,
     rays: &[Ray],
     config: &SimConfig,
     opts: &CheckpointOptions,
 ) -> Result<SimResult, SimError> {
-    config.validate()?;
-    opts.validate()?;
-    let treelets =
-        TreeletAssignment::try_form_with_policy(bvh, config.treelet_bytes, config.formation)?;
-    let mem = MemorySystem::new(config.mem, config.num_sms);
-    try_run_engine(bvh, rays, config, &treelets, mem, true, Some(opts), None, None)
-        .map(|(result, _)| result)
+    SimSession::new(bvh, rays, config.clone())
+        .checkpoint(opts.clone())
+        .run()
 }
 
 /// Resumes a run interrupted mid-flight from the checkpoint at
@@ -260,38 +242,19 @@ pub fn try_simulate_checkpointed(
 /// the checkpoint is unreadable, corrupt, truncated, from an unsupported
 /// version, or was produced by different inputs
 /// ([`SnapshotError::IdentityMismatch`]).
+#[deprecated(
+    note = "use SimSession::new(bvh, rays, config).checkpoint(opts).resume_from_checkpoint().run()"
+)]
 pub fn try_resume(
     bvh: &WideBvh,
     rays: &[Ray],
     config: &SimConfig,
     opts: &CheckpointOptions,
 ) -> Result<SimResult, SimError> {
-    config.validate()?;
-    opts.validate()?;
-    let checkpoint = snapshot::read_checkpoint(&opts.path)?;
-    let treelets =
-        TreeletAssignment::try_form_with_policy(bvh, config.treelet_bytes, config.formation)?;
-    let identity = run_identity(bvh, rays, config, &treelets);
-    if checkpoint.identity != identity {
-        return Err(SnapshotError::IdentityMismatch {
-            expected: checkpoint.identity,
-            found: identity,
-        }
-        .into());
-    }
-    let mem = MemorySystem::new(config.mem, config.num_sms);
-    try_run_engine(
-        bvh,
-        rays,
-        config,
-        &treelets,
-        mem,
-        true,
-        Some(opts),
-        Some(checkpoint),
-        None,
-    )
-    .map(|(result, _)| result)
+    SimSession::new(bvh, rays, config.clone())
+        .checkpoint(opts.clone())
+        .resume_from_checkpoint()
+        .run()
 }
 
 /// Digest pinning a checkpoint to its inputs: the canonicalized
@@ -303,7 +266,7 @@ pub fn try_resume(
 /// round-trip against different geometry, and the digest check turns
 /// that into an upfront typed error for the overwhelmingly common
 /// mix-up — pointing a resume at the wrong scene or config.
-fn run_identity(
+pub(crate) fn run_identity(
     bvh: &WideBvh,
     rays: &[Ray],
     config: &SimConfig,
@@ -331,8 +294,9 @@ fn run_identity(
 ///
 /// Panics with the [`SimError`] message if [`try_simulate_batches`]
 /// would return an error.
+#[deprecated(note = "use SimSession::batched(bvh, batches, config).run_batches()")]
 pub fn simulate_batches(bvh: &WideBvh, batches: &[Vec<Ray>], config: &SimConfig) -> Vec<SimResult> {
-    match try_simulate_batches(bvh, batches, config) {
+    match SimSession::batched(bvh, batches, config.clone()).run_batches() {
         Ok(results) => results,
         Err(e) => panic!("{e}"),
     }
@@ -343,42 +307,20 @@ pub fn simulate_batches(bvh: &WideBvh, batches: &[Vec<Ray>], config: &SimConfig)
 /// # Errors
 ///
 /// As [`try_simulate`], plus [`SimError::EmptyInput`] if `batches` is
-/// empty. A failing batch aborts the session; earlier batches' results
-/// are discarded.
+/// empty and [`SimError::BatchPoisoned`] when a batch leaves the shared
+/// hierarchy with broken request books. A failing batch aborts the
+/// session; earlier batches' results are discarded.
+#[deprecated(note = "use SimSession::batched(bvh, batches, config).run_batches()")]
 pub fn try_simulate_batches(
     bvh: &WideBvh,
     batches: &[Vec<Ray>],
     config: &SimConfig,
 ) -> Result<Vec<SimResult>, SimError> {
-    if batches.is_empty() {
-        return Err(SimError::EmptyInput { what: "batch" });
-    }
-    config.validate()?;
-    let treelets =
-        TreeletAssignment::try_form_with_policy(bvh, config.treelet_bytes, config.formation)?;
-    let mut mem = Some(MemorySystem::new(config.mem, config.num_sms));
-    let mut results = Vec::with_capacity(batches.len());
-    for (i, batch) in batches.iter().enumerate() {
-        let finalize = i + 1 == batches.len();
-        let (result, returned) = try_run_engine(
-            bvh,
-            batch,
-            config,
-            &treelets,
-            mem.take().expect("memory system threaded through batches"),
-            finalize,
-            None,
-            None,
-            None,
-        )?;
-        mem = Some(returned);
-        results.push(result);
-    }
-    Ok(results)
+    SimSession::batched(bvh, batches, config.clone()).run_batches()
 }
 
 #[allow(clippy::too_many_arguments)]
-fn try_run_engine(
+pub(crate) fn try_run_engine(
     bvh: &WideBvh,
     rays: &[Ray],
     config: &SimConfig,
@@ -1978,6 +1920,10 @@ fn decrement(counts: &mut HashMap<u32, u32>, key: u32) {
 }
 
 #[cfg(test)]
+// The tests here deliberately exercise the deprecated entry points: they
+// are now parity shims over `SimSession`, and keeping the legacy calls
+// proves the shims behave exactly as the original functions did.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::config::SimConfig;

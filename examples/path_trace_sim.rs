@@ -14,7 +14,7 @@
 use treelet_prefetching::bvh::WideBvh;
 use treelet_prefetching::scene::{Scene, SceneId, Workload};
 use treelet_prefetching::treelet::{
-    bounce_rays, direction_coherence, simulate, simulate_batches, BounceKind, SimConfig,
+    bounce_rays, direction_coherence, BounceKind, SimConfig, SimSession,
 };
 
 fn main() {
@@ -51,8 +51,12 @@ fn main() {
             println!("{name:<9} {:>6} (no surviving rays)", 0);
             continue;
         }
-        let base = simulate(&bvh, rays, &SimConfig::paper_baseline());
-        let pf = simulate(&bvh, rays, &SimConfig::paper_treelet_prefetch());
+        let base = SimSession::new(&bvh, rays, SimConfig::paper_baseline())
+            .run()
+            .expect("baseline generation");
+        let pf = SimSession::new(&bvh, rays, SimConfig::paper_treelet_prefetch())
+            .run()
+            .expect("prefetch generation");
         total_base += base.cycles;
         total_pf += pf.cycles;
         println!(
@@ -79,11 +83,15 @@ fn main() {
         .filter(|(_, rays)| !rays.is_empty())
         .map(|(_, rays)| rays.to_vec())
         .collect();
-    let warm_base: u64 = simulate_batches(&bvh, &batches, &SimConfig::paper_baseline())
+    let warm_base: u64 = SimSession::batched(&bvh, &batches, SimConfig::paper_baseline())
+        .run_batches()
+        .expect("warm baseline")
         .iter()
         .map(|r| r.cycles)
         .sum();
-    let warm_pf: u64 = simulate_batches(&bvh, &batches, &SimConfig::paper_treelet_prefetch())
+    let warm_pf: u64 = SimSession::batched(&bvh, &batches, SimConfig::paper_treelet_prefetch())
+        .run_batches()
+        .expect("warm prefetch")
         .iter()
         .map(|r| r.cycles)
         .sum();

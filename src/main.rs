@@ -18,10 +18,10 @@ use treelet_prefetching::bvh::{TreeStats, WideBvh, NODE_SIZE_BYTES};
 use treelet_prefetching::gpu::FaultInjection;
 use treelet_prefetching::scene::{load_obj, Camera, Scene, SceneId, Workload, WorkloadKind};
 use treelet_prefetching::treelet::{
-    compile_trace, first_divergence, read_digest_log, trace_ray, try_resume, try_simulate,
-    try_simulate_checkpointed, try_simulate_with_telemetry, write_traces, CheckpointOptions,
-    PrefetchHeuristic, SchedulerPolicy, SimConfig, SimError, Telemetry, TelemetryOptions,
-    TreeletAssignment, DEFAULT_TELEMETRY_EVERY,
+    compile_trace, default_jobs, first_divergence, read_digest_log, trace_ray, write_traces,
+    Bench, CheckpointOptions, PrefetchHeuristic, SchedulerPolicy, SimConfig, SimError,
+    SimSession, Sweep, SweepOutcome, Telemetry, TelemetryOptions, TreeletAssignment,
+    DEFAULT_TELEMETRY_EVERY,
 };
 
 /// Parsed command line.
@@ -32,6 +32,8 @@ enum Command {
     Run(Options),
     Trace(Options, String),
     Bisect(String, String),
+    Suite(SweepOptions),
+    Sweep(SweepOptions),
     Help,
 }
 
@@ -64,6 +66,65 @@ enum ConfigKind {
     Baseline,
     TraversalOnly,
     Prefetch,
+}
+
+impl ConfigKind {
+    fn parse(text: &str) -> Result<ConfigKind, String> {
+        match text {
+            "baseline" => Ok(ConfigKind::Baseline),
+            "traversal" => Ok(ConfigKind::TraversalOnly),
+            "prefetch" => Ok(ConfigKind::Prefetch),
+            other => Err(format!("unknown --config {other:?}")),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            ConfigKind::Baseline => "baseline",
+            ConfigKind::TraversalOnly => "traversal",
+            ConfigKind::Prefetch => "prefetch",
+        }
+    }
+
+    fn build(self) -> SimConfig {
+        match self {
+            ConfigKind::Baseline => SimConfig::paper_baseline(),
+            ConfigKind::TraversalOnly => SimConfig::paper_treelet_traversal_only(),
+            ConfigKind::Prefetch => SimConfig::paper_treelet_prefetch(),
+        }
+    }
+}
+
+/// Options for the `suite` and `sweep` subcommands: a (scene × config)
+/// grid sharded across a worker pool.
+#[derive(Debug, Clone, PartialEq)]
+struct SweepOptions {
+    scenes: Vec<SceneId>,
+    detail: f32,
+    res: u32,
+    workload: WorkloadKind,
+    configs: Vec<ConfigKind>,
+    treelet_bytes: Vec<u64>,
+    /// Worker count; `None` means the machine's available parallelism.
+    jobs: Option<usize>,
+    digest_dir: Option<String>,
+    max_cycles: Option<u64>,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            scenes: SceneId::ALL.to_vec(),
+            detail: 1.0,
+            res: 32,
+            workload: WorkloadKind::Primary,
+            configs: vec![ConfigKind::Prefetch],
+            treelet_bytes: vec![512],
+            jobs: None,
+            digest_dir: None,
+            max_cycles: None,
+        }
+    }
 }
 
 impl Default for Options {
@@ -118,6 +179,7 @@ impl From<SimError> for Failure {
             SimError::NoForwardProgress { .. } => 4,
             SimError::Snapshot(_) => 5,
             SimError::TreeletCoverage { .. } | SimError::Trace(_) => 1,
+            SimError::BatchPoisoned { .. } => 1,
         };
         Failure {
             message: e.to_string(),
@@ -160,6 +222,8 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             [a, b] => Ok(Command::Bisect(a.clone(), b.clone())),
             _ => Err("bisect-divergence takes exactly two digest-log paths".to_string()),
         },
+        "suite" => Ok(Command::Suite(parse_sweep_options(&args[1..], false)?)),
+        "sweep" => Ok(Command::Sweep(parse_sweep_options(&args[1..], true)?)),
         other => Err(format!("unknown subcommand {other:?}; try `help`")),
     }
 }
@@ -200,12 +264,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 }
             }
             "--config" => {
-                options.config = match next_value(&mut it, "--config")?.as_str() {
-                    "baseline" => ConfigKind::Baseline,
-                    "traversal" => ConfigKind::TraversalOnly,
-                    "prefetch" => ConfigKind::Prefetch,
-                    other => return Err(format!("unknown --config {other:?}")),
-                };
+                options.config = ConfigKind::parse(next_value(&mut it, "--config")?)?;
             }
             "--heuristic" => {
                 let v = next_value(&mut it, "--heuristic")?;
@@ -320,13 +379,105 @@ fn parse_heuristic(text: &str) -> Result<PrefetchHeuristic, String> {
     }
 }
 
-fn build_config(options: &Options) -> SimConfig {
-    let mut config = match options.config {
-        ConfigKind::Baseline => SimConfig::paper_baseline(),
-        ConfigKind::TraversalOnly => SimConfig::paper_treelet_traversal_only(),
-        ConfigKind::Prefetch => SimConfig::paper_treelet_prefetch(),
+/// Parses `suite`/`sweep` flags. `grid` enables the sweep-only flags
+/// that multiply the grid (`--configs`, `--treelet-bytes-list`); `suite`
+/// instead takes the single `--config` the `run` subcommand uses.
+fn parse_sweep_options(args: &[String], grid: bool) -> Result<SweepOptions, String> {
+    let mut options = SweepOptions::default();
+    if grid {
+        options.configs = vec![ConfigKind::Baseline, ConfigKind::Prefetch];
     }
-    .with_treelet_bytes(options.treelet_bytes);
+    let mut it = args.iter().peekable();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--scenes" => {
+                options.scenes = next_value(&mut it, "--scenes")?
+                    .split(',')
+                    .map(|name| {
+                        SceneId::from_name(name)
+                            .ok_or_else(|| format!("unknown scene {name:?}; see `scenes`"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if options.scenes.is_empty() {
+                    return Err("--scenes needs at least one scene".into());
+                }
+            }
+            "--detail" => {
+                options.detail = next_value(&mut it, "--detail")?
+                    .parse()
+                    .map_err(|e| format!("bad --detail: {e}"))?;
+                if !options.detail.is_finite() || options.detail <= 0.0 {
+                    return Err("--detail must be positive and finite".into());
+                }
+            }
+            "--res" => {
+                options.res = next_value(&mut it, "--res")?
+                    .parse()
+                    .map_err(|e| format!("bad --res: {e}"))?;
+                if options.res == 0 {
+                    return Err("--res must be positive".into());
+                }
+            }
+            "--workload" => {
+                options.workload = match next_value(&mut it, "--workload")?.as_str() {
+                    "primary" => WorkloadKind::Primary,
+                    "diffuse" => WorkloadKind::Diffuse,
+                    "shadow" => WorkloadKind::Shadow,
+                    other => return Err(format!("unknown --workload {other:?}")),
+                };
+            }
+            "--config" if !grid => {
+                options.configs = vec![ConfigKind::parse(next_value(&mut it, "--config")?)?];
+            }
+            "--configs" if grid => {
+                options.configs = next_value(&mut it, "--configs")?
+                    .split(',')
+                    .map(ConfigKind::parse)
+                    .collect::<Result<_, _>>()?;
+                if options.configs.is_empty() {
+                    return Err("--configs needs at least one config".into());
+                }
+            }
+            "--treelet-bytes-list" if grid => {
+                options.treelet_bytes = next_value(&mut it, "--treelet-bytes-list")?
+                    .split(',')
+                    .map(|b| b.parse().map_err(|e| format!("bad treelet budget: {e}")))
+                    .collect::<Result<_, _>>()?;
+                if options.treelet_bytes.iter().any(|&b| b < NODE_SIZE_BYTES) {
+                    return Err(format!(
+                        "every treelet budget must be at least one node ({NODE_SIZE_BYTES} B)"
+                    ));
+                }
+            }
+            "--jobs" => {
+                let v: usize = next_value(&mut it, "--jobs")?
+                    .parse()
+                    .map_err(|e| format!("bad --jobs: {e}"))?;
+                if v == 0 {
+                    return Err("--jobs must be positive".into());
+                }
+                options.jobs = Some(v);
+            }
+            "--digest-dir" => {
+                options.digest_dir = Some(next_value(&mut it, "--digest-dir")?.clone());
+            }
+            "--max-cycles" => {
+                let v: u64 = next_value(&mut it, "--max-cycles")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-cycles: {e}"))?;
+                if v == 0 {
+                    return Err("--max-cycles must be positive".into());
+                }
+                options.max_cycles = Some(v);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(options)
+}
+
+fn build_config(options: &Options) -> SimConfig {
+    let mut config = options.config.build().with_treelet_bytes(options.treelet_bytes);
     if let Some(h) = options.heuristic {
         config = config.with_heuristic(h);
     }
@@ -432,8 +583,9 @@ fn cmd_stats(options: &Options) -> Result<(), Failure> {
     // was given), so a scene can be profiled in one command.
     if let Some(telemetry_opts) = telemetry_options(options).map_err(invalid)? {
         let config = build_config(options);
-        let (result, telemetry) =
-            try_simulate_with_telemetry(&bvh, &rays, &config, &telemetry_opts)?;
+        let (result, telemetry) = SimSession::new(&bvh, &rays, config)
+            .telemetry(telemetry_opts)
+            .run_with_telemetry()?;
         print_telemetry_summary(&telemetry, result.cycles);
         if let Some(path) = &options.telemetry_path {
             write_telemetry(&telemetry, path)?;
@@ -456,9 +608,6 @@ fn telemetry_options(options: &Options) -> Result<Option<TelemetryOptions>, Stri
             return Err("--telemetry-every requires --telemetry".into());
         }
         return Ok(None);
-    }
-    if options.checkpoint_every.is_some() || options.checkpoint_path.is_some() || options.resume {
-        return Err("--telemetry cannot be combined with checkpoint flags".into());
     }
     let every = options.telemetry_every.unwrap_or(DEFAULT_TELEMETRY_EVERY);
     Ok(Some(TelemetryOptions::new(every)))
@@ -558,19 +707,24 @@ fn cmd_run(options: &Options) -> Result<(), Failure> {
     let config = build_config(options);
     let telemetry_opts = telemetry_options(options).map_err(invalid)?;
     let mut telemetry = None;
-    let result = match (checkpoint_options(options).map_err(invalid)?, telemetry_opts) {
-        (None, Some(topts)) => {
-            let (result, t) = try_simulate_with_telemetry(&bvh, &rays, &config, &topts)?;
+    let mut session = SimSession::new(&bvh, &rays, config);
+    if let Some(ck) = checkpoint_options(options).map_err(invalid)? {
+        session = session.checkpoint(ck);
+        if options.resume {
+            session = session.resume_from_checkpoint();
+        }
+    }
+    let result = match telemetry_opts {
+        Some(topts) => {
+            let (result, t) = session.telemetry(topts).run_with_telemetry()?;
             telemetry = Some(t);
             result
         }
-        (None, None) => try_simulate(&bvh, &rays, &config)?,
-        (Some(ck), _) if options.resume => try_resume(&bvh, &rays, &config, &ck)?,
-        (Some(ck), _) => try_simulate_checkpointed(&bvh, &rays, &config, &ck)?,
+        None => session.run()?,
     };
     if options.compare {
         let base_config = apply_robustness(SimConfig::paper_baseline(), options);
-        let base = try_simulate(&bvh, &rays, &base_config)?;
+        let base = SimSession::new(&bvh, &rays, base_config).run()?;
         println!(
             "baseline: {:>10} cycles | selected: {:>10} cycles | speedup {:.3}x",
             base.cycles,
@@ -689,6 +843,138 @@ fn cmd_trace(options: &Options, out_path: &str) -> Result<(), Failure> {
     Ok(())
 }
 
+/// Expands the sweep options into the labeled config grid, config-major:
+/// every `(config kind × treelet budget)` pair becomes one column. The
+/// budget suffix is dropped when only one budget is swept, so `suite`
+/// labels read as plain config names.
+fn sweep_grid(options: &SweepOptions) -> Vec<(String, SimConfig)> {
+    let mut grid = Vec::new();
+    for kind in &options.configs {
+        for &bytes in &options.treelet_bytes {
+            let label = if options.treelet_bytes.len() > 1 {
+                format!("{}/{}B", kind.name(), bytes)
+            } else {
+                kind.name().to_string()
+            };
+            let mut config = kind.build().with_treelet_bytes(bytes);
+            if let Some(limit) = options.max_cycles {
+                config.max_cycles = limit;
+            }
+            grid.push((label, config));
+        }
+    }
+    grid
+}
+
+/// Writes one digest log per scene into `dir`: each line is one
+/// (config, scene) cell in config-major grid order, so two runs of the
+/// same grid produce byte-identical files regardless of `--jobs`. The
+/// CI determinism job diffs these between `--jobs 1` and `--jobs 4`.
+fn write_digest_logs(dir: &str, outcomes: &[SweepOutcome]) -> Result<(), Failure> {
+    use std::io::Write as _;
+    let dir = std::path::Path::new(dir);
+    std::fs::create_dir_all(dir)
+        .map_err(|e| Failure::from(format!("{}: {e}", dir.display())))?;
+    let mut files: std::collections::BTreeMap<String, String> = std::collections::BTreeMap::new();
+    for cell in outcomes {
+        let log = files
+            .entry(cell.scene.name().to_ascii_lowercase())
+            .or_default();
+        match &cell.result {
+            Ok(r) => log.push_str(&format!(
+                "config={} scene={} cycles={} digest={:#018x}\n",
+                cell.label,
+                cell.scene.name(),
+                r.cycles,
+                r.state_digest
+            )),
+            Err(e) => log.push_str(&format!(
+                "config={} scene={} failed={e}\n",
+                cell.label,
+                cell.scene.name()
+            )),
+        }
+    }
+    for (slug, contents) in files {
+        let path = dir.join(format!("{slug}.digests"));
+        let mut file = std::fs::File::create(&path)
+            .map_err(|e| Failure::from(format!("{}: {e}", path.display())))?;
+        file.write_all(contents.as_bytes())
+            .map_err(|e| Failure::from(format!("{}: {e}", path.display())))?;
+    }
+    Ok(())
+}
+
+/// Shared implementation of `suite` (one config × the scene list) and
+/// `sweep` (config grid × the scene list): prepare the benches, shard
+/// the (scene, config) cells across the worker pool, and report results
+/// in deterministic config-major order.
+fn cmd_sweep(options: &SweepOptions) -> Result<(), Failure> {
+    let jobs = options.jobs.unwrap_or_else(default_jobs);
+    let grid = sweep_grid(options);
+    let workload = Workload::new(options.workload, options.res, options.res);
+    eprintln!(
+        "preparing {} scene(s), then running {} cell(s) on {jobs} worker(s)",
+        options.scenes.len(),
+        options.scenes.len() * grid.len()
+    );
+    // Scene preparation (geometry + BVH build) is independent per scene:
+    // shard it across the same pool the simulations use.
+    let benches = treelet_prefetching::treelet::run_indexed(
+        jobs,
+        options.scenes.len(),
+        |i| Bench::prepare(options.scenes[i], options.detail, workload),
+    );
+    let mut sweep = Sweep::new(benches);
+    for (label, config) in grid {
+        sweep = sweep.with_config(label, config);
+    }
+    let outcomes = sweep.run_parallel(jobs);
+
+    println!(
+        "{:<18} {:<7} {:>12} {:>20}",
+        "config", "scene", "cycles", "state digest"
+    );
+    for cell in &outcomes {
+        match &cell.result {
+            Ok(r) => println!(
+                "{:<18} {:<7} {:>12} {:>#20x}",
+                cell.label,
+                cell.scene.name(),
+                r.cycles,
+                r.state_digest
+            ),
+            Err(e) => println!(
+                "{:<18} {:<7} {:>12} {e}",
+                cell.label,
+                cell.scene.name(),
+                "FAILED"
+            ),
+        }
+    }
+    if let Some(dir) = &options.digest_dir {
+        write_digest_logs(dir, &outcomes)?;
+        println!("digest logs written to {dir}/");
+    }
+    let failures = outcomes
+        .iter()
+        .filter(|c| c.result.is_err())
+        .count();
+    if failures > 0 {
+        // Exit with the first failure's per-cause code so scripts react
+        // to a failed sweep exactly as they would to a failed `run`.
+        let first = outcomes
+            .into_iter()
+            .find_map(|c| c.result.err())
+            .expect("at least one cell failed");
+        return Err(Failure {
+            message: format!("{failures} cell(s) failed; first: {first}"),
+            code: Failure::from(first).code,
+        });
+    }
+    Ok(())
+}
+
 fn print_help() {
     println!(
         "treelet-prefetching — RT-unit treelet prefetching simulator (MICRO 2023 reproduction)
@@ -708,7 +994,29 @@ USAGE:
                             [--checkpoint-every N] [--checkpoint-path FILE]
                             [--digest-log FILE] [--resume]
                             [--telemetry [FILE]] [--telemetry-every N]
+  treelet-prefetching suite [--scenes CAR,BUNNY,..] [--config prefetch]
+                            [--detail 1.0] [--res 32] [--workload primary]
+                            [--jobs N] [--digest-dir DIR] [--max-cycles N]
+  treelet-prefetching sweep [--scenes CAR,BUNNY,..]
+                            [--configs baseline,prefetch]
+                            [--treelet-bytes-list 256,512,1024]
+                            [--detail 1.0] [--res 32] [--workload primary]
+                            [--jobs N] [--digest-dir DIR] [--max-cycles N]
   treelet-prefetching bisect-divergence LOG_A LOG_B
+
+PARALLEL EXECUTION:
+  suite                run one config across a scene list (default: all
+                       scenes, prefetch config) and print per-scene
+                       cycles + state digests
+  sweep                run the full config grid (--configs crossed with
+                       --treelet-bytes-list) across the scene list
+  --jobs N             shard independent (scene, config) cells across N
+                       worker threads (default: available cores). Results
+                       and digest logs are deterministic and bit-identical
+                       for every N; `--jobs 1` runs inline with no threads
+  --digest-dir DIR     write one digest log per scene into DIR; byte-
+                       identical across job counts (CI diffs jobs=1 vs
+                       jobs=4 output to enforce the determinism contract)
 
 ROBUSTNESS:
   --max-cycles N       abort with exit code 3 if the run exceeds N cycles
@@ -738,7 +1046,7 @@ TELEMETRY:
                        Sampling is read-only: the run's state digest is
                        bit-identical with telemetry on or off. Works
                        with `run` and with `stats` (which then runs the
-                       workload once); not combinable with checkpointing
+                       workload once); combinable with checkpointing
   --telemetry-every N  sampling interval in cycles (default 1000)
 
 EXIT CODES:
@@ -772,6 +1080,7 @@ fn main() -> ExitCode {
         Command::Run(options) => cmd_run(&options),
         Command::Trace(options, out) => cmd_trace(&options, &out),
         Command::Bisect(a, b) => cmd_bisect(&a, &b),
+        Command::Suite(options) | Command::Sweep(options) => cmd_sweep(&options),
     };
     match outcome {
         Ok(()) => ExitCode::SUCCESS,
@@ -897,6 +1206,65 @@ mod tests {
     }
 
     #[test]
+    fn suite_and_sweep_flags_parse() {
+        // Bare suite: every scene, one prefetch column, auto job count.
+        let opts = match parse(&["suite"]).unwrap() {
+            Command::Suite(o) => o,
+            other => panic!("expected suite, got {other:?}"),
+        };
+        assert_eq!(opts.scenes, SceneId::ALL.to_vec());
+        assert_eq!(opts.configs, vec![ConfigKind::Prefetch]);
+        assert_eq!(opts.jobs, None);
+
+        let opts = match parse(&[
+            "suite", "--scenes", "CAR,BUNNY", "--config", "baseline", "--jobs", "3",
+            "--digest-dir", "logs", "--max-cycles", "5000",
+        ])
+        .unwrap()
+        {
+            Command::Suite(o) => o,
+            other => panic!("expected suite, got {other:?}"),
+        };
+        assert_eq!(opts.scenes, vec![SceneId::Car, SceneId::Bunny]);
+        assert_eq!(opts.configs, vec![ConfigKind::Baseline]);
+        assert_eq!(opts.jobs, Some(3));
+        assert_eq!(opts.digest_dir.as_deref(), Some("logs"));
+        assert_eq!(opts.max_cycles, Some(5000));
+
+        // Sweep defaults to the baseline-vs-prefetch grid and accepts
+        // the grid-only list flags.
+        let opts = match parse(&["sweep"]).unwrap() {
+            Command::Sweep(o) => o,
+            other => panic!("expected sweep, got {other:?}"),
+        };
+        assert_eq!(
+            opts.configs,
+            vec![ConfigKind::Baseline, ConfigKind::Prefetch]
+        );
+        let opts = match parse(&[
+            "sweep", "--configs", "baseline,prefetch", "--treelet-bytes-list", "256,512",
+        ])
+        .unwrap()
+        {
+            Command::Sweep(o) => o,
+            other => panic!("expected sweep, got {other:?}"),
+        };
+        assert_eq!(opts.treelet_bytes, vec![256, 512]);
+        assert_eq!(sweep_grid(&opts).len(), 4);
+        // With several budgets every column label carries its budget.
+        assert_eq!(sweep_grid(&opts)[0].0, "baseline/256B");
+
+        // Bad input is rejected at parse time, not at run time.
+        assert!(parse(&["suite", "--jobs", "0"]).is_err());
+        assert!(parse(&["suite", "--jobs", "lots"]).is_err());
+        assert!(parse(&["suite", "--scenes", "CAR,NOPE"]).is_err());
+        assert!(parse(&["suite", "--configs", "baseline"]).is_err()); // grid-only flag
+        assert!(parse(&["sweep", "--config", "baseline"]).is_err()); // suite-only flag
+        assert!(parse(&["sweep", "--treelet-bytes-list", "0"]).is_err());
+        assert!(parse(&["sweep", "--configs", ""]).is_err());
+    }
+
+    #[test]
     fn telemetry_flags_parse() {
         // Bare --telemetry: summary only, default interval.
         let opts = match parse(&["run", "--telemetry"]).unwrap() {
@@ -938,19 +1306,14 @@ mod tests {
             ..Options::default()
         };
         assert!(telemetry_options(&lonely).is_err());
-        // Telemetry and checkpointing cannot be combined.
+        // Telemetry and checkpointing compose now that the session owns
+        // both: sampling stays read-only across checkpoint epochs.
         let both = Options {
             telemetry: true,
             checkpoint_every: Some(1000),
             ..Options::default()
         };
-        assert!(telemetry_options(&both).is_err());
-        let resumed = Options {
-            telemetry: true,
-            resume: true,
-            ..Options::default()
-        };
-        assert!(telemetry_options(&resumed).is_err());
+        assert!(telemetry_options(&both).unwrap().is_some());
         // No telemetry flags at all: no telemetry.
         assert_eq!(telemetry_options(&Options::default()).unwrap(), None);
     }

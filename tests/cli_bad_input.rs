@@ -95,9 +95,34 @@ fn bad_input_exits_with_code_2_and_no_panic() {
             needle: "--telemetry-every",
         },
         Case {
-            name: "telemetry combined with checkpointing",
-            args: &["run", "--scene", "WKND", "--telemetry", "--resume"],
-            needle: "--telemetry",
+            name: "zero jobs",
+            args: &["suite", "--jobs", "0"],
+            needle: "--jobs",
+        },
+        Case {
+            name: "non-numeric jobs",
+            args: &["sweep", "--jobs", "lots"],
+            needle: "--jobs",
+        },
+        Case {
+            name: "unknown scene in the suite scene list",
+            args: &["suite", "--scenes", "CAR,NOPE"],
+            needle: "NOPE",
+        },
+        Case {
+            name: "grid-only flag under suite",
+            args: &["suite", "--configs", "baseline,prefetch"],
+            needle: "--configs",
+        },
+        Case {
+            name: "suite-only flag under sweep",
+            args: &["sweep", "--config", "baseline"],
+            needle: "--config",
+        },
+        Case {
+            name: "sub-node treelet budget in the sweep grid",
+            args: &["sweep", "--treelet-bytes-list", "256,0"],
+            needle: "treelet budget",
         },
     ];
     for case in &cases {
@@ -190,6 +215,81 @@ fn telemetry_does_not_change_the_state_digest() {
         assert!(header.contains(column), "csv header missing {column}: {header}");
     }
     assert!(lines.count() >= 1, "csv has no epoch rows");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn telemetry_composes_with_checkpointing() {
+    // The session owns both features now; the old CLI rejection is gone,
+    // and sampling must stay read-only across checkpoint epochs.
+    let dir = std::env::temp_dir().join(format!("treelet-cli-telem-ckpt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("run.rtsnap");
+    let base_args = [
+        "run", "--scene", "WKND", "--detail", "0.2", "--res", "8", "--config", "prefetch",
+    ];
+    let plain = run_cli(&base_args);
+    assert!(plain.status.success(), "plain run failed");
+    let mut combo_args = base_args.to_vec();
+    combo_args.extend([
+        "--telemetry",
+        "--checkpoint-every",
+        "500",
+        "--checkpoint-path",
+        ckpt.to_str().unwrap(),
+    ]);
+    let combo = run_cli(&combo_args);
+    assert!(
+        combo.status.success(),
+        "telemetry+checkpoint run failed: {}",
+        String::from_utf8_lossy(&combo.stderr)
+    );
+    let plain_stdout = String::from_utf8_lossy(&plain.stdout);
+    let combo_stdout = String::from_utf8_lossy(&combo.stdout);
+    assert_eq!(
+        digest_line(&plain_stdout),
+        digest_line(&combo_stdout),
+        "telemetry+checkpointing perturbed the simulation"
+    );
+    assert!(combo_stdout.contains("telemetry:"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn suite_digest_logs_are_identical_across_job_counts() {
+    // The CLI-level determinism contract: the per-scene digest logs a
+    // parallel suite writes are byte-identical to a serial run's.
+    let dir = std::env::temp_dir().join(format!("treelet-cli-suite-{}", std::process::id()));
+    let (j1, j4) = (dir.join("j1"), dir.join("j4"));
+    std::fs::create_dir_all(&dir).unwrap();
+    for (jobs, out) in [("1", &j1), ("4", &j4)] {
+        let run = run_cli(&[
+            "suite",
+            "--scenes",
+            "WKND,CAR",
+            "--detail",
+            "0.1",
+            "--res",
+            "8",
+            "--config",
+            "prefetch",
+            "--jobs",
+            jobs,
+            "--digest-dir",
+            out.to_str().unwrap(),
+        ]);
+        assert!(
+            run.status.success(),
+            "suite --jobs {jobs} failed: {}",
+            String::from_utf8_lossy(&run.stderr)
+        );
+    }
+    for scene in ["wknd", "car"] {
+        let a = std::fs::read(j1.join(format!("{scene}.digests"))).unwrap();
+        let b = std::fs::read(j4.join(format!("{scene}.digests"))).unwrap();
+        assert!(!a.is_empty(), "{scene}: empty digest log");
+        assert_eq!(a, b, "{scene}: digest logs diverge between job counts");
+    }
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -4,7 +4,7 @@
 use treelet_prefetching::bvh::WideBvh;
 use treelet_prefetching::geometry::{Ray, Vec3};
 use treelet_prefetching::scene::parse_obj;
-use treelet_prefetching::treelet::{simulate, SimConfig, TreeletAssignment};
+use treelet_prefetching::treelet::{SimConfig, SimSession, TreeletAssignment};
 
 /// A small procedurally written OBJ: a grid of quads plus a pyramid.
 fn obj_text() -> String {
@@ -52,8 +52,12 @@ fn obj_mesh_simulates_end_to_end() {
         assert!(bvh.intersect(r).is_hit(), "ray {i} missed the obj grid");
     }
 
-    let base = simulate(&bvh, &rays, &SimConfig::paper_baseline());
-    let pf = simulate(&bvh, &rays, &SimConfig::paper_treelet_prefetch());
+    let base = SimSession::new(&bvh, &rays, SimConfig::paper_baseline())
+            .run()
+            .expect("simulation");
+    let pf = SimSession::new(&bvh, &rays, SimConfig::paper_treelet_prefetch())
+            .run()
+            .expect("simulation");
     assert!(base.cycles > 0 && pf.cycles > 0);
     assert_eq!(base.rays, 64);
     // The pyramid apex ray sees the pyramid before the ground.

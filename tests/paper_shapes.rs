@@ -5,13 +5,17 @@
 
 use treelet_prefetching::bvh::WideBvh;
 use treelet_prefetching::scene::{Scene, SceneId, Workload, WorkloadKind};
-use treelet_prefetching::treelet::{simulate, MappingMode, PrefetchConfig, SimConfig, SimResult};
+use treelet_prefetching::treelet::{
+    MappingMode, PrefetchConfig, SimConfig, SimResult, SimSession,
+};
 
 fn run(id: SceneId, detail: f32, config: &SimConfig) -> SimResult {
     let scene = Scene::build_with_detail(id, detail);
     let rays = Workload::new(WorkloadKind::Primary, 16, 16).generate(&scene);
     let bvh = WideBvh::build(scene.mesh.into_triangles());
-    simulate(&bvh, &rays, config)
+    SimSession::new(&bvh, &rays, config.clone())
+        .run()
+        .expect("simulation")
 }
 
 #[test]

@@ -5,7 +5,7 @@
 use treelet_prefetching::bvh::{MemoryImage, TreeStats, WideBvh};
 use treelet_prefetching::scene::{Scene, SceneId, Workload, WorkloadKind};
 use treelet_prefetching::treelet::{
-    compile_trace, simulate, trace_ray, SimConfig, TraversalAlgorithm, TreeletAssignment,
+    compile_trace, trace_ray, SimSession, SimConfig, TraversalAlgorithm, TreeletAssignment,
 };
 
 fn small_workload() -> Workload {
@@ -18,7 +18,9 @@ fn full_pipeline_runs_on_several_scenes() {
         let scene = Scene::build_with_detail(id, 0.35);
         let rays = small_workload().generate(&scene);
         let bvh = WideBvh::build(scene.mesh.into_triangles());
-        let result = simulate(&bvh, &rays, &SimConfig::paper_baseline());
+        let result = SimSession::new(&bvh, &rays, SimConfig::paper_baseline())
+            .run()
+            .expect("simulation");
         assert!(result.cycles > 0, "{id}: no cycles simulated");
         assert_eq!(result.rays, rays.len());
         assert!(result.l1.demand_accesses() > 0);
@@ -90,7 +92,9 @@ fn demand_access_conservation_across_configs() {
                 .sum::<u64>()
             })
             .sum();
-        let result = simulate(&bvh, &rays, &config);
+        let result = SimSession::new(&bvh, &rays, config.clone())
+            .run()
+            .expect("simulation");
         assert_eq!(
             result.l1.demand_accesses(),
             expected,
@@ -127,7 +131,9 @@ fn diffuse_and_shadow_workloads_simulate() {
     let bvh = WideBvh::build(scene.mesh.clone().into_triangles());
     for kind in [WorkloadKind::Diffuse, WorkloadKind::Shadow] {
         let rays = Workload::new(kind, 8, 8).generate(&scene);
-        let result = simulate(&bvh, &rays, &SimConfig::paper_treelet_prefetch());
+        let result = SimSession::new(&bvh, &rays, SimConfig::paper_treelet_prefetch())
+            .run()
+            .expect("simulation");
         assert!(result.cycles > 0, "{kind} workload failed");
     }
 }
@@ -162,8 +168,12 @@ fn simulation_deterministic_end_to_end() {
     let rays = small_workload().generate(&scene);
     let bvh = WideBvh::build(scene.mesh.into_triangles());
     let config = SimConfig::paper_treelet_prefetch();
-    let a = simulate(&bvh, &rays, &config);
-    let b = simulate(&bvh, &rays, &config);
+    let a = SimSession::new(&bvh, &rays, config.clone())
+            .run()
+            .expect("simulation");
+    let b = SimSession::new(&bvh, &rays, config)
+            .run()
+            .expect("simulation");
     assert_eq!(a.cycles, b.cycles);
     assert_eq!(a.l1, b.l1);
     assert_eq!(a.prefetch_effect, b.prefetch_effect);
