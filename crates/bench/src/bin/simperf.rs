@@ -1,0 +1,228 @@
+//! `simperf` — wall-clock smoke benchmark of the simulator itself.
+//!
+//! Every figure in the reproduction is bottlenecked on how fast the
+//! cycle-level simulator runs, so this binary starts the performance
+//! trajectory: it times the full sixteen-scene suite end-to-end under
+//! the baseline and prefetch configurations, micro-times one scene's
+//! hot simulation kernels, and cross-checks the determinism contract
+//! the optimized data structures must uphold — per-scene state digests
+//! must be bit-identical between `--jobs 1` and a parallel run, and
+//! between the idle-skipping cycle loop and the naive cycle-by-cycle
+//! reference loop (`idle_skip = false`).
+//!
+//! Writes `BENCH_simperf.json` in the current directory (override with
+//! `--out PATH`) and exits nonzero on any digest mismatch, so CI can
+//! run it as a smoke job and archive the JSON as the perf record.
+//!
+//! Scene detail defaults to 0.1 with a 16×16 primary-ray workload (CI
+//! smoke scale); `TREELET_DETAIL` or `--detail` raises it for deeper
+//! local runs.
+
+use rt_bench::microbench::Group;
+use rt_bench::{default_jobs, SimConfig, SimResult, Suite};
+use rt_scene::{SceneId, Workload, WorkloadKind};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+/// One configuration's suite timings and determinism verdicts.
+struct ConfigReport {
+    name: &'static str,
+    wall_ms_jobs1: f64,
+    wall_ms_parallel: f64,
+    wall_ms_no_idle_skip: f64,
+    digests_match_across_jobs: bool,
+    digests_match_without_idle_skip: bool,
+    scenes: Vec<(SceneId, u64, u64)>,
+}
+
+fn main() -> ExitCode {
+    let mut out = String::from("BENCH_simperf.json");
+    let mut detail: f32 = std::env::var("TREELET_DETAIL")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.1);
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(path) => out = path,
+                None => return usage("--out needs a path"),
+            },
+            "--detail" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(d) if d > 0.0 => detail = d,
+                _ => return usage("--detail needs a positive number"),
+            },
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let workload = Workload::new(WorkloadKind::Primary, 16, 16);
+    let suite = Suite::prepare(detail, workload);
+    // At least four workers so the cross-jobs digest check exercises real
+    // sharding even on single-core CI runners.
+    let jobs = default_jobs().max(4);
+
+    let mut reports = Vec::new();
+    let mut all_clean = true;
+    for (name, config) in [
+        ("baseline", SimConfig::paper_baseline()),
+        ("prefetch", SimConfig::paper_treelet_prefetch()),
+    ] {
+        let report = run_config(&suite, name, &config, jobs);
+        all_clean &= report.digests_match_across_jobs && report.digests_match_without_idle_skip;
+        reports.push(report);
+    }
+
+    // Hot-kernel microbench: one mid-sized scene simulated end-to-end,
+    // with and without the prefetcher, plus the naive loop for scale.
+    let group = Group::new("simperf")
+        .samples(5)
+        .sample_time(Duration::from_millis(50));
+    let bench = suite
+        .benches()
+        .iter()
+        .find(|b| b.scene() == SceneId::Bunny)
+        .expect("suite contains BUNNY");
+    let baseline = SimConfig::paper_baseline();
+    let prefetch = SimConfig::paper_treelet_prefetch();
+    let mut naive = prefetch.clone();
+    naive.idle_skip = false;
+    let kernels = [
+        ("sim_baseline", group.bench("sim_baseline", || bench.run(&baseline).cycles)),
+        ("sim_prefetch", group.bench("sim_prefetch", || bench.run(&prefetch).cycles)),
+        (
+            "sim_prefetch_no_idle_skip",
+            group.bench("sim_prefetch_no_idle_skip", || bench.run(&naive).cycles),
+        ),
+    ];
+
+    let json = render_json(detail, jobs, &reports, &kernels);
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("error: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("\nwrote {out}");
+
+    if all_clean {
+        println!("digest cross-checks clean (jobs 1 vs {jobs}, idle-skip on vs off)");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("error: state digest mismatch — see {out}");
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("error: {problem}");
+    eprintln!("usage: simperf [--out BENCH_simperf.json] [--detail 0.1]");
+    ExitCode::FAILURE
+}
+
+/// Times one configuration three ways and checks both digest contracts.
+fn run_config(suite: &Suite, name: &'static str, config: &SimConfig, jobs: usize) -> ConfigReport {
+    let (reference, wall_ms_jobs1) = timed(|| suite.run_all_parallel(config, 1));
+    let (parallel, wall_ms_parallel) = timed(|| suite.run_all_parallel(config, jobs));
+    let mut naive_config = config.clone();
+    naive_config.idle_skip = false;
+    let (naive, wall_ms_no_idle_skip) = timed(|| suite.run_all_parallel(&naive_config, 1));
+
+    let digests_match_across_jobs = digests_equal(&reference, &parallel);
+    let digests_match_without_idle_skip = digests_equal(&reference, &naive);
+    println!(
+        "{name:<9} jobs1 {wall_ms_jobs1:>8.1} ms   jobs{jobs} {wall_ms_parallel:>8.1} ms   \
+         no-skip {wall_ms_no_idle_skip:>8.1} ms   digests: jobs {}  idle-skip {}",
+        verdict(digests_match_across_jobs),
+        verdict(digests_match_without_idle_skip),
+    );
+    ConfigReport {
+        name,
+        wall_ms_jobs1,
+        wall_ms_parallel,
+        wall_ms_no_idle_skip,
+        digests_match_across_jobs,
+        digests_match_without_idle_skip,
+        scenes: SceneId::ALL
+            .into_iter()
+            .zip(&reference)
+            .map(|(id, r)| (id, r.cycles, r.state_digest))
+            .collect(),
+    }
+}
+
+fn timed(f: impl FnOnce() -> Vec<SimResult>) -> (Vec<SimResult>, f64) {
+    let t0 = Instant::now();
+    let results = f();
+    (results, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+fn digests_equal(a: &[SimResult], b: &[SimResult]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| x.state_digest == y.state_digest && x.cycles == y.cycles)
+}
+
+fn verdict(ok: bool) -> &'static str {
+    if ok {
+        "ok"
+    } else {
+        "MISMATCH"
+    }
+}
+
+/// Hand-rolled JSON (the workspace is dependency-free by policy); every
+/// string is a known identifier, so no escaping is needed.
+fn render_json(
+    detail: f32,
+    jobs: usize,
+    reports: &[ConfigReport],
+    kernels: &[(&str, rt_bench::microbench::Measurement)],
+) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{{\n  \"bench\": \"simperf\",\n  \"detail\": {detail},\n  \
+         \"workload\": \"primary 16x16\",\n  \"jobs\": {jobs},\n  \"suite\": ["
+    );
+    for (i, r) in reports.iter().enumerate() {
+        let _ = write!(
+            s,
+            "{}\n    {{\n      \"config\": \"{}\",\n      \"wall_ms_jobs1\": {:.3},\n      \
+             \"wall_ms_parallel\": {:.3},\n      \"wall_ms_no_idle_skip\": {:.3},\n      \
+             \"digests_match_across_jobs\": {},\n      \
+             \"digests_match_without_idle_skip\": {},\n      \"scenes\": [",
+            if i == 0 { "" } else { "," },
+            r.name,
+            r.wall_ms_jobs1,
+            r.wall_ms_parallel,
+            r.wall_ms_no_idle_skip,
+            r.digests_match_across_jobs,
+            r.digests_match_without_idle_skip,
+        );
+        for (j, (id, cycles, digest)) in r.scenes.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{}\n        {{\"scene\": \"{id}\", \"cycles\": {cycles}, \
+                 \"state_digest\": \"{digest:#018x}\"}}",
+                if j == 0 { "" } else { "," },
+            );
+        }
+        let _ = write!(s, "\n      ]\n    }}");
+    }
+    let _ = write!(s, "\n  ],\n  \"hot_kernels\": [");
+    for (i, (name, m)) in kernels.iter().enumerate() {
+        let _ = write!(
+            s,
+            "{}\n    {{\"name\": \"{name}\", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \
+             \"mean_ns\": {:.1}, \"iters_per_sample\": {}}}",
+            if i == 0 { "" } else { "," },
+            m.median_ns,
+            m.min_ns,
+            m.mean_ns,
+            m.iters_per_sample,
+        );
+    }
+    s.push_str("\n  ]\n}\n");
+    s
+}

@@ -287,6 +287,13 @@ pub struct SimConfig {
     /// [`SimError::NoForwardProgress`](crate::SimError::NoForwardProgress)
     /// instead of spinning until `max_cycles`.
     pub progress_window: u64,
+    /// Fast-forward the cycle loop across provably idle stretches (no
+    /// queued work anywhere, every pending event strictly in the future).
+    /// The skip is exact — cycle counts, occupancy integrals, watchdog
+    /// behavior and state digests are bit-identical with it off — so it
+    /// only trades wall-clock time. On by default; turn off to force the
+    /// naive cycle-by-cycle loop (e.g. when bisecting the engine itself).
+    pub idle_skip: bool,
 }
 
 impl SimConfig {
@@ -315,6 +322,7 @@ impl SimConfig {
             prefetch_queue_capacity: 64,
             max_cycles: 200_000_000,
             progress_window: 1_000_000,
+            idle_skip: true,
         }
     }
 

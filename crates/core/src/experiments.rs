@@ -98,7 +98,7 @@ impl Bench {
     /// instead of panicking on invalid configs, watchdog aborts, or
     /// uncovered BVHs.
     pub fn try_run(&self, config: &SimConfig) -> Result<SimResult, crate::SimError> {
-        self.session(config.clone()).run()
+        SimSession::borrowed(&self.bvh, &self.rays, config).run()
     }
 
     /// Runs under `config` while collecting a telemetry time-series

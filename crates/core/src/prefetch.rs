@@ -5,7 +5,7 @@
 //! prefetch heuristic, and pushes the treelet's cache lines into a
 //! prefetch queue that drains when the RT unit's memory scheduler is idle.
 
-use rt_gpu_sim::{ByteReader, ByteWriter, DecodeError};
+use rt_gpu_sim::{ByteReader, ByteWriter, CountTable, CountVec, DecodeError, FxHashMap, FxHashSet};
 use std::collections::VecDeque;
 
 /// Majority voter implementation.
@@ -86,12 +86,15 @@ pub fn pseudo_vote(warps: &[Vec<u32>]) -> Option<Vote> {
 
 /// Computes the full vote from per-treelet ray counts (the simulator's
 /// incrementally maintained form of the warp-buffer view).
-pub fn full_vote_counts(global: &std::collections::HashMap<u32, u32>) -> Option<Vote> {
+///
+/// The comparator is a total order over distinct keys (count, then lower
+/// treelet id), so the table's arbitrary iteration order cannot change
+/// the winner.
+pub fn full_vote_counts(global: &CountTable) -> Option<Vote> {
     global
-        .iter()
-        .filter(|&(_, &c)| c > 0)
-        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
-        .map(|(&treelet, &popularity)| Vote {
+        .iter_nonzero()
+        .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+        .map(|(treelet, popularity)| Vote {
             treelet,
             popularity,
         })
@@ -99,21 +102,22 @@ pub fn full_vote_counts(global: &std::collections::HashMap<u32, u32>) -> Option<
 
 /// Computes the two-level pseudo vote from per-warp treelet counts, using
 /// `global` counts for the winner's exact popularity.
-pub fn pseudo_vote_counts<'a, I>(
-    per_warp: I,
-    global: &std::collections::HashMap<u32, u32>,
-) -> Option<Vote>
+pub fn pseudo_vote_counts<'a, I>(per_warp: I, global: &CountTable) -> Option<Vote>
 where
-    I: IntoIterator<Item = &'a std::collections::HashMap<u32, u32>>,
+    I: IntoIterator<Item = &'a CountVec>,
 {
-    let mut second = std::collections::HashMap::new();
+    // Per-SM warp counts are tiny (at most one entry per resident warp),
+    // so the second level is a linear scan rather than a hashed table.
+    let mut second: Vec<(u32, u32)> = Vec::new();
     for warp in per_warp {
-        if let Some((&winner, &count)) = warp
+        if let Some((winner, count)) = warp
             .iter()
-            .filter(|&(_, &c)| c > 0)
-            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
         {
-            *second.entry(winner).or_insert(0u32) += count;
+            match second.iter_mut().find(|e| e.0 == winner) {
+                Some(e) => e.1 += count,
+                None => second.push((winner, count)),
+            }
         }
     }
     let winner = second
@@ -122,7 +126,7 @@ where
         .0;
     Some(Vote {
         treelet: winner,
-        popularity: global.get(&winner).copied().unwrap_or(0),
+        popularity: global.get(winner),
     })
 }
 
@@ -313,7 +317,7 @@ impl TreeletPrefetcher {
     /// When this returns `true`, compute the vote (with
     /// [`full_vote_counts`] / [`pseudo_vote_counts`] or the list-based
     /// variants) and pass it to [`TreeletPrefetcher::submit`].
-    pub fn poll<F, M>(
+    pub fn poll<F, M, L>(
         &mut self,
         now: u64,
         mapping: MappingMode,
@@ -321,8 +325,9 @@ impl TreeletPrefetcher {
         meta_line: M,
     ) -> bool
     where
-        F: Fn(u32) -> Vec<u64>,
+        F: Fn(u32) -> L,
         M: Fn(u32) -> u64,
+        L: AsRef<[u64]>,
     {
         if let Some((ready_at, vote)) = self.staged {
             if now >= ready_at {
@@ -338,7 +343,7 @@ impl TreeletPrefetcher {
     /// `chosen` is the vote of the configured voter; `full` is the
     /// idealized full vote, supplied (when cheap to compute) to account
     /// pseudo-voter accuracy (Fig. 17).
-    pub fn submit<F, M>(
+    pub fn submit<F, M, L>(
         &mut self,
         now: u64,
         chosen: Option<Vote>,
@@ -347,8 +352,9 @@ impl TreeletPrefetcher {
         treelet_lines: F,
         meta_line: M,
     ) where
-        F: Fn(u32) -> Vec<u64>,
+        F: Fn(u32) -> L,
         M: Fn(u32) -> u64,
+        L: AsRef<[u64]>,
     {
         self.next_sample_at = now + self.latency.max(1);
         if self.voter == VoterKind::PseudoTwoLevel {
@@ -376,7 +382,7 @@ impl TreeletPrefetcher {
     /// warp-buffer entry `w`. `treelet_lines(t)` returns treelet `t`'s
     /// cache lines front-to-back, and `meta_line(t)` the line of its
     /// mapping-table entry (consulted for the Loose/Strict Wait modes).
-    pub fn maybe_decide<F, M>(
+    pub fn maybe_decide<F, M, L>(
         &mut self,
         now: u64,
         warp_treelets: &[Vec<u32>],
@@ -384,8 +390,9 @@ impl TreeletPrefetcher {
         treelet_lines: F,
         meta_line: M,
     ) where
-        F: Fn(u32) -> Vec<u64>,
+        F: Fn(u32) -> L,
         M: Fn(u32) -> u64,
+        L: AsRef<[u64]>,
     {
         if !self.poll(now, mapping, &treelet_lines, &meta_line) {
             return;
@@ -398,10 +405,11 @@ impl TreeletPrefetcher {
         self.submit(now, chosen, full, mapping, treelet_lines, meta_line);
     }
 
-    fn apply<F, M>(&mut self, vote: Vote, mapping: MappingMode, treelet_lines: &F, meta_line: &M)
+    fn apply<F, M, L>(&mut self, vote: Vote, mapping: MappingMode, treelet_lines: &F, meta_line: &M)
     where
-        F: Fn(u32) -> Vec<u64>,
+        F: Fn(u32) -> L,
         M: Fn(u32) -> u64,
+        L: AsRef<[u64]>,
     {
         // Duplicate-treelet register (§4.1): never prefetch the same
         // treelet twice in a row.
@@ -411,19 +419,24 @@ impl TreeletPrefetcher {
         }
         let denominator = self.resident_rays.clamp(1, self.max_rays);
         let ratio = vote.popularity as f32 / denominator as f32;
-        let mut lines = match self.heuristic {
-            PrefetchHeuristic::Always => treelet_lines(vote.treelet),
+        let fetched = treelet_lines(vote.treelet);
+        let all = fetched.as_ref();
+        let lines: &[u64] = match self.heuristic {
+            PrefetchHeuristic::Always => all,
             PrefetchHeuristic::Popularity(threshold) => {
                 if ratio < threshold {
                     self.stats.threshold_suppressed += 1;
                     return;
                 }
-                treelet_lines(vote.treelet)
+                all
             }
             PrefetchHeuristic::Partial => {
-                let all = treelet_lines(vote.treelet);
-                let take = ((all.len() as f32 * ratio).ceil() as usize).clamp(1, all.len());
-                all[..take].to_vec()
+                if all.is_empty() {
+                    all
+                } else {
+                    let take = ((all.len() as f32 * ratio).ceil() as usize).clamp(1, all.len());
+                    &all[..take]
+                }
             }
         };
         if lines.is_empty() {
@@ -442,7 +455,7 @@ impl TreeletPrefetcher {
         self.last_prefetched = Some(vote.treelet);
         match mapping {
             MappingMode::Packed => {
-                for l in lines.drain(..) {
+                for &l in lines {
                     self.queue.push_back(PrefetchEntry::Line(l));
                 }
             }
@@ -453,7 +466,7 @@ impl TreeletPrefetcher {
                     addr: meta_line(vote.treelet),
                     gated_lines: Vec::new(),
                 });
-                for l in lines.drain(..) {
+                for &l in lines {
                     self.queue.push_back(PrefetchEntry::Line(l));
                 }
             }
@@ -462,7 +475,7 @@ impl TreeletPrefetcher {
                 // returns (worst case): gate them on the meta entry.
                 self.queue.push_back(PrefetchEntry::Meta {
                     addr: meta_line(vote.treelet),
-                    gated_lines: lines,
+                    gated_lines: lines.to_vec(),
                 });
             }
         }
@@ -485,6 +498,18 @@ impl TreeletPrefetcher {
     /// Current queue depth.
     pub fn queue_len(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Cycle at which the currently staged decision will apply, if any
+    /// (used by the engine's idle-cycle skip to bound a fast-forward).
+    pub fn staged_ready_at(&self) -> Option<u64> {
+        self.staged.map(|(ready_at, _)| ready_at)
+    }
+
+    /// Earliest cycle at which the prefetcher wants a fresh warp-buffer
+    /// sample (used by the engine's idle-cycle skip).
+    pub fn next_sample_at(&self) -> u64 {
+        self.next_sample_at
     }
 
     /// Activity counters.
@@ -728,9 +753,9 @@ impl PrefetchUsefulness {
 #[derive(Debug, Clone, Default)]
 pub struct UsefulnessTracker {
     /// Prefetches issued whose fill has not yet arrived.
-    in_flight: std::collections::HashSet<u64>,
+    in_flight: FxHashSet<u64>,
     /// Filled prefetched lines, mapped to "touched by a demand access".
-    resident: std::collections::HashMap<u64, bool>,
+    resident: FxHashMap<u64, bool>,
     counts: PrefetchUsefulness,
 }
 
@@ -837,16 +862,15 @@ mod tests {
 
     #[test]
     fn counts_based_votes_match_list_based() {
-        use std::collections::HashMap;
         let warps = vec![vec![1, 1, 2, 9], vec![2, 2, 9], vec![9, 9, 9]];
-        let mut global: HashMap<u32, u32> = HashMap::new();
-        let per_warp: Vec<HashMap<u32, u32>> = warps
+        let mut global = CountTable::default();
+        let per_warp: Vec<CountVec> = warps
             .iter()
             .map(|w| {
-                let mut m = HashMap::new();
+                let mut m = CountVec::default();
                 for &t in w {
-                    *m.entry(t).or_insert(0) += 1;
-                    *global.entry(t).or_insert(0) += 1;
+                    m.increment(t);
+                    global.increment(t);
                 }
                 m
             })
@@ -860,11 +884,14 @@ mod tests {
 
     #[test]
     fn counts_votes_ignore_zero_entries() {
-        use std::collections::HashMap;
-        let mut global = HashMap::new();
-        global.insert(5u32, 0u32);
+        // A key whose count returned to zero must not win a vote.
+        let mut global = CountTable::default();
+        global.increment(5);
+        global.decrement(5);
         assert_eq!(full_vote_counts(&global), None);
-        let warp = global.clone();
+        let mut warp = CountVec::default();
+        warp.increment(5);
+        warp.decrement(5);
         assert_eq!(pseudo_vote_counts([&warp], &global), None);
     }
 

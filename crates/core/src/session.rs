@@ -32,6 +32,7 @@ use crate::treelet::TreeletAssignment;
 use rt_bvh::WideBvh;
 use rt_geometry::Ray;
 use rt_gpu_sim::MemorySystem;
+use std::borrow::Cow;
 
 /// Where a session's rays come from.
 #[derive(Debug, Clone, Copy)]
@@ -58,7 +59,7 @@ enum RaySource<'a> {
 pub struct SimSession<'a> {
     bvh: &'a WideBvh,
     rays: RaySource<'a>,
-    config: SimConfig,
+    config: Cow<'a, SimConfig>,
     telemetry: Option<TelemetryOptions>,
     checkpoint: Option<CheckpointOptions>,
     resume: bool,
@@ -71,7 +72,23 @@ impl<'a> SimSession<'a> {
         SimSession {
             bvh,
             rays: RaySource::Single(rays),
-            config,
+            config: Cow::Owned(config),
+            telemetry: None,
+            checkpoint: None,
+            resume: false,
+            treelets: None,
+        }
+    }
+
+    /// A session over one ray set that borrows its config — for call
+    /// sites that keep a config alive anyway and should not pay a clone
+    /// per run (sweeps run thousands of sessions off a handful of
+    /// configs).
+    pub fn borrowed(bvh: &'a WideBvh, rays: &'a [Ray], config: &'a SimConfig) -> SimSession<'a> {
+        SimSession {
+            bvh,
+            rays: RaySource::Single(rays),
+            config: Cow::Borrowed(config),
             telemetry: None,
             checkpoint: None,
             resume: false,
@@ -87,7 +104,24 @@ impl<'a> SimSession<'a> {
         SimSession {
             bvh,
             rays: RaySource::Batches(batches),
-            config,
+            config: Cow::Owned(config),
+            telemetry: None,
+            checkpoint: None,
+            resume: false,
+            treelets: None,
+        }
+    }
+
+    /// The borrowing form of [`SimSession::batched`].
+    pub fn batched_borrowed(
+        bvh: &'a WideBvh,
+        batches: &'a [Vec<Ray>],
+        config: &'a SimConfig,
+    ) -> SimSession<'a> {
+        SimSession {
+            bvh,
+            rays: RaySource::Batches(batches),
+            config: Cow::Borrowed(config),
             telemetry: None,
             checkpoint: None,
             resume: false,

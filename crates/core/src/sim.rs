@@ -23,11 +23,11 @@ use crate::treelet::TreeletAssignment;
 use rt_bvh::{MemoryImage, PackOptions, TreeStats, WideBvh};
 use rt_geometry::Ray;
 use rt_gpu_sim::{
-    fnv1a64, AccessKind, ByteReader, ByteWriter, CacheStats, DecodeError, FillOrigin, Issue,
-    MemorySystem, PrefetchEffect, RequestId,
+    fnv1a64, AccessKind, ByteReader, ByteWriter, CacheStats, CountTable, CountVec, DecodeError,
+    FillOrigin, FxBuildHasher, FxHashMap, Issue, MemorySystem, PrefetchEffect, RequestId,
 };
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 use std::io::Write as _;
 
 /// Everything a simulation run measures.
@@ -112,7 +112,7 @@ impl SimResult {
 /// [`SimSession`] directly.
 #[deprecated(note = "use SimSession::new(bvh, rays, config).run()")]
 pub fn simulate(bvh: &WideBvh, rays: &[Ray], config: &SimConfig) -> SimResult {
-    match SimSession::new(bvh, rays, config.clone()).run() {
+    match SimSession::borrowed(bvh, rays, config).run() {
         Ok(result) => result,
         Err(e) => panic!("{e}"),
     }
@@ -132,7 +132,7 @@ pub fn simulate(bvh: &WideBvh, rays: &[Ray], config: &SimConfig) -> SimResult {
 ///   under fault injection).
 #[deprecated(note = "use SimSession::new(bvh, rays, config).run()")]
 pub fn try_simulate(bvh: &WideBvh, rays: &[Ray], config: &SimConfig) -> Result<SimResult, SimError> {
-    SimSession::new(bvh, rays, config.clone()).run()
+    SimSession::borrowed(bvh, rays, config).run()
 }
 
 /// Like [`try_simulate`], but also collects a [`Telemetry`] time-series,
@@ -155,7 +155,7 @@ pub fn try_simulate_with_telemetry(
     config: &SimConfig,
     opts: &TelemetryOptions,
 ) -> Result<(SimResult, Telemetry), SimError> {
-    SimSession::new(bvh, rays, config.clone())
+    SimSession::borrowed(bvh, rays, config)
         .telemetry(opts.clone())
         .run_with_telemetry()
 }
@@ -177,7 +177,7 @@ pub fn simulate_with_treelets(
     config: &SimConfig,
     treelets: &TreeletAssignment,
 ) -> SimResult {
-    match SimSession::new(bvh, rays, config.clone()).treelets(treelets).run() {
+    match SimSession::borrowed(bvh, rays, config).treelets(treelets).run() {
         Ok(result) => result,
         Err(e) => panic!("{e}"),
     }
@@ -196,7 +196,7 @@ pub fn try_simulate_with_treelets(
     config: &SimConfig,
     treelets: &TreeletAssignment,
 ) -> Result<SimResult, SimError> {
-    SimSession::new(bvh, rays, config.clone()).treelets(treelets).run()
+    SimSession::borrowed(bvh, rays, config).treelets(treelets).run()
 }
 
 /// Like [`try_simulate`], but writes a crash-safe checkpoint of the
@@ -222,7 +222,7 @@ pub fn try_simulate_checkpointed(
     config: &SimConfig,
     opts: &CheckpointOptions,
 ) -> Result<SimResult, SimError> {
-    SimSession::new(bvh, rays, config.clone())
+    SimSession::borrowed(bvh, rays, config)
         .checkpoint(opts.clone())
         .run()
 }
@@ -251,7 +251,7 @@ pub fn try_resume(
     config: &SimConfig,
     opts: &CheckpointOptions,
 ) -> Result<SimResult, SimError> {
-    SimSession::new(bvh, rays, config.clone())
+    SimSession::borrowed(bvh, rays, config)
         .checkpoint(opts.clone())
         .resume_from_checkpoint()
         .run()
@@ -275,6 +275,9 @@ pub(crate) fn run_identity(
     let mut canon = config.clone();
     canon.max_cycles = 0;
     canon.progress_window = 0;
+    // Idle-skipping is a pure wall-clock optimization (bit-identical
+    // trajectory), so a checkpoint written with it off resumes with it on.
+    canon.idle_skip = true;
     let mut w = ByteWriter::new();
     w.put_bytes(format!("{canon:?}").as_bytes());
     w.put_usize(bvh.node_count());
@@ -296,7 +299,7 @@ pub(crate) fn run_identity(
 /// would return an error.
 #[deprecated(note = "use SimSession::batched(bvh, batches, config).run_batches()")]
 pub fn simulate_batches(bvh: &WideBvh, batches: &[Vec<Ray>], config: &SimConfig) -> Vec<SimResult> {
-    match SimSession::batched(bvh, batches, config.clone()).run_batches() {
+    match SimSession::batched_borrowed(bvh, batches, config).run_batches() {
         Ok(results) => results,
         Err(e) => panic!("{e}"),
     }
@@ -316,7 +319,7 @@ pub fn try_simulate_batches(
     batches: &[Vec<Ray>],
     config: &SimConfig,
 ) -> Result<Vec<SimResult>, SimError> {
-    SimSession::batched(bvh, batches, config.clone()).run_batches()
+    SimSession::batched_borrowed(bvh, batches, config).run_batches()
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -617,8 +620,11 @@ struct RayCtx {
     /// top of its other-treelet stack.
     vote: Vec<u32>,
     step: usize,
-    /// Lines of the current step not yet issued (popped from the back).
-    lines_left: Vec<(u64, AccessKind)>,
+    /// Index into the current step's line list of the next line to
+    /// issue. Lines issue front-to-back (the node line first); the
+    /// cursor replaces the old per-step clone-and-reverse scratch
+    /// vector, so the steady state allocates nothing.
+    next_line: usize,
     outstanding: u32,
     /// Warp-buffer slot currently holding this ray.
     slot: usize,
@@ -633,10 +639,12 @@ impl RayCtx {
         self.vote.get(self.step).copied()
     }
 
-    fn load_step_lines(&mut self) {
-        let mut lines = self.steps[self.step].2.clone();
-        lines.reverse(); // pop() yields the node line first
-        self.lines_left = lines;
+    /// The current step's not-yet-issued lines, in issue order.
+    fn pending_lines(&self) -> &[(u64, AccessKind)] {
+        match self.steps.get(self.step) {
+            Some(step) => &step.2[self.next_line..],
+            None => &[],
+        }
     }
 }
 
@@ -655,7 +663,9 @@ struct WarpSlot {
     active: usize,
     ready: VecDeque<u32>,
     /// Active rays' current-treelet counts (feeds the voter and PMR).
-    counts: HashMap<u32, u32>,
+    /// At most one entry per resident ray, so a linear multiset beats a
+    /// hashed map.
+    counts: CountVec,
     /// Which logical warp this is (shader mode).
     warp_id: usize,
     /// Which ray generation the warp is tracing (shader mode).
@@ -688,8 +698,8 @@ struct SmState {
     shader_runqueue: VecDeque<ShaderJob>,
     slots: Vec<Option<WarpSlot>>,
     test_heap: BinaryHeap<Reverse<(u64, u32)>>,
-    req_map: HashMap<RequestId, ReqOwner>,
-    counts_global: HashMap<u32, u32>,
+    req_map: FxHashMap<RequestId, ReqOwner>,
+    counts_global: CountTable,
     prefetcher: Option<TreeletPrefetcher>,
     mta: Option<MtaPrefetcher>,
     ghb: Option<GhbPrefetcher>,
@@ -728,6 +738,10 @@ struct Engine<'a> {
     /// and a resumed run times out at exactly the same cycle an
     /// uninterrupted one would.
     last_progress: u64,
+    /// Scratch buffer swapped with the memory system's per-SM completion
+    /// list each cycle (never encoded; exists only to keep the drain
+    /// loop allocation-free).
+    completed: Vec<RequestId>,
 }
 
 impl std::fmt::Debug for Engine<'_> {
@@ -742,12 +756,12 @@ impl<'a> Engine<'a> {
     fn new(
         config: &'a SimConfig,
         compiled: &[Vec<CompiledStep>],
-        _treelets: &TreeletAssignment,
+        treelets: &TreeletAssignment,
         treelet_lines: Vec<Vec<u64>>,
         meta_lines: Vec<u64>,
         mem: MemorySystem,
     ) -> Engine<'a> {
-        let mut rays: Vec<RayCtx> = compiled
+        let rays: Vec<RayCtx> = compiled
             .iter()
             .map(|steps| {
                 let step_data: Vec<StepData> = steps
@@ -803,30 +817,33 @@ impl<'a> Engine<'a> {
                     steps: step_data,
                     vote,
                     step: 0,
-                    lines_left: Vec::new(),
+                    next_line: 0,
                     outstanding: 0,
                     slot: usize::MAX,
                 }
             })
             .collect();
-        for r in &mut rays {
-            if !r.is_done() {
-                r.load_step_lines();
-            }
-        }
 
         let mapping = match config.prefetch {
             PrefetchConfig::Treelet { mapping, .. } => mapping,
             _ => MappingMode::Packed,
         };
+        // Every warp this SM will ever queue is known up front (pure
+        // replay queues them all in the constructor; shader mode feeds
+        // them back one at a time), so size the deque once.
+        let warps_per_sm = rays
+            .len()
+            .div_ceil(config.warp_size)
+            .div_ceil(config.num_sms)
+            + 1;
         let mut sms: Vec<SmState> = (0..config.num_sms)
             .map(|_| SmState {
-                warp_queue: VecDeque::new(),
+                warp_queue: VecDeque::with_capacity(warps_per_sm),
                 shader_runqueue: VecDeque::new(),
                 slots: (0..config.warp_buffer_size).map(|_| None).collect(),
                 test_heap: BinaryHeap::new(),
-                req_map: HashMap::new(),
-                counts_global: HashMap::new(),
+                req_map: FxHashMap::default(),
+                counts_global: CountTable::with_key_capacity(treelets.count()),
                 prefetcher: match config.prefetch {
                     PrefetchConfig::Treelet {
                         heuristic,
@@ -927,6 +944,7 @@ impl<'a> Engine<'a> {
             occupancy_integral: 0,
             progress: false,
             last_progress,
+            completed: Vec::new(),
         }
     }
 
@@ -1047,8 +1065,142 @@ impl<'a> Engine<'a> {
                     snapshot: self.snapshot(now),
                 });
             }
+            if self.config.idle_skip && !self.progress {
+                let ckpt_every = ckpt.as_deref().map(|c| c.every);
+                let telem_every = telem.as_deref().map(|t| t.every());
+                self.try_skip_idle(now, ckpt_every, telem_every);
+            }
         }
         Ok(self.mem.cycle())
+    }
+
+    /// Fast-forwards the clock across a provably idle stretch.
+    ///
+    /// Called at observation cycle `now` of an iteration that made no
+    /// progress; the next iteration's work happens at entry cycle `now`.
+    /// If no unit can possibly act before some entry cycle `r > now`,
+    /// every iteration in between is a no-op except for three per-cycle
+    /// integrations — the occupancy integral, the watchdog's
+    /// `last_progress` tracking, and the checkpoint/telemetry epoch
+    /// boundaries — which are applied here in closed form (and the skip
+    /// is capped so no epoch boundary, watchdog deadline, or cycle-limit
+    /// observation falls inside the skipped range). The resulting
+    /// trajectory is bit-identical to single-stepping.
+    fn try_skip_idle(&mut self, now: u64, ckpt_every: Option<u64>, telem_every: Option<u64>) {
+        // Eligibility: nothing may be able to act at entry cycle `now`.
+        // Occupied slots must have drained `ready` queues — a ready ray
+        // issues (or bumps cache MSHR-rejection counters on Retry, which
+        // the digest covers) every cycle. Prefetcher queues must be empty
+        // for the same reason.
+        if !self.mem.can_skip_idle() {
+            return;
+        }
+        for s in &self.sms {
+            if !s.shader_runqueue.is_empty() {
+                return;
+            }
+            if s.slots
+                .iter()
+                .flatten()
+                .any(|slot| !slot.ready.is_empty())
+            {
+                return;
+            }
+            if s.prefetcher.as_ref().is_some_and(|p| p.queue_len() > 0)
+                || s.mta.as_ref().is_some_and(|m| m.queue_len() > 0)
+                || s.ghb.as_ref().is_some_and(|g| g.queue_len() > 0)
+            {
+                return;
+            }
+        }
+        // Earliest entry cycle at which any unit can act again.
+        let mut resume: Option<u64> = None;
+        let mut cand = |c: u64| match resume {
+            Some(r) if r <= c => {}
+            _ => resume = Some(c),
+        };
+        if let Some(t) = self.mem.next_event_cycle() {
+            // The tick at the end of entry cycle t-1 delivers the event.
+            cand(t.saturating_sub(1));
+        }
+        for s in &self.sms {
+            if let Some(&Reverse((t, _))) = s.test_heap.peek() {
+                cand(t);
+            }
+            if let Some(w) = s.warp_queue.front() {
+                // A front not yet ready enters at its ready_at; a ready
+                // front with no free slot waits on ray retirement, which
+                // cannot happen while idle — no candidate.
+                if w.ready_at >= now {
+                    cand(w.ready_at);
+                }
+            }
+            if let Some(p) = &s.prefetcher {
+                if let Some(ready_at) = p.staged_ready_at() {
+                    cand(ready_at);
+                } else if !s.counts_global.is_empty() {
+                    // Sampling only fires with resident rays; counts are
+                    // frozen while idle.
+                    cand(p.next_sample_at());
+                }
+            }
+        }
+        // With no candidate the state is frozen: skip straight toward the
+        // watchdog deadline (or the cycle limit) and let the normal path
+        // report the error.
+        let mut r = resume.unwrap_or(u64::MAX);
+        // Watchdog: `last_progress` advances at every observed cycle with
+        // scheduled future work, so cap the skip such that the deadline
+        // observation is never jumped over.
+        let window = self.config.progress_window;
+        let any_tests = self.sms.iter().any(|s| !s.test_heap.is_empty());
+        if !any_tests {
+            let max_warp_ready = self
+                .sms
+                .iter()
+                .flat_map(|s| s.warp_queue.iter().map(|w| w.ready_at))
+                .filter(|&t| t > now)
+                .max();
+            let deadline_base = match max_warp_ready {
+                // Work stays scheduled until m; the watchdog can first
+                // fire at m - 1 + window.
+                Some(m) => m - 1,
+                None => self.last_progress,
+            };
+            r = r.min(deadline_base.saturating_add(window).saturating_sub(1));
+        }
+        // Never jump a checkpoint/telemetry epoch boundary or the cycle
+        // limit: skipped observation cycles are now+1..=r.
+        if let Some(every) = ckpt_every {
+            r = r.min((now / every + 1).saturating_mul(every) - 1);
+        }
+        if let Some(every) = telem_every {
+            r = r.min((now / every + 1).saturating_mul(every) - 1);
+        }
+        r = r.min(self.config.max_cycles.saturating_sub(1));
+        if r <= now {
+            return;
+        }
+        self.mem.skip_idle_to(r);
+        // Closed forms of the per-cycle integrations over the skipped
+        // iterations (entry cycles now..r-1, observed cycles now+1..=r).
+        self.occupancy_integral += self.occupied_slots as u64 * (r - now);
+        if any_tests {
+            // Tests pend throughout the skip (they would execute at or
+            // before the resume entry cycle): every skipped observation
+            // counts as scheduled work.
+            self.last_progress = self.last_progress.max(r);
+        } else if let Some(m) = self
+            .sms
+            .iter()
+            .flat_map(|s| s.warp_queue.iter().map(|w| w.ready_at))
+            .filter(|&t| t > now)
+            .max()
+        {
+            // Warp arrivals pend until cycle m: observed cycles up to
+            // m - 1 still count as scheduled work.
+            self.last_progress = self.last_progress.max(r.min(m - 1));
+        }
     }
 
     /// `true` when some SM holds time-scheduled future work: a pending
@@ -1155,12 +1307,13 @@ impl<'a> Engine<'a> {
                 break;
             };
             self.progress = true;
+            let lanes = pending.rays.len();
             let mut slot = WarpSlot {
                 arrival: now,
                 rays: pending.rays,
                 active: 0,
-                ready: VecDeque::new(),
-                counts: HashMap::new(),
+                ready: VecDeque::with_capacity(lanes),
+                counts: CountVec::with_capacity(4),
                 warp_id: pending.warp_id,
                 generation: pending.generation,
             };
@@ -1174,8 +1327,8 @@ impl<'a> Engine<'a> {
                 state.active_rays += 1;
                 slot.ready.push_back(r);
                 if let Some(t) = ray.current_treelet() {
-                    *slot.counts.entry(t).or_insert(0) += 1;
-                    *state.counts_global.entry(t).or_insert(0) += 1;
+                    slot.counts.increment(t);
+                    state.counts_global.increment(t);
                 }
             }
             if slot.active > 0 {
@@ -1192,7 +1345,12 @@ impl<'a> Engine<'a> {
     }
 
     fn drain_completions(&mut self, sm: usize, now: u64) {
-        for req in self.mem.drain_completed(sm) {
+        // Swap the SM's completion list into the engine's scratch buffer
+        // (the two Vecs ping-pong between the engine and the memory
+        // system, so the steady state allocates nothing).
+        let mut completed = std::mem::take(&mut self.completed);
+        self.mem.drain_completed_into(sm, &mut completed);
+        for &req in &completed {
             self.progress = true;
             let Some(owner) = self.sms[sm].req_map.remove(&req) else {
                 continue;
@@ -1201,7 +1359,7 @@ impl<'a> Engine<'a> {
                 ReqOwner::Ray(r) => {
                     let ray = &mut self.rays[r as usize];
                     ray.outstanding -= 1;
-                    if ray.outstanding == 0 && ray.lines_left.is_empty() && !ray.is_done() {
+                    if ray.outstanding == 0 && !ray.is_done() && ray.pending_lines().is_empty() {
                         let is_leaf = ray.steps[ray.step].1;
                         let latency = if is_leaf {
                             self.config.tri_test_latency
@@ -1219,6 +1377,7 @@ impl<'a> Engine<'a> {
                 }
             }
         }
+        self.completed = completed;
     }
 
     fn finish_tests(&mut self, sm: usize, now: u64) {
@@ -1243,8 +1402,8 @@ impl<'a> Engine<'a> {
             .expect("ray's warp slot must be occupied");
         if ray.is_done() {
             if let Some(t) = old_treelet {
-                decrement(&mut slot.counts, t);
-                decrement(&mut state.counts_global, t);
+                slot.counts.decrement(t);
+                state.counts_global.decrement(t);
             }
             slot.active -= 1;
             state.active_rays -= 1;
@@ -1259,15 +1418,15 @@ impl<'a> Engine<'a> {
             let new_treelet = ray.current_treelet();
             if old_treelet != new_treelet {
                 if let Some(t) = old_treelet {
-                    decrement(&mut slot.counts, t);
-                    decrement(&mut state.counts_global, t);
+                    slot.counts.decrement(t);
+                    state.counts_global.decrement(t);
                 }
                 if let Some(t) = new_treelet {
-                    *slot.counts.entry(t).or_insert(0) += 1;
-                    *state.counts_global.entry(t).or_insert(0) += 1;
+                    slot.counts.increment(t);
+                    state.counts_global.increment(t);
                 }
             }
-            ray.load_step_lines();
+            ray.next_line = 0;
             slot.ready.push_back(r);
         }
     }
@@ -1293,7 +1452,7 @@ impl<'a> Engine<'a> {
                     let mut all: Vec<(usize, u64)> = Vec::new();
                     for (i, s) in candidates {
                         all.push((i, s.arrival));
-                        if s.counts.get(&t).copied().unwrap_or(0) > 0 {
+                        if s.counts.get(t) > 0 {
                             matching.push((i, s.arrival));
                         }
                     }
@@ -1304,9 +1463,7 @@ impl<'a> Engine<'a> {
                         .map(|(i, _)| i)
                 }
                 (SchedulerPolicy::PrioritizeMostRays, Some(t)) => candidates
-                    .max_by_key(|(_, s)| {
-                        (s.counts.get(&t).copied().unwrap_or(0), Reverse(s.arrival))
-                    })
+                    .max_by_key(|(_, s)| (s.counts.get(t), Reverse(s.arrival)))
                     .map(|(i, _)| i),
             }
         };
@@ -1327,15 +1484,14 @@ impl<'a> Engine<'a> {
                 break;
             };
             let ray = &mut self.rays[r as usize];
-            let (line, kind) = ray
-                .lines_left
-                .pop()
-                .expect("ready ray must have lines to issue");
+            let step_lines = ray.steps[ray.step].2.len();
+            let (line, kind) = ray.steps[ray.step].2[ray.next_line];
             let issue = self.mem.access(sm, line, FillOrigin::Demand, kind);
             match issue {
                 Issue::Hit(req) | Issue::Pending(req) => {
                     issued += 1;
                     ray.outstanding += 1;
+                    ray.next_line += 1;
                     state.req_map.insert(req, ReqOwner::Ray(r));
                     if let Some(mta) = state.mta.as_mut() {
                         mta.observe(slot_idx as u32, line);
@@ -1347,12 +1503,11 @@ impl<'a> Engine<'a> {
                             ghb.observe(line);
                         }
                     }
-                    if ray.lines_left.is_empty() {
+                    if ray.next_line == step_lines {
                         slot.ready.pop_front();
                     }
                 }
                 Issue::Retry => {
-                    ray.lines_left.push((line, kind));
                     break; // L1 MSHRs exhausted: stall the scheduler
                 }
                 Issue::PrefetchDropped => unreachable!("demand loads are never dropped"),
@@ -1370,7 +1525,7 @@ impl<'a> Engine<'a> {
         let mapping = self.mapping;
         let state = &mut self.sms[sm];
         if let Some(p) = state.prefetcher.as_mut() {
-            let line_of = |t: u32| treelet_lines[t as usize].clone();
+            let line_of = |t: u32| treelet_lines[t as usize].as_slice();
             let meta_of = |t: u32| meta_lines[t as usize];
             if p.poll(now, mapping, line_of, meta_of) && !state.counts_global.is_empty() {
                 p.set_resident_rays(state.active_rays as u32);
@@ -1471,8 +1626,11 @@ impl<'a> Engine<'a> {
         w.put_len(self.rays.len());
         for ray in &self.rays {
             w.put_usize(ray.step);
-            w.put_len(ray.lines_left.len());
-            for &(line, kind) in &ray.lines_left {
+            // The cursor encodes as the not-yet-issued suffix in reverse,
+            // byte-identical to the pop-from-back scratch list it replaced.
+            let pending = ray.pending_lines();
+            w.put_len(pending.len());
+            for &(line, kind) in pending.iter().rev() {
                 w.put_u64(line);
                 w.put_u8(kind.tag());
             }
@@ -1529,11 +1687,27 @@ impl<'a> Engine<'a> {
                 )));
             }
             let k = r.take_len(9)?;
-            ray.lines_left.clear();
-            for _ in 0..k {
+            let lines: &[(u64, AccessKind)] = match ray.steps.get(ray.step) {
+                Some(step) => &step.2,
+                None => &[],
+            };
+            if k > lines.len() {
+                return Err(DecodeError::malformed(format!(
+                    "ray has {k} pending lines, its current step holds {}",
+                    lines.len()
+                )));
+            }
+            ray.next_line = lines.len() - k;
+            // The payload lists the pending suffix back-to-front; each
+            // entry must match the trace rebuilt from the same inputs.
+            for i in 0..k {
                 let line = r.take_u64()?;
                 let kind = AccessKind::from_tag(r.take_u8()?)?;
-                ray.lines_left.push((line, kind));
+                if (line, kind) != lines[lines.len() - 1 - i] {
+                    return Err(DecodeError::malformed(format!(
+                        "pending line {line:#x} disagrees with the rebuilt trace"
+                    )));
+                }
             }
             ray.outstanding = r.take_u32()?;
             ray.slot = r.take_usize()?;
@@ -1590,7 +1764,7 @@ fn encode_sm_state(sm: &SmState, w: &mut ByteWriter) {
                 for &r in &s.ready {
                     w.put_u32(r);
                 }
-                encode_counts(&s.counts, w);
+                encode_counts_vec(&s.counts, w);
                 w.put_usize(s.warp_id);
                 w.put_u32(s.generation);
             }
@@ -1704,7 +1878,7 @@ fn restore_sm_state(
             for _ in 0..k {
                 ready.push_back(r.take_u32()?);
             }
-            let counts = decode_counts(r)?;
+            let counts = decode_counts_vec(r)?;
             let warp_id = r.take_usize()?;
             let generation = r.take_u32()?;
             Some(WarpSlot {
@@ -1728,7 +1902,7 @@ fn restore_sm_state(
         sm.test_heap.push(Reverse((t, ray)));
     }
     let n = r.take_len(9)?;
-    sm.req_map = HashMap::with_capacity(n);
+    sm.req_map = FxHashMap::with_capacity_and_hasher(n, FxBuildHasher::default());
     for _ in 0..n {
         let req = r.take_u64()?;
         let owner = match r.take_u8()? {
@@ -1793,11 +1967,11 @@ fn restore_optional_unit<T>(
     }
 }
 
-/// Canonical encoding of a treelet-popularity count map (sorted by
-/// treelet id).
-fn encode_counts(counts: &HashMap<u32, u32>, w: &mut ByteWriter) {
-    let mut entries: Vec<(u32, u32)> = counts.iter().map(|(&k, &c)| (k, c)).collect();
-    entries.sort_unstable();
+/// Canonical encoding of a treelet-popularity count table (sorted by
+/// treelet id, zero entries omitted — byte-identical to the map encoding
+/// it replaced, since the map never held zeros either).
+fn encode_counts(counts: &CountTable, w: &mut ByteWriter) {
+    let entries = counts.sorted_pairs();
     w.put_len(entries.len());
     for (k, c) in entries {
         w.put_u32(k);
@@ -1805,17 +1979,54 @@ fn encode_counts(counts: &HashMap<u32, u32>, w: &mut ByteWriter) {
     }
 }
 
-fn decode_counts(r: &mut ByteReader<'_>) -> Result<HashMap<u32, u32>, DecodeError> {
+fn decode_counts(r: &mut ByteReader<'_>) -> Result<CountTable, DecodeError> {
     let n = r.take_len(8)?;
-    let mut counts = HashMap::with_capacity(n);
+    let mut counts = CountTable::default();
     for _ in 0..n {
         let k = r.take_u32()?;
         let c = r.take_u32()?;
-        if counts.insert(k, c).is_some() {
+        if counts.get(k) != 0 {
             return Err(DecodeError::malformed(format!(
                 "duplicate treelet count entry {k}"
             )));
         }
+        if c == 0 {
+            return Err(DecodeError::malformed(format!(
+                "zero treelet count entry {k}"
+            )));
+        }
+        counts.add(k, c);
+    }
+    Ok(counts)
+}
+
+/// Per-slot variant of [`encode_counts`] over the small linear table.
+fn encode_counts_vec(counts: &CountVec, w: &mut ByteWriter) {
+    let entries = counts.sorted_pairs();
+    w.put_len(entries.len());
+    for (k, c) in entries {
+        w.put_u32(k);
+        w.put_u32(c);
+    }
+}
+
+fn decode_counts_vec(r: &mut ByteReader<'_>) -> Result<CountVec, DecodeError> {
+    let n = r.take_len(8)?;
+    let mut counts = CountVec::with_capacity(n);
+    for _ in 0..n {
+        let k = r.take_u32()?;
+        let c = r.take_u32()?;
+        if counts.get(k) != 0 {
+            return Err(DecodeError::malformed(format!(
+                "duplicate treelet count entry {k}"
+            )));
+        }
+        if c == 0 {
+            return Err(DecodeError::malformed(format!(
+                "zero treelet count entry {k}"
+            )));
+        }
+        counts.add(k, c);
     }
     Ok(counts)
 }
@@ -1907,15 +2118,6 @@ impl CheckpointRunner {
                 })?;
         }
         Ok(())
-    }
-}
-
-fn decrement(counts: &mut HashMap<u32, u32>, key: u32) {
-    if let Some(c) = counts.get_mut(&key) {
-        *c -= 1;
-        if *c == 0 {
-            counts.remove(&key);
-        }
     }
 }
 

@@ -8,14 +8,19 @@
 //! atomically (temp file + rename) so a crash mid-write can never leave
 //! a half-checkpoint behind.
 //!
-//! # Container format (version 1)
+//! # Container format (version 2)
 //!
-//! All integers little-endian, laid out by `rt_gpu_sim`'s `ByteWriter`:
+//! Version 2 switched the payload to the dense-table engine encoding
+//! (the fully-associative cache's LRU heap is rebuilt at restore instead
+//! of being serialized, and warp-buffer pending lines are encoded from a
+//! cursor into the rebuilt trace); version-1 checkpoints are refused with
+//! a typed error. All integers little-endian, laid out by `rt_gpu_sim`'s
+//! `ByteWriter`:
 //!
 //! | field            | bytes | meaning                                   |
 //! |------------------|-------|-------------------------------------------|
-//! | magic            | 8     | `RTSNAP01`                                |
-//! | version          | 4     | container version (1)                     |
+//! | magic            | 8     | `RTSNAP02`                                |
+//! | version          | 4     | container version (2)                     |
 //! | identity         | 8     | FNV-1a digest of the run's inputs         |
 //! | epoch            | 8     | checkpoint epoch (`cycle / every`)        |
 //! | start_cycle      | 8     | memory-system cycle when the run began    |
@@ -40,9 +45,9 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 /// Leading bytes of every checkpoint file.
-pub const SNAPSHOT_MAGIC: [u8; 8] = *b"RTSNAP01";
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"RTSNAP02";
 /// Current container version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Why a checkpoint could not be written, read, or applied.
 #[derive(Debug)]

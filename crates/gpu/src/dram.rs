@@ -134,6 +134,12 @@ impl Dram {
         self.completions.len()
     }
 
+    /// Memory cycle at which the earliest in-flight request completes,
+    /// or `None` when nothing is in flight.
+    pub fn next_completion(&self) -> Option<u64> {
+        self.completions.peek().map(|&Reverse((t, _))| t)
+    }
+
     /// Per-channel access counts (Fig. 15 load-balance evidence).
     pub fn channel_accesses(&self) -> Vec<u64> {
         self.channels.iter().map(|c| c.accesses).collect()

@@ -37,6 +37,7 @@ mod cache;
 mod codec;
 mod dram;
 mod memsys;
+mod table;
 
 pub use cache::{Cache, CacheStats, FillOrigin, Organization, PrefetchEffect, ProbeOutcome};
 pub use codec::{fnv1a64, ByteReader, ByteWriter, DecodeError};
@@ -44,4 +45,7 @@ pub use dram::{Dram, DramConfig};
 pub use memsys::{
     AccessKind, AuditReport, FaultInjection, Issue, LatencyHistogram, MemConfig, MemStats,
     MemorySystem, RequestId,
+};
+pub use table::{
+    CountTable, CountVec, FxBuildHasher, FxHashMap, FxHashSet, FxHasher, IdWindow,
 };
