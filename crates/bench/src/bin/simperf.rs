@@ -98,7 +98,10 @@ fn main() -> ExitCode {
     ];
 
     let json = render_json(detail, jobs, &reports, &kernels);
-    if let Err(e) = std::fs::write(&out, json) {
+    // Atomic write-then-rename: CI archives this file, and a benchmark
+    // process killed mid-write must never leave a torn perf record that
+    // later tooling would parse as a regression.
+    if let Err(e) = treelet_rt::write_atomic(std::path::Path::new(&out), json.as_bytes()) {
         eprintln!("error: cannot write {out}: {e}");
         return ExitCode::FAILURE;
     }

@@ -14,12 +14,12 @@ pub mod microbench;
 mod svg;
 
 use rt_scene::{SceneId, Workload};
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 pub use svg::bar_chart;
 pub use treelet_rt::{
-    default_jobs, geometric_mean, run_indexed, Bench, CheckpointOptions, SimConfig, SimError,
-    SimResult, SimSession, Sweep, SweepOutcome, Telemetry, TelemetryOptions, TelemetrySample,
+    catch_job_panic, default_jobs, geometric_mean, run_indexed, Bench, CheckpointOptions,
+    SimConfig, SimError, SimResult, SimSession, Sweep, SweepOutcome, Telemetry, TelemetryOptions,
+    TelemetrySample,
 };
 
 /// Default scene detail for the experiment suite (full evaluation scale;
@@ -162,8 +162,10 @@ impl Suite {
     ///
     /// # Panics
     ///
-    /// Panics if `jobs` is zero. Panics *inside* `run` are caught and
-    /// reported per scene, as before.
+    /// Panics if `jobs` is zero. Panics *inside* `run` are contained per
+    /// scene as typed [`SimError::WorkerPanicked`] failures — they never
+    /// unwind through the pool, so one poisoned scene cannot take the
+    /// rest of the sweep with it.
     #[allow(clippy::result_large_err)]
     pub fn run_all_robust_with_jobs<F>(&self, jobs: usize, run: F) -> Vec<SceneOutcome>
     where
@@ -172,22 +174,23 @@ impl Suite {
         run_indexed(jobs, self.benches.len(), |i| {
             let b = &self.benches[i];
             let mut attempts = 1;
-            let mut attempt = catch_unwind(AssertUnwindSafe(|| run(b)));
-            if attempt.is_err() {
+            let mut attempt = catch_job_panic(i, || run(b));
+            if matches!(attempt, Err(SimError::WorkerPanicked { .. })) {
                 // A panic may be environmental (e.g. stack exhaustion
                 // under thread contention); give the scene one more
-                // chance before recording it as lost.
+                // chance before recording it as lost. Typed errors are
+                // deterministic and are not retried.
                 attempts = 2;
-                attempt = catch_unwind(AssertUnwindSafe(|| run(b)));
+                attempt = catch_job_panic(i, || run(b));
             }
             match attempt {
-                Ok(Ok(result)) => {
+                Ok(result) => {
                     if attempts > 1 {
                         eprintln!("scene {} completed on attempt {attempts}", b.scene());
                     }
                     SceneOutcome::Completed { result, attempts }
                 }
-                Ok(Err(e)) => {
+                Err(e) => {
                     eprintln!(
                         "scene {} failed after {attempts} attempt(s): {e}",
                         b.scene()
@@ -195,18 +198,6 @@ impl Suite {
                     SceneOutcome::Failed {
                         scene: b.scene(),
                         reason: e.to_string(),
-                        attempts,
-                    }
-                }
-                Err(payload) => {
-                    let reason = format!("panicked: {}", panic_message(&*payload));
-                    eprintln!(
-                        "scene {} failed after {attempts} attempt(s): {reason}",
-                        b.scene()
-                    );
-                    SceneOutcome::Failed {
-                        scene: b.scene(),
-                        reason,
                         attempts,
                     }
                 }
@@ -260,17 +251,6 @@ impl SceneOutcome {
             SceneOutcome::Completed { attempts, .. }
             | SceneOutcome::Failed { attempts, .. } => *attempts,
         }
-    }
-}
-
-/// Renders a panic payload's message, if it carried one.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        s
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s
-    } else {
-        "non-string panic payload"
     }
 }
 

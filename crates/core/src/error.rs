@@ -179,6 +179,15 @@ pub enum SimError {
         /// Completions delivered twice — always a hierarchy bug.
         double_completions: u64,
     },
+    /// A worker job panicked and the panic was contained at the job
+    /// boundary instead of unwinding through the pool — one poisoned
+    /// (scene, config) cell must not kill a whole sweep.
+    WorkerPanicked {
+        /// Zero-based index of the job that panicked.
+        job: usize,
+        /// The panic payload's message, when it carried one.
+        message: String,
+    },
     /// A trace file failed to load or parse.
     Trace(ParseTraceError),
     /// A checkpoint could not be written, read, or applied (corrupt
@@ -218,6 +227,9 @@ impl fmt::Display for SimError {
                  {double_completions} double completions); refusing to \
                  run the next batch on corrupt state"
             ),
+            SimError::WorkerPanicked { job, message } => {
+                write!(f, "worker panicked on job {job}: {message}")
+            }
             SimError::Trace(e) => write!(f, "{e}"),
             SimError::Snapshot(e) => write!(f, "checkpoint failure: {e}"),
         }
@@ -334,6 +346,19 @@ mod tests {
             rt_gpu_sim::DecodeError::BadMagic,
         ));
         assert!(e.to_string().contains("invalid checkpoint"));
+    }
+
+    #[test]
+    fn worker_panicked_names_the_job_and_message() {
+        let e = SimError::WorkerPanicked {
+            job: 3,
+            message: "index out of bounds".into(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("job 3"));
+        assert!(text.contains("index out of bounds"));
+        use std::error::Error;
+        assert!(e.source().is_none());
     }
 
     #[test]

@@ -80,7 +80,9 @@ pub use prefetch::{
     PrefetchHeuristic, PrefetchUsefulness, PrefetcherStats, TreeletPrefetcher, UsefulnessTracker,
     Vote, VoterAreaModel, VoterKind,
 };
-pub use runner::{default_jobs, run_indexed, Sweep, SweepOutcome};
+pub use runner::{
+    catch_job_panic, default_jobs, panic_message, run_indexed, Sweep, SweepOutcome,
+};
 pub use session::SimSession;
 pub use sim::SimResult;
 // The legacy free functions stay exported (and deprecated) so existing

@@ -20,6 +20,7 @@ use crate::error::SimError;
 use crate::experiments::Bench;
 use crate::sim::SimResult;
 use rt_scene::SceneId;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Default worker count: the machine's available parallelism, or 1 when
@@ -82,6 +83,39 @@ where
     });
     indexed.sort_by_key(|&(i, _)| i);
     indexed.into_iter().map(|(_, t)| t).collect()
+}
+
+/// Renders a panic payload's message, if it carried one.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
+/// Runs `f` with panics contained at the job boundary: a panic becomes
+/// [`SimError::WorkerPanicked`] carrying the job index and the panic
+/// message, instead of unwinding through the worker pool and killing
+/// every sibling job's results.
+///
+/// This is the robust-path complement to [`run_indexed`]'s
+/// resume-unwind behaviour: sweeps and suite harnesses wrap each cell's
+/// runner in `catch_job_panic` so one poisoned cell is reported as a
+/// typed per-cell error while the rest of the grid completes.
+pub fn catch_job_panic<T>(
+    job: usize,
+    f: impl FnOnce() -> Result<T, SimError>,
+) -> Result<T, SimError> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(outcome) => outcome,
+        Err(payload) => Err(SimError::WorkerPanicked {
+            job,
+            message: panic_message(&*payload).to_string(),
+        }),
+    }
 }
 
 /// One cell of a [`Sweep`]: which config label and scene produced it,
@@ -160,6 +194,10 @@ impl Sweep {
     /// including its [`state_digest`](crate::SimResult::state_digest) —
     /// is bit-identical to what `jobs == 1` produces.
     ///
+    /// A cell whose simulation panics is contained at the cell boundary
+    /// and reported as [`SimError::WorkerPanicked`] in that cell's
+    /// outcome; the rest of the grid still completes.
+    ///
     /// # Panics
     ///
     /// Panics if `jobs` is zero.
@@ -171,7 +209,7 @@ impl Sweep {
             SweepOutcome {
                 label: label.clone(),
                 scene: bench.scene(),
-                result: bench.try_run(config),
+                result: catch_job_panic(i, || bench.try_run(config)),
             }
         })
     }
@@ -229,6 +267,38 @@ mod tests {
             }
             i
         });
+    }
+
+    #[test]
+    fn catch_job_panic_surfaces_a_typed_error() {
+        // Silence the default panic hook so the contained panic does not
+        // spray a backtrace into test output.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let ok: Result<u32, SimError> = catch_job_panic(0, || Ok(7));
+        assert_eq!(ok.unwrap(), 7);
+        let typed: Result<u32, SimError> =
+            catch_job_panic(1, || Err(SimError::EmptyInput { what: "ray" }));
+        assert!(matches!(typed, Err(SimError::EmptyInput { .. })));
+        let panicked: Result<u32, SimError> = catch_job_panic(2, || panic!("cell exploded"));
+        std::panic::set_hook(prev);
+        match panicked {
+            Err(SimError::WorkerPanicked { job, message }) => {
+                assert_eq!(job, 2);
+                assert!(message.contains("cell exploded"));
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panic_message_renders_common_payloads() {
+        let s: Box<dyn std::any::Any + Send> = Box::new("static str");
+        assert_eq!(panic_message(&*s), "static str");
+        let s: Box<dyn std::any::Any + Send> = Box::new(String::from("owned"));
+        assert_eq!(panic_message(&*s), "owned");
+        let s: Box<dyn std::any::Any + Send> = Box::new(42u8);
+        assert_eq!(panic_message(&*s), "non-string panic payload");
     }
 
     fn two_scene_sweep() -> Sweep {

@@ -1,0 +1,399 @@
+//! The daemon's persistent, content-addressed artifact store.
+//!
+//! Layout under the store root:
+//!
+//! ```text
+//! store/
+//!   jobs/<job-id>.json        job journal: spec + lifecycle state
+//!   cells/<cell-key>/
+//!     result.json             final CellResult (the cache entry)
+//!     ck.rtsnap               in-progress checkpoint (deleted on success)
+//!     ck.digests              per-epoch replay-digest log
+//! ```
+//!
+//! Job ids and cell keys are FNV-1a digests of the canonical job spec
+//! (see [`JobSpec::identity`]), so an identical resubmit maps to the
+//! same paths and is served from cache without re-simulating. All
+//! writes go through atomic write-then-rename, so a daemon killed
+//! mid-write can never leave a torn journal or cache entry — at worst
+//! the old content survives.
+//!
+//! Corruption is handled asymmetrically by design: a corrupt *job
+//! journal* is a typed [`StoreError::Corrupt`] that fails daemon
+//! startup (exit code 8 — the operator must intervene, because silently
+//! dropping journaled work would break the resume contract), while a
+//! corrupt *cell result* is treated as a cache miss and recomputed
+//! (the simulator is deterministic, so recomputation self-heals).
+
+use crate::json::Json;
+use crate::protocol::{hex_id, parse_hex_id, CellResult, JobSpec, JobState, ProtocolError};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Why a store operation failed.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure; `what` names the operation.
+    Io {
+        what: &'static str,
+        path: PathBuf,
+        source: io::Error,
+    },
+    /// A journal file exists but does not decode. Carried to startup as
+    /// a hard error (exit code 8).
+    Corrupt { path: PathBuf, detail: String },
+    /// The store root exists but is not a directory.
+    NotADirectory { path: PathBuf },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { what, path, source } => {
+                write!(f, "cannot {what} {}: {source}", path.display())
+            }
+            StoreError::Corrupt { path, detail } => {
+                write!(f, "store corruption in {}: {detail}", path.display())
+            }
+            StoreError::NotADirectory { path } => {
+                write!(f, "store path {} is not a directory", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// One journal entry: a job's spec and where it got to.
+#[derive(Debug, Clone)]
+pub struct JournaledJob {
+    /// Content-address of the spec.
+    pub id: u64,
+    /// The submitted spec.
+    pub spec: JobSpec,
+    /// Last journaled lifecycle state.
+    pub state: JobState,
+    /// Error description for failed / timed-out jobs.
+    pub error: Option<String>,
+}
+
+/// Handle to a store root. Cheap to clone paths from; all methods are
+/// stateless over the filesystem.
+#[derive(Debug, Clone)]
+pub struct ArtifactStore {
+    root: PathBuf,
+}
+
+impl ArtifactStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotADirectory`] if `root` exists but is a file;
+    /// [`StoreError::Io`] if the directories cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> Result<ArtifactStore, StoreError> {
+        let root = root.into();
+        if root.exists() && !root.is_dir() {
+            return Err(StoreError::NotADirectory { path: root });
+        }
+        for sub in ["jobs", "cells"] {
+            let dir = root.join(sub);
+            fs::create_dir_all(&dir).map_err(|source| StoreError::Io {
+                what: "create directory",
+                path: dir.clone(),
+                source,
+            })?;
+        }
+        Ok(ArtifactStore { root })
+    }
+
+    /// The store root.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn job_path(&self, id: u64) -> PathBuf {
+        self.root.join("jobs").join(format!("{}.json", hex_id(id)))
+    }
+
+    fn cell_dir(&self, key: u64) -> PathBuf {
+        self.root.join("cells").join(hex_id(key))
+    }
+
+    /// Path of a cell's in-progress checkpoint.
+    pub fn checkpoint_path(&self, key: u64) -> PathBuf {
+        self.cell_dir(key).join("ck.rtsnap")
+    }
+
+    /// Path of a cell's replay-digest log.
+    pub fn digest_log_path(&self, key: u64) -> PathBuf {
+        self.cell_dir(key).join("ck.digests")
+    }
+
+    /// Path of a cell's cached result.
+    pub fn cell_result_path(&self, key: u64) -> PathBuf {
+        self.cell_dir(key).join("result.json")
+    }
+
+    /// Journals a job's spec and state, atomically replacing any
+    /// previous entry.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if the atomic write fails.
+    pub fn journal_job(
+        &self,
+        id: u64,
+        spec: &JobSpec,
+        state: JobState,
+        error: Option<&str>,
+    ) -> Result<(), StoreError> {
+        let mut fields: BTreeMap<String, Json> = BTreeMap::new();
+        fields.insert("v".into(), Json::num(1));
+        fields.insert("spec".into(), spec.to_json());
+        fields.insert("state".into(), Json::str(state.as_str()));
+        if let Some(e) = error {
+            fields.insert("error".into(), Json::str(e));
+        }
+        let mut line = Json::Obj(fields).encode();
+        line.push('\n');
+        let path = self.job_path(id);
+        write_atomic(&path, line.as_bytes())
+    }
+
+    /// Loads every journaled job. Called once at daemon startup to
+    /// rebuild the job table and re-enqueue interrupted work.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] on the first journal entry that fails to
+    /// decode or whose filename disagrees with its spec digest;
+    /// [`StoreError::Io`] on filesystem failures.
+    pub fn load_jobs(&self) -> Result<Vec<JournaledJob>, StoreError> {
+        let dir = self.root.join("jobs");
+        let entries = fs::read_dir(&dir).map_err(|source| StoreError::Io {
+            what: "list",
+            path: dir.clone(),
+            source,
+        })?;
+        let mut jobs = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|source| StoreError::Io {
+                what: "list",
+                path: dir.clone(),
+                source,
+            })?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            jobs.push(self.load_job(&path)?);
+        }
+        // Deterministic order regardless of directory iteration order.
+        jobs.sort_by_key(|j| j.id);
+        Ok(jobs)
+    }
+
+    fn load_job(&self, path: &Path) -> Result<JournaledJob, StoreError> {
+        let corrupt = |detail: String| StoreError::Corrupt {
+            path: path.to_path_buf(),
+            detail,
+        };
+        let id = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .and_then(parse_hex_id)
+            .ok_or_else(|| corrupt("filename is not a hex job id".to_string()))?;
+        let text = fs::read_to_string(path).map_err(|source| StoreError::Io {
+            what: "read",
+            path: path.to_path_buf(),
+            source,
+        })?;
+        let v = Json::parse(text.trim_end()).map_err(|e| corrupt(e.to_string()))?;
+        let spec_json = v
+            .get("spec")
+            .ok_or_else(|| corrupt("missing `spec`".to_string()))?;
+        let spec = JobSpec::from_json(spec_json).map_err(|e: ProtocolError| corrupt(e.to_string()))?;
+        if spec.identity() != id {
+            return Err(corrupt(format!(
+                "spec digest {} does not match filename",
+                hex_id(spec.identity())
+            )));
+        }
+        let state = v
+            .get("state")
+            .and_then(Json::as_str)
+            .and_then(JobState::parse)
+            .ok_or_else(|| corrupt("missing or unknown `state`".to_string()))?;
+        Ok(JournaledJob {
+            id,
+            spec,
+            state,
+            error: v.get("error").and_then(Json::as_str).map(str::to_string),
+        })
+    }
+
+    /// Reads a cell's cached result.
+    ///
+    /// Returns `Ok(None)` both when the cache entry is absent and when
+    /// it is unreadable or corrupt — either way the cell must be
+    /// recomputed, and the deterministic simulator makes recomputation
+    /// equivalent to repair.
+    pub fn read_cell_result(&self, key: u64) -> Option<CellResult> {
+        let path = self.cell_result_path(key);
+        let text = fs::read_to_string(path).ok()?;
+        let v = Json::parse(text.trim_end()).ok()?;
+        let cell = CellResult::from_json(&v).ok()?;
+        // A cache entry filed under the wrong key is corruption, not a
+        // hit.
+        if cell.cell != key {
+            return None;
+        }
+        Some(cell)
+    }
+
+    /// Atomically caches a cell's result and removes its now-redundant
+    /// checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if the write fails.
+    pub fn write_cell_result(&self, cell: &CellResult) -> Result<(), StoreError> {
+        let dir = self.cell_dir(cell.cell);
+        fs::create_dir_all(&dir).map_err(|source| StoreError::Io {
+            what: "create directory",
+            path: dir.clone(),
+            source,
+        })?;
+        let mut line = cell.to_json().encode();
+        line.push('\n');
+        write_atomic(&self.cell_result_path(cell.cell), line.as_bytes())?;
+        // The checkpoint only exists to resume an interrupted run; once
+        // the result is cached it is dead weight.
+        let _ = fs::remove_file(self.checkpoint_path(cell.cell));
+        Ok(())
+    }
+
+    /// Ensures a cell's directory exists (the checkpoint writer needs
+    /// the parent present).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if creation fails.
+    pub fn ensure_cell_dir(&self, key: u64) -> Result<(), StoreError> {
+        let dir = self.cell_dir(key);
+        fs::create_dir_all(&dir).map_err(|source| StoreError::Io {
+            what: "create directory",
+            path: dir,
+            source,
+        })
+    }
+}
+
+/// Atomic write-then-rename via the simulator's snapshot primitive,
+/// mapped into store errors.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    treelet_rt::write_atomic(path, bytes).map_err(|e| StoreError::Io {
+        what: "write",
+        path: path.to_path_buf(),
+        source: io::Error::other(e.to_string()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> ArtifactStore {
+        let dir = std::env::temp_dir().join(format!("rt-served-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        ArtifactStore::open(dir).expect("open store")
+    }
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            scenes: vec!["WKND".to_string()],
+            ..JobSpec::default()
+        }
+    }
+
+    #[test]
+    fn journal_round_trips_and_updates_in_place() {
+        let store = temp_store("journal");
+        let spec = spec();
+        let id = spec.identity();
+        store.journal_job(id, &spec, JobState::Queued, None).unwrap();
+        store
+            .journal_job(id, &spec, JobState::Failed, Some("worker panicked"))
+            .unwrap();
+
+        let jobs = store.load_jobs().unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].id, id);
+        assert_eq!(jobs[0].spec, spec);
+        assert_eq!(jobs[0].state, JobState::Failed);
+        assert_eq!(jobs[0].error.as_deref(), Some("worker panicked"));
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn corrupt_journal_is_a_typed_hard_error() {
+        let store = temp_store("corrupt");
+        let path = store.root().join("jobs").join("0x0000000000000001.json");
+        fs::write(&path, b"{ this is not json").unwrap();
+        match store.load_jobs() {
+            Err(StoreError::Corrupt { path: p, .. }) => assert_eq!(p, path),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn journal_with_wrong_digest_is_corrupt() {
+        let store = temp_store("wrong-digest");
+        let spec = spec();
+        // File the journal under an id that is not the spec's digest.
+        store
+            .journal_job(0xbad, &spec, JobState::Queued, None)
+            .unwrap();
+        assert!(matches!(
+            store.load_jobs(),
+            Err(StoreError::Corrupt { .. })
+        ));
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn corrupt_cell_result_reads_as_a_miss() {
+        let store = temp_store("cell");
+        let cell = CellResult {
+            cell: 7,
+            scene: "CAR".to_string(),
+            config: "prefetch".to_string(),
+            cycles: 10,
+            rays: 20,
+            state_digest: 30,
+        };
+        store.write_cell_result(&cell).unwrap();
+        assert_eq!(store.read_cell_result(7), Some(cell));
+        assert_eq!(store.read_cell_result(8), None);
+
+        fs::write(store.cell_result_path(7), b"torn!").unwrap();
+        assert_eq!(store.read_cell_result(7), None, "corrupt entry = miss");
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn store_root_must_be_a_directory() {
+        let path = std::env::temp_dir().join(format!("rt-served-not-a-dir-{}", std::process::id()));
+        fs::write(&path, b"file").unwrap();
+        assert!(matches!(
+            ArtifactStore::open(&path),
+            Err(StoreError::NotADirectory { .. })
+        ));
+        let _ = fs::remove_file(&path);
+    }
+}

@@ -10,7 +10,10 @@
 //! - [`gpu`] — cycle-level caches, interconnect, and DRAM substrate,
 //! - [`treelet`] — the paper's contribution: treelet formation, two-stack
 //!   traversal, the hardware treelet prefetcher, and the RT-unit timing
-//!   model.
+//!   model,
+//! - [`served`] — the crash-tolerant sweep daemon: line-protocol TCP
+//!   server, content-addressed result cache, job timeouts, and
+//!   retry/backoff over the simulator.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! reproduced tables and figures.
@@ -19,4 +22,5 @@ pub use rt_bvh as bvh;
 pub use rt_geometry as geometry;
 pub use rt_gpu_sim as gpu;
 pub use rt_scene as scene;
+pub use rt_served as served;
 pub use treelet_rt as treelet;

@@ -34,7 +34,38 @@ enum Command {
     Bisect(String, String),
     Suite(SweepOptions),
     Sweep(SweepOptions),
+    Serve(ServeOptions),
+    Client(ClientOptions),
     Help,
+}
+
+/// Options for the `serve` subcommand (the rt-served daemon).
+#[derive(Debug, Clone, PartialEq)]
+struct ServeOptions {
+    addr: String,
+    store: String,
+    workers: Option<usize>,
+    queue_cap: Option<usize>,
+    timeout_ms: Option<u64>,
+    retries: Option<u32>,
+    backoff_ms: Option<u64>,
+}
+
+/// Options for the `client` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+struct ClientOptions {
+    addr: String,
+    action: ClientAction,
+}
+
+/// What the client should ask the daemon to do.
+#[derive(Debug, Clone, PartialEq)]
+enum ClientAction {
+    Ping,
+    Submit { spec: rt_served::JobSpec, wait: bool },
+    Status { job: u64 },
+    Result { job: u64 },
+    Shutdown,
 }
 
 /// Options shared by `stats` and `run`.
@@ -158,7 +189,8 @@ impl Default for Options {
 /// Exit codes are part of the CLI contract so scripts can react per
 /// cause: 1 generic, 2 invalid config or input, 3 cycle budget exceeded,
 /// 4 livelock (no forward progress), 5 corrupted or foreign checkpoint,
-/// 6 divergence found by `bisect-divergence`.
+/// 6 divergence found by `bisect-divergence`, 7 daemon bind failure,
+/// 8 daemon store corruption, 9 daemon shutdown on signal.
 #[derive(Debug)]
 struct Failure {
     message: String,
@@ -179,7 +211,7 @@ impl From<SimError> for Failure {
             SimError::NoForwardProgress { .. } => 4,
             SimError::Snapshot(_) => 5,
             SimError::TreeletCoverage { .. } | SimError::Trace(_) => 1,
-            SimError::BatchPoisoned { .. } => 1,
+            SimError::BatchPoisoned { .. } | SimError::WorkerPanicked { .. } => 1,
         };
         Failure {
             message: e.to_string(),
@@ -224,6 +256,8 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
         },
         "suite" => Ok(Command::Suite(parse_sweep_options(&args[1..], false)?)),
         "sweep" => Ok(Command::Sweep(parse_sweep_options(&args[1..], true)?)),
+        "serve" => Ok(Command::Serve(parse_serve_options(&args[1..])?)),
+        "client" => Ok(Command::Client(parse_client_options(&args[1..])?)),
         other => Err(format!("unknown subcommand {other:?}; try `help`")),
     }
 }
@@ -474,6 +508,195 @@ fn parse_sweep_options(args: &[String], grid: bool) -> Result<SweepOptions, Stri
         }
     }
     Ok(options)
+}
+
+fn parse_serve_options(args: &[String]) -> Result<ServeOptions, String> {
+    let mut addr = None;
+    let mut store = None;
+    let mut options = ServeOptions {
+        addr: String::new(),
+        store: String::new(),
+        workers: None,
+        queue_cap: None,
+        timeout_ms: None,
+        retries: None,
+        backoff_ms: None,
+    };
+    let mut it = args.iter().peekable();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => addr = Some(next_value(&mut it, "--addr")?.clone()),
+            "--store" => store = Some(next_value(&mut it, "--store")?.clone()),
+            "--workers" => {
+                let v: usize = next_value(&mut it, "--workers")?
+                    .parse()
+                    .map_err(|e| format!("bad --workers: {e}"))?;
+                if v == 0 {
+                    return Err("--workers must be positive".into());
+                }
+                options.workers = Some(v);
+            }
+            "--queue-cap" => {
+                let v: usize = next_value(&mut it, "--queue-cap")?
+                    .parse()
+                    .map_err(|e| format!("bad --queue-cap: {e}"))?;
+                if v == 0 {
+                    return Err("--queue-cap must be positive".into());
+                }
+                options.queue_cap = Some(v);
+            }
+            "--timeout-ms" => {
+                let v: u64 = next_value(&mut it, "--timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --timeout-ms: {e}"))?;
+                if v == 0 {
+                    return Err("--timeout-ms must be positive".into());
+                }
+                options.timeout_ms = Some(v);
+            }
+            "--retries" => {
+                options.retries = Some(
+                    next_value(&mut it, "--retries")?
+                        .parse()
+                        .map_err(|e| format!("bad --retries: {e}"))?,
+                );
+            }
+            "--backoff-ms" => {
+                let v: u64 = next_value(&mut it, "--backoff-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --backoff-ms: {e}"))?;
+                if v == 0 {
+                    return Err("--backoff-ms must be positive".into());
+                }
+                options.backoff_ms = Some(v);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    options.addr = addr.ok_or_else(|| "serve requires --addr HOST:PORT".to_string())?;
+    options.store = store.ok_or_else(|| "serve requires --store DIR".to_string())?;
+    Ok(options)
+}
+
+fn parse_client_options(args: &[String]) -> Result<ClientOptions, String> {
+    let Some(action_word) = args.first() else {
+        return Err("client requires an action: ping | submit | status | result | shutdown".into());
+    };
+    let mut addr = None;
+    let mut job = None;
+    let mut wait = false;
+    let mut spec = rt_served::JobSpec {
+        scenes: SceneId::ALL.iter().map(|s| s.name().to_string()).collect(),
+        ..rt_served::JobSpec::default()
+    };
+    let mut it = args[1..].iter().peekable();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => addr = Some(next_value(&mut it, "--addr")?.clone()),
+            "--job" => {
+                let v = next_value(&mut it, "--job")?;
+                job = Some(
+                    rt_served::protocol::parse_hex_id(v)
+                        .ok_or_else(|| format!("bad --job {v:?} (expected 0x-prefixed hex)"))?,
+                );
+            }
+            "--wait" => wait = true,
+            "--scenes" => {
+                let names = next_value(&mut it, "--scenes")?;
+                spec.scenes = names.split(',').map(str::to_string).collect();
+                for name in &spec.scenes {
+                    if SceneId::from_name(name).is_none() {
+                        return Err(format!("unknown scene {name:?}; see `scenes`"));
+                    }
+                }
+            }
+            "--configs" => {
+                spec.configs = next_value(&mut it, "--configs")?
+                    .split(',')
+                    .map(|c| ConfigKind::parse(c).map(|k| k.name().to_string()))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--detail" => {
+                spec.detail = next_value(&mut it, "--detail")?
+                    .parse()
+                    .map_err(|e| format!("bad --detail: {e}"))?;
+                if !spec.detail.is_finite() || spec.detail <= 0.0 {
+                    return Err("--detail must be positive and finite".into());
+                }
+            }
+            "--res" => {
+                spec.res = next_value(&mut it, "--res")?
+                    .parse()
+                    .map_err(|e| format!("bad --res: {e}"))?;
+                if spec.res == 0 {
+                    return Err("--res must be positive".into());
+                }
+            }
+            "--workload" => {
+                let v = next_value(&mut it, "--workload")?;
+                if !matches!(v.as_str(), "primary" | "diffuse" | "shadow") {
+                    return Err(format!("unknown --workload {v:?}"));
+                }
+                spec.workload = v.clone();
+            }
+            "--treelet-bytes" => {
+                spec.treelet_bytes = next_value(&mut it, "--treelet-bytes")?
+                    .parse()
+                    .map_err(|e| format!("bad --treelet-bytes: {e}"))?;
+                if spec.treelet_bytes < NODE_SIZE_BYTES {
+                    return Err(format!(
+                        "--treelet-bytes must be at least one node ({NODE_SIZE_BYTES} B)"
+                    ));
+                }
+            }
+            "--max-cycles" => {
+                let v: u64 = next_value(&mut it, "--max-cycles")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-cycles: {e}"))?;
+                if v == 0 {
+                    return Err("--max-cycles must be positive".into());
+                }
+                spec.max_cycles = Some(v);
+            }
+            "--timeout-ms" => {
+                let v: u64 = next_value(&mut it, "--timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --timeout-ms: {e}"))?;
+                if v == 0 {
+                    return Err("--timeout-ms must be positive".into());
+                }
+                spec.timeout_ms = Some(v);
+            }
+            "--checkpoint-every" => {
+                let v: u64 = next_value(&mut it, "--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("bad --checkpoint-every: {e}"))?;
+                if v == 0 {
+                    return Err("--checkpoint-every must be positive".into());
+                }
+                spec.checkpoint_every = v;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    let addr = addr.ok_or_else(|| "client requires --addr HOST:PORT".to_string())?;
+    let action = match action_word.as_str() {
+        "ping" => ClientAction::Ping,
+        "shutdown" => ClientAction::Shutdown,
+        "submit" => ClientAction::Submit { spec, wait },
+        "status" => ClientAction::Status {
+            job: job.ok_or_else(|| "status requires --job 0xID".to_string())?,
+        },
+        "result" => ClientAction::Result {
+            job: job.ok_or_else(|| "result requires --job 0xID".to_string())?,
+        },
+        other => {
+            return Err(format!(
+                "unknown client action {other:?} (ping | submit | status | result | shutdown)"
+            ))
+        }
+    };
+    Ok(ClientOptions { addr, action })
 }
 
 fn build_config(options: &Options) -> SimConfig {
@@ -870,8 +1093,11 @@ fn sweep_grid(options: &SweepOptions) -> Vec<(String, SimConfig)> {
 /// (config, scene) cell in config-major grid order, so two runs of the
 /// same grid produce byte-identical files regardless of `--jobs`. The
 /// CI determinism job diffs these between `--jobs 1` and `--jobs 4`.
+///
+/// Each log is committed atomically (write-then-rename via the snapshot
+/// module), so a sweep killed mid-write leaves either the previous log
+/// or the new one — never a torn file that would poison a later diff.
 fn write_digest_logs(dir: &str, outcomes: &[SweepOutcome]) -> Result<(), Failure> {
-    use std::io::Write as _;
     let dir = std::path::Path::new(dir);
     std::fs::create_dir_all(dir)
         .map_err(|e| Failure::from(format!("{}: {e}", dir.display())))?;
@@ -897,10 +1123,8 @@ fn write_digest_logs(dir: &str, outcomes: &[SweepOutcome]) -> Result<(), Failure
     }
     for (slug, contents) in files {
         let path = dir.join(format!("{slug}.digests"));
-        let mut file = std::fs::File::create(&path)
-            .map_err(|e| Failure::from(format!("{}: {e}", path.display())))?;
-        file.write_all(contents.as_bytes())
-            .map_err(|e| Failure::from(format!("{}: {e}", path.display())))?;
+        treelet_prefetching::treelet::write_atomic(&path, contents.as_bytes())
+            .map_err(|e| Failure::from(e.to_string()))?;
     }
     Ok(())
 }
@@ -975,6 +1199,197 @@ fn cmd_sweep(options: &SweepOptions) -> Result<(), Failure> {
     Ok(())
 }
 
+/// Installs a SIGTERM/SIGINT handler that flips a static flag the
+/// daemon's accept loop polls, giving `kill`-style supervision a clean
+/// drain path (exit code 9) instead of an abrupt death. Hand-rolled via
+/// the C `signal` entry point std already links — the workspace is
+/// dependency-free by policy.
+#[cfg(unix)]
+fn install_signal_flag() -> &'static std::sync::atomic::AtomicBool {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    static FLAG: AtomicBool = AtomicBool::new(false);
+    extern "C" fn on_signal(_signum: i32) {
+        // Only the async-signal-safe atomic store happens here.
+        FLAG.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_signal as extern "C" fn(i32) as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+    &FLAG
+}
+
+/// Runs the rt-served daemon. Owns its exit-code mapping (7 bind
+/// failure, 8 store corruption, 9 shutdown on signal) because unlike
+/// every other subcommand a *clean* exit here has two flavors.
+fn cmd_serve(options: &ServeOptions) -> ExitCode {
+    let mut supervisor = rt_served::SupervisorConfig::default();
+    if let Some(v) = options.workers {
+        supervisor.workers = v;
+    }
+    if let Some(v) = options.queue_cap {
+        supervisor.queue_cap = v;
+    }
+    if let Some(v) = options.timeout_ms {
+        supervisor.default_timeout_ms = v;
+    }
+    if let Some(v) = options.retries {
+        supervisor.max_retries = v;
+    }
+    if let Some(v) = options.backoff_ms {
+        supervisor.backoff_base_ms = v;
+    }
+    #[cfg(unix)]
+    let signal_flag = Some(install_signal_flag());
+    #[cfg(not(unix))]
+    let signal_flag = None;
+
+    let server = match rt_served::Server::bind(rt_served::ServerConfig {
+        addr: options.addr.clone(),
+        store_dir: options.store.clone().into(),
+        supervisor,
+        signal_flag,
+    }) {
+        Ok(server) => server,
+        Err(e @ rt_served::ServeError::Bind { .. }) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(7);
+        }
+        Err(e @ rt_served::ServeError::Store(_)) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(8);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("rt-served listening on {}", server.local_addr());
+    println!("store: {}", options.store);
+    match server.run() {
+        Ok(rt_served::ShutdownReason::Requested) => {
+            println!("shutdown requested by client; drained cleanly");
+            ExitCode::SUCCESS
+        }
+        Ok(rt_served::ShutdownReason::Signal) => {
+            eprintln!("received termination signal; drained cleanly");
+            ExitCode::from(9)
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Maps a client-side failure to the CLI exit-code contract: a daemon
+/// rejecting the spec is invalid input (2); everything else — daemon
+/// unreachable, busy, transport failure — is generic (1).
+fn client_failure(e: rt_served::ClientError) -> Failure {
+    let code = match &e {
+        rt_served::ClientError::Server {
+            kind: rt_served::ErrorKind::Invalid,
+            ..
+        } => 2,
+        _ => 1,
+    };
+    Failure {
+        message: e.to_string(),
+        code,
+    }
+}
+
+fn print_job_status(status: &rt_served::JobStatus) {
+    println!("job:    {}", rt_served::protocol::hex_id(status.job));
+    println!(
+        "state:  {}{}",
+        status.state,
+        if status.cached { " (cached)" } else { "" }
+    );
+    println!("cells:  {}/{}", status.cells_done, status.cells_total);
+    if let Some(e) = &status.error {
+        println!("error:  {e}");
+    }
+}
+
+fn print_job_rows(rows: &[rt_served::CellResult]) {
+    println!(
+        "{:<18} {:<7} {:>12} {:>20}",
+        "config", "scene", "cycles", "state digest"
+    );
+    for row in rows {
+        println!(
+            "{:<18} {:<7} {:>12} {:>#20x}",
+            row.config, row.scene, row.cycles, row.state_digest
+        );
+    }
+}
+
+fn cmd_client(options: &ClientOptions) -> Result<(), Failure> {
+    let client = rt_served::Client::new(options.addr.clone());
+    match &options.action {
+        ClientAction::Ping => {
+            client.ping().map_err(client_failure)?;
+            println!("pong from {}", options.addr);
+            Ok(())
+        }
+        ClientAction::Shutdown => {
+            client.shutdown().map_err(client_failure)?;
+            println!("daemon at {} acknowledged shutdown", options.addr);
+            Ok(())
+        }
+        ClientAction::Status { job } => {
+            let status = client.status(*job).map_err(client_failure)?;
+            print_job_status(&status);
+            Ok(())
+        }
+        ClientAction::Result { job } => {
+            let rows = client.result(*job).map_err(client_failure)?;
+            print_job_rows(&rows);
+            Ok(())
+        }
+        ClientAction::Submit { spec, wait } => {
+            let submitted = client.submit(spec.clone()).map_err(client_failure)?;
+            print_job_status(&submitted);
+            let status = if *wait && !submitted.state.is_terminal() {
+                let status = client
+                    .wait(
+                        submitted.job,
+                        std::time::Duration::from_millis(200),
+                        std::time::Duration::from_secs(24 * 60 * 60),
+                    )
+                    .map_err(client_failure)?;
+                print_job_status(&status);
+                status
+            } else {
+                submitted
+            };
+            if status.state == rt_served::JobState::Done && *wait {
+                let rows = client.result(status.job).map_err(client_failure)?;
+                print_job_rows(&rows);
+            }
+            match status.state {
+                rt_served::JobState::Failed | rt_served::JobState::TimedOut => Err(Failure {
+                    message: format!(
+                        "job {} {}: {}",
+                        rt_served::protocol::hex_id(status.job),
+                        status.state,
+                        status.error.as_deref().unwrap_or("no detail")
+                    ),
+                    code: 1,
+                }),
+                _ => Ok(()),
+            }
+        }
+    }
+}
+
 fn print_help() {
     println!(
         "treelet-prefetching — RT-unit treelet prefetching simulator (MICRO 2023 reproduction)
@@ -1003,6 +1418,15 @@ USAGE:
                             [--detail 1.0] [--res 32] [--workload primary]
                             [--jobs N] [--digest-dir DIR] [--max-cycles N]
   treelet-prefetching bisect-divergence LOG_A LOG_B
+  treelet-prefetching serve  --addr HOST:PORT --store DIR [--workers N]
+                             [--queue-cap N] [--timeout-ms N]
+                             [--retries N] [--backoff-ms N]
+  treelet-prefetching client ping|submit|status|result|shutdown --addr HOST:PORT
+                             [--job 0xID] [--wait] [--scenes CAR,BUNNY,..]
+                             [--configs baseline,prefetch] [--detail 0.1]
+                             [--res 16] [--workload primary]
+                             [--treelet-bytes N] [--max-cycles N]
+                             [--timeout-ms N] [--checkpoint-every N]
 
 PARALLEL EXECUTION:
   suite                run one config across a scene list (default: all
@@ -1049,10 +1473,25 @@ TELEMETRY:
                        workload once); combinable with checkpointing
   --telemetry-every N  sampling interval in cycles (default 1000)
 
+SERVICE:
+  serve                run the rt-served sweep daemon: a line-protocol
+                       TCP server with a bounded job queue, per-job
+                       wall-clock timeouts, retry with exponential
+                       backoff, and a persistent content-addressed
+                       result cache under --store. Interrupted jobs
+                       (SIGKILL, power loss) resume from checkpoints on
+                       restart; identical resubmits are served from
+                       cache without re-simulating
+  client               talk to a running daemon: ping, submit a sweep
+                       (--wait polls to completion and prints the result
+                       table), query status/result by --job id, or ask
+                       for a clean shutdown
+
 EXIT CODES:
   0 ok · 1 generic error · 2 invalid config/input · 3 cycle budget
   exceeded · 4 no forward progress (livelock) · 5 corrupted or foreign
-  checkpoint · 6 digest logs diverge"
+  checkpoint · 6 digest logs diverge · 7 daemon bind failure · 8 daemon
+  store corruption · 9 daemon shutdown on signal"
     );
 }
 
@@ -1081,6 +1520,9 @@ fn main() -> ExitCode {
         Command::Trace(options, out) => cmd_trace(&options, &out),
         Command::Bisect(a, b) => cmd_bisect(&a, &b),
         Command::Suite(options) | Command::Sweep(options) => cmd_sweep(&options),
+        // The daemon owns its exit codes (0/7/8/9) — see `cmd_serve`.
+        Command::Serve(options) => return cmd_serve(&options),
+        Command::Client(options) => cmd_client(&options),
     };
     match outcome {
         Ok(()) => ExitCode::SUCCESS,

@@ -124,6 +124,56 @@ fn bad_input_exits_with_code_2_and_no_panic() {
             args: &["sweep", "--treelet-bytes-list", "256,0"],
             needle: "treelet budget",
         },
+        Case {
+            name: "serve without a store",
+            args: &["serve", "--addr", "127.0.0.1:0"],
+            needle: "--store",
+        },
+        Case {
+            name: "serve without an address",
+            args: &["serve", "--store", "/tmp/nowhere"],
+            needle: "--addr",
+        },
+        Case {
+            name: "serve with zero workers",
+            args: &["serve", "--addr", "127.0.0.1:0", "--store", "s", "--workers", "0"],
+            needle: "--workers",
+        },
+        Case {
+            name: "serve with zero backoff",
+            args: &["serve", "--addr", "127.0.0.1:0", "--store", "s", "--backoff-ms", "0"],
+            needle: "--backoff-ms",
+        },
+        Case {
+            name: "client without an action",
+            args: &["client"],
+            needle: "action",
+        },
+        Case {
+            name: "client ping without an address",
+            args: &["client", "ping"],
+            needle: "--addr",
+        },
+        Case {
+            name: "client status with a decimal job id",
+            args: &["client", "status", "--addr", "127.0.0.1:1", "--job", "123"],
+            needle: "--job",
+        },
+        Case {
+            name: "client submit with zero detail",
+            args: &["client", "submit", "--addr", "127.0.0.1:1", "--detail", "0"],
+            needle: "--detail",
+        },
+        Case {
+            name: "client submit with an unknown scene",
+            args: &["client", "submit", "--addr", "127.0.0.1:1", "--scenes", "NOPE"],
+            needle: "NOPE",
+        },
+        Case {
+            name: "client submit with a sub-node treelet budget",
+            args: &["client", "submit", "--addr", "127.0.0.1:1", "--treelet-bytes", "1"],
+            needle: "--treelet-bytes",
+        },
     ];
     for case in &cases {
         let out = run_cli(case.args);
@@ -290,6 +340,109 @@ fn suite_digest_logs_are_identical_across_job_counts() {
         assert!(!a.is_empty(), "{scene}: empty digest log");
         assert_eq!(a, b, "{scene}: digest logs diverge between job counts");
     }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn daemon_bind_failure_exits_7() {
+    // Occupy a port, then ask the daemon to bind it.
+    let holder = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = holder.local_addr().unwrap().to_string();
+    let dir = std::env::temp_dir().join(format!("treelet-cli-bind7-{}", std::process::id()));
+    let out = run_cli(&["serve", "--addr", &addr, "--store", dir.to_str().unwrap()]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(7),
+        "expected exit 7 on bind failure, got {:?}\nstderr: {stderr}",
+        out.status.code()
+    );
+    assert!(stderr.contains("error:"), "stderr: {stderr}");
+    assert!(stderr.contains(&addr), "stderr does not name the address: {stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn daemon_store_corruption_exits_8() {
+    let dir = std::env::temp_dir().join(format!("treelet-cli-store8-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // A store root that is a file, not a directory.
+    let blocker = dir.join("not-a-dir");
+    std::fs::write(&blocker, b"occupied").unwrap();
+    let out = run_cli(&[
+        "serve",
+        "--addr",
+        "127.0.0.1:0",
+        "--store",
+        blocker.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(8),
+        "store-is-a-file: expected exit 8\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // A garbage job journal: refusing to guess beats resurrecting a
+    // half-written queue, so startup is a hard typed failure.
+    let store = dir.join("store");
+    std::fs::create_dir_all(store.join("jobs")).unwrap();
+    std::fs::write(store.join("jobs/0x0000000000000001.json"), b"garbage{").unwrap();
+    let out = run_cli(&[
+        "serve",
+        "--addr",
+        "127.0.0.1:0",
+        "--store",
+        store.to_str().unwrap(),
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(8),
+        "corrupt journal: expected exit 8\nstderr: {stderr}"
+    );
+    assert!(
+        stderr.contains("error:") && stderr.contains("corruption"),
+        "stderr does not describe the corruption: {stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[cfg(unix)]
+#[test]
+fn daemon_sigterm_drains_and_exits_9() {
+    use std::io::BufRead;
+    let dir = std::env::temp_dir().join(format!("treelet-cli-sig9-{}", std::process::id()));
+    let mut child = Command::new(BIN)
+        .args(["serve", "--addr", "127.0.0.1:0", "--store", dir.to_str().unwrap()])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn daemon");
+
+    // Wait until the daemon reports its listening address before
+    // signalling, so we test the running accept loop, not startup.
+    let stdout = child.stdout.take().expect("daemon stdout");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let banner = lines
+        .next()
+        .expect("daemon printed a banner")
+        .expect("read banner");
+    assert!(banner.contains("rt-served listening"), "banner: {banner}");
+
+    let kill = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(kill.success());
+
+    let status = child.wait().expect("daemon exit");
+    assert_eq!(
+        status.code(),
+        Some(9),
+        "expected exit 9 after SIGTERM, got {status:?}"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 
