@@ -195,6 +195,26 @@ pub enum SimError {
     Snapshot(SnapshotError),
 }
 
+impl SimError {
+    /// Whether re-running the same inputs could plausibly succeed.
+    ///
+    /// The simulator is deterministic, so genuine simulation failures
+    /// (invalid configs, cycle limits, livelocks, bad traces) recur
+    /// identically on a retry; only environmental failures — a panicked
+    /// worker, a poisoned batch, an I/O error while checkpointing — are
+    /// worth one. This is the retry policy for every supervising layer
+    /// (the sweep harness, the rt-served job supervisor), kept here so
+    /// they cannot drift apart.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            SimError::WorkerPanicked { .. }
+                | SimError::BatchPoisoned { .. }
+                | SimError::Snapshot(SnapshotError::Io { .. })
+        )
+    }
+}
+
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // The wording of the first three arms is load-bearing: the
@@ -359,6 +379,36 @@ mod tests {
         assert!(text.contains("index out of bounds"));
         use std::error::Error;
         assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn transience_separates_environment_from_determinism() {
+        assert!(SimError::WorkerPanicked {
+            job: 0,
+            message: "boom".into()
+        }
+        .is_transient());
+        assert!(SimError::BatchPoisoned {
+            batch: 0,
+            dropped_responses: 1,
+            double_completions: 0
+        }
+        .is_transient());
+        // Deterministic failures recur on retry: not transient.
+        assert!(!SimError::EmptyInput { what: "ray" }.is_transient());
+        assert!(!SimError::Config(ConfigError::ZeroProgressWindow).is_transient());
+        assert!(!SimError::CycleLimitExceeded {
+            limit: 1,
+            snapshot: snapshot()
+        }
+        .is_transient());
+        // A checkpoint from different inputs is a permanent mismatch; a
+        // checkpoint I/O failure is the environment's fault.
+        assert!(!SimError::from(SnapshotError::IdentityMismatch {
+            expected: 1,
+            found: 2
+        })
+        .is_transient());
     }
 
     #[test]

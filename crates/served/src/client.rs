@@ -4,12 +4,13 @@
 //! server-side connection churn; at sweep-submission rates the extra
 //! TCP handshakes are noise.
 
+use crate::chaos::{Chaos, ServedNet};
 use crate::protocol::{
     read_frame, ErrorKind, JobStatus, ProtocolError, Request, Response,
 };
 use std::fmt;
 use std::io::{BufReader, Write};
-use std::net::TcpStream;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Why a client call failed.
@@ -54,12 +55,22 @@ impl std::error::Error for ClientError {}
 /// Handle to a daemon address.
 pub struct Client {
     addr: String,
+    net: Arc<dyn ServedNet>,
 }
 
 impl Client {
     /// A client for the daemon at `addr` (e.g. `127.0.0.1:7777`).
     pub fn new(addr: impl Into<String>) -> Client {
-        Client { addr: addr.into() }
+        Client::with_chaos(addr, &Chaos::off())
+    }
+
+    /// A client whose socket I/O goes through `chaos` — for fault
+    /// campaigns against the client side of the protocol.
+    pub fn with_chaos(addr: impl Into<String>, chaos: &Chaos) -> Client {
+        Client {
+            addr: addr.into(),
+            net: chaos.net(),
+        }
     }
 
     /// The daemon address this client talks to.
@@ -75,11 +86,15 @@ impl Client {
     /// Any [`ClientError`]. A typed server error frame is surfaced as
     /// [`ClientError::Server`], not an `Ok` response.
     pub fn call(&self, request: &Request) -> Result<Response, ClientError> {
-        let stream = TcpStream::connect(&self.addr).map_err(|source| ClientError::Connect {
+        let stream = self.net.connect(&self.addr).map_err(|source| ClientError::Connect {
             addr: self.addr.clone(),
             source,
         })?;
+        // Bound both directions: a daemon that stops answering (reads)
+        // or stops draining (writes) must fail typed, not hang the
+        // caller.
         let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
         let mut writer = stream.try_clone().map_err(ClientError::Io)?;
         let mut line = request.encode();
         line.push('\n');

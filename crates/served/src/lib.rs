@@ -25,11 +25,19 @@
 //! - **Server / client** ([`server`], [`client`]): a threaded TCP
 //!   front end with clean shutdown on request or OS signal, and a
 //!   small blocking client the CLI builds on.
+//! - **Chaos layer** ([`chaos`]): every filesystem and socket operation
+//!   above goes through narrow shims that are passthroughs in
+//!   production and, under `--chaos <seed>` / `RT_CHAOS`, inject a
+//!   deterministic schedule of short writes, disk-full errors, failed
+//!   renames, torn writes, connection resets, partial reads, and
+//!   delays. The same shims power the crash-point harness
+//!   (`tests/chaos.rs`), which simulates a process death at *every*
+//!   store write point and proves recovery at each one.
 //!
 //! # Example
 //!
 //! ```no_run
-//! use rt_served::{Client, JobSpec, Server, ServerConfig, SupervisorConfig};
+//! use rt_served::{Chaos, Client, JobSpec, Server, ServerConfig, SupervisorConfig};
 //! use std::time::Duration;
 //!
 //! let server = Server::bind(ServerConfig {
@@ -37,6 +45,7 @@
 //!     store_dir: "store".into(),
 //!     supervisor: SupervisorConfig::default(),
 //!     signal_flag: None,
+//!     chaos: Chaos::off(),
 //! })?;
 //! let addr = server.local_addr();
 //! std::thread::spawn(move || server.run());
@@ -58,6 +67,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod chaos;
 pub mod client;
 pub mod json;
 pub mod protocol;
@@ -65,6 +75,7 @@ pub mod server;
 pub mod store;
 pub mod supervisor;
 
+pub use chaos::{Chaos, ChaosStream, FaultPlan, ServedFs, ServedNet, CHAOS_ENV};
 pub use client::{Client, ClientError};
 pub use json::{Json, JsonError};
 pub use protocol::{
@@ -72,7 +83,7 @@ pub use protocol::{
     Response, MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
 pub use server::{ServeError, Server, ServerConfig, ShutdownReason};
-pub use store::{ArtifactStore, JournaledJob, StoreError};
+pub use store::{ArtifactStore, JournaledJob, StoreError, StoreLock};
 pub use supervisor::{
     JobError, ResultError, SubmitRejection, Supervisor, SupervisorConfig,
 };

@@ -8,6 +8,7 @@
 //! is drained and [`Server::run`] returns a typed [`ShutdownReason`]
 //! so the caller can pick the right exit code.
 
+use crate::chaos::{Chaos, ChaosStream, ServedNet};
 use crate::protocol::{
     read_frame, ErrorKind, ProtocolError, Request, Response,
 };
@@ -17,7 +18,7 @@ use crate::supervisor::{
 };
 use std::fmt;
 use std::io::{BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -76,6 +77,9 @@ pub struct ServerConfig {
     pub supervisor: SupervisorConfig,
     /// External stop flag, typically flipped by an OS signal handler.
     pub signal_flag: Option<&'static AtomicBool>,
+    /// Fault injection for the store and every accepted connection —
+    /// [`Chaos::off`] in production.
+    pub chaos: Chaos,
 }
 
 /// A bound, not-yet-running daemon.
@@ -85,6 +89,7 @@ pub struct Server {
     supervisor: Arc<Supervisor>,
     shutdown_requested: Arc<AtomicBool>,
     signal_flag: Option<&'static AtomicBool>,
+    net: Arc<dyn ServedNet>,
 }
 
 impl Server {
@@ -101,7 +106,7 @@ impl Server {
             source,
         })?;
         let addr = listener.local_addr().map_err(ServeError::Io)?;
-        let store = ArtifactStore::open(&config.store_dir)?;
+        let store = ArtifactStore::open_with_fs(&config.store_dir, config.chaos.fs())?;
         let supervisor = Arc::new(Supervisor::start(store, config.supervisor)?);
         Ok(Server {
             listener,
@@ -109,6 +114,7 @@ impl Server {
             supervisor,
             shutdown_requested: Arc::new(AtomicBool::new(false)),
             signal_flag: config.signal_flag,
+            net: config.chaos.net(),
         })
     }
 
@@ -137,6 +143,7 @@ impl Server {
                 Ok((stream, _peer)) => {
                     let supervisor = Arc::clone(&self.supervisor);
                     let shutdown = Arc::clone(&self.shutdown_requested);
+                    let stream = self.net.wrap_accepted(stream);
                     thread::spawn(move || handle_connection(stream, &supervisor, &shutdown));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -154,9 +161,12 @@ impl Server {
 /// Speaks the protocol over one connection until EOF, a fatal protocol
 /// error, or a shutdown command. All failures become typed wire
 /// errors; nothing a client sends can panic this thread.
-fn handle_connection(stream: TcpStream, supervisor: &Supervisor, shutdown: &AtomicBool) {
-    // Bound reads so a silent client cannot pin the thread forever.
+fn handle_connection(stream: ChaosStream, supervisor: &Supervisor, shutdown: &AtomicBool) {
+    // Bound both directions so a peer that goes silent (reads) or stops
+    // draining its receive buffer (writes) cannot pin this thread
+    // forever.
     let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
     let reader = match stream.try_clone() {
         Ok(clone) => clone,
         Err(_) => return,

@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! store/
+//!   LOCK                      exclusive daemon lock (`pid=<pid>`)
 //!   jobs/<job-id>.json        job journal: spec + lifecycle state
 //!   cells/<cell-key>/
 //!     result.json             final CellResult (the cache entry)
@@ -18,13 +19,26 @@
 //! mid-write can never leave a torn journal or cache entry — at worst
 //! the old content survives.
 //!
+//! Every filesystem operation goes through a [`ServedFs`] shim
+//! (production: a passthrough over `std::fs`; tests: the chaos layer),
+//! which is what lets the crash-point harness in `tests/chaos.rs`
+//! enumerate each mutating operation below and prove recovery after a
+//! simulated death at that exact point.
+//!
 //! Corruption is handled asymmetrically by design: a corrupt *job
 //! journal* is a typed [`StoreError::Corrupt`] that fails daemon
 //! startup (exit code 8 — the operator must intervene, because silently
 //! dropping journaled work would break the resume contract), while a
 //! corrupt *cell result* is treated as a cache miss and recomputed
 //! (the simulator is deterministic, so recomputation self-heals).
+//!
+//! A store belongs to at most one daemon at a time: [`ArtifactStore::lock`]
+//! takes an exclusive `LOCK` file (stolen only from a provably dead
+//! holder), so two daemons cannot interleave journal writes. A held
+//! lock is the typed [`StoreError::Locked`], riding the same exit-8
+//! startup path as corruption.
 
+use crate::chaos::{Chaos, ServedFs};
 use crate::json::Json;
 use crate::protocol::{hex_id, parse_hex_id, CellResult, JobSpec, JobState, ProtocolError};
 use std::collections::BTreeMap;
@@ -32,6 +46,7 @@ use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Why a store operation failed.
 #[derive(Debug)]
@@ -47,6 +62,10 @@ pub enum StoreError {
     Corrupt { path: PathBuf, detail: String },
     /// The store root exists but is not a directory.
     NotADirectory { path: PathBuf },
+    /// Another live daemon holds the store's `LOCK` file. Also a hard
+    /// startup error (exit code 8): two daemons interleaving writes to
+    /// one store would corrupt it far more creatively than a crash.
+    Locked { path: PathBuf, holder: String },
 }
 
 impl fmt::Display for StoreError {
@@ -60,6 +79,13 @@ impl fmt::Display for StoreError {
             }
             StoreError::NotADirectory { path } => {
                 write!(f, "store path {} is not a directory", path.display())
+            }
+            StoreError::Locked { path, holder } => {
+                write!(
+                    f,
+                    "store is locked by another daemon ({holder}); remove {} only if that daemon is gone",
+                    path.display()
+                )
             }
         }
     }
@@ -80,39 +106,165 @@ pub struct JournaledJob {
     pub error: Option<String>,
 }
 
-/// Handle to a store root. Cheap to clone paths from; all methods are
-/// stateless over the filesystem.
+/// Exclusive ownership of a store, held for a daemon's lifetime.
+///
+/// Dropping removes the `LOCK` file — through `std::fs` directly, not
+/// the shim, because a *really* crashed process never runs `Drop` (the
+/// stale-pid steal below covers that case), while a *simulated* crash
+/// in the harness must still be able to release its own lock for the
+/// in-process restart.
+#[derive(Debug)]
+pub struct StoreLock {
+    path: PathBuf,
+}
+
+impl Drop for StoreLock {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// Handle to a store root. Cheap to clone; all methods are stateless
+/// over the filesystem (reached through the configured [`ServedFs`]).
 #[derive(Debug, Clone)]
 pub struct ArtifactStore {
     root: PathBuf,
+    fs: Arc<dyn ServedFs>,
 }
 
 impl ArtifactStore {
-    /// Opens (creating if needed) a store rooted at `root`.
+    /// Opens (creating if needed) a store rooted at `root`, with the
+    /// production filesystem.
     ///
     /// # Errors
     ///
     /// [`StoreError::NotADirectory`] if `root` exists but is a file;
     /// [`StoreError::Io`] if the directories cannot be created.
     pub fn open(root: impl Into<PathBuf>) -> Result<ArtifactStore, StoreError> {
+        ArtifactStore::open_with_fs(root, Chaos::off().fs())
+    }
+
+    /// Opens a store whose filesystem operations go through `fs` — the
+    /// chaos layer's entry point.
+    ///
+    /// # Errors
+    ///
+    /// As [`ArtifactStore::open`].
+    pub fn open_with_fs(
+        root: impl Into<PathBuf>,
+        fs: Arc<dyn ServedFs>,
+    ) -> Result<ArtifactStore, StoreError> {
         let root = root.into();
+        // Existence probing is read-only and not a fault-injection
+        // point; `create_dir_all` below is.
         if root.exists() && !root.is_dir() {
             return Err(StoreError::NotADirectory { path: root });
         }
+        let store = ArtifactStore { root, fs };
         for sub in ["jobs", "cells"] {
-            let dir = root.join(sub);
-            fs::create_dir_all(&dir).map_err(|source| StoreError::Io {
-                what: "create directory",
-                path: dir.clone(),
-                source,
-            })?;
+            let dir = store.root.join(sub);
+            store
+                .fs
+                .create_dir_all(&dir)
+                .map_err(|source| StoreError::Io {
+                    what: "create directory",
+                    path: dir.clone(),
+                    source,
+                })?;
         }
-        Ok(ArtifactStore { root })
+        Ok(store)
     }
 
     /// The store root.
     pub fn root(&self) -> &Path {
         &self.root
+    }
+
+    fn lock_path(&self) -> PathBuf {
+        self.root.join("LOCK")
+    }
+
+    /// Takes the store's exclusive daemon lock.
+    ///
+    /// The lock is a `LOCK` file created with `O_EXCL` holding
+    /// `pid=<pid>`. If it already exists, the holder's pid is probed
+    /// (`kill(pid, 0)`): a provably dead holder's lock is stale and
+    /// stolen; a live or unidentifiable holder is the typed
+    /// [`StoreError::Locked`]. Unidentifiable errs on the safe side —
+    /// refusing a start is recoverable, interleaved writes are not.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Locked`] when another daemon holds the store;
+    /// [`StoreError::Io`] on filesystem failures.
+    pub fn lock(&self) -> Result<StoreLock, StoreError> {
+        let path = self.lock_path();
+        let contents = format!("pid={}\n", std::process::id());
+        for attempt in 0..2 {
+            match self.fs.create_exclusive(&path, contents.as_bytes()) {
+                Ok(()) => return Ok(StoreLock { path }),
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    let holder = self.lock_holder(&path)?;
+                    match holder {
+                        Holder::Dead(_) if attempt == 0 => {
+                            // Stale lock from a crashed daemon: steal it
+                            // and retry the exclusive create once (a
+                            // concurrent starter may win the race; the
+                            // second AlreadyExists is then authoritative).
+                            self.fs.remove_file(&path).map_err(|source| StoreError::Io {
+                                what: "remove stale lock",
+                                path: path.clone(),
+                                source,
+                            })?;
+                        }
+                        holder => {
+                            return Err(StoreError::Locked {
+                                path,
+                                holder: holder.describe(),
+                            })
+                        }
+                    }
+                }
+                Err(source) => {
+                    return Err(StoreError::Io {
+                        what: "create lock",
+                        path,
+                        source,
+                    })
+                }
+            }
+        }
+        unreachable!("lock loop returns on every arm of the second attempt")
+    }
+
+    /// Classifies who holds an existing lock file.
+    fn lock_holder(&self, path: &Path) -> Result<Holder, StoreError> {
+        let bytes = match self.fs.read(path) {
+            Ok(b) => b,
+            // Lost a race with the holder's own release: treat as dead
+            // so the caller's retry can claim it.
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Holder::Dead(0)),
+            Err(source) => {
+                return Err(StoreError::Io {
+                    what: "read lock",
+                    path: path.to_path_buf(),
+                    source,
+                })
+            }
+        };
+        let text = String::from_utf8_lossy(&bytes);
+        let Some(pid) = text
+            .trim()
+            .strip_prefix("pid=")
+            .and_then(|p| p.parse::<u32>().ok())
+        else {
+            return Ok(Holder::Unknown);
+        };
+        if pid_alive(pid) {
+            Ok(Holder::Alive(pid))
+        } else {
+            Ok(Holder::Dead(pid))
+        }
     }
 
     fn job_path(&self, id: u64) -> PathBuf {
@@ -161,7 +313,7 @@ impl ArtifactStore {
         let mut line = Json::Obj(fields).encode();
         line.push('\n');
         let path = self.job_path(id);
-        write_atomic(&path, line.as_bytes())
+        self.write_atomic(&path, line.as_bytes())
     }
 
     /// Loads every journaled job. Called once at daemon startup to
@@ -174,19 +326,15 @@ impl ArtifactStore {
     /// [`StoreError::Io`] on filesystem failures.
     pub fn load_jobs(&self) -> Result<Vec<JournaledJob>, StoreError> {
         let dir = self.root.join("jobs");
-        let entries = fs::read_dir(&dir).map_err(|source| StoreError::Io {
+        let entries = self.fs.read_dir(&dir).map_err(|source| StoreError::Io {
             what: "list",
             path: dir.clone(),
             source,
         })?;
         let mut jobs = Vec::new();
-        for entry in entries {
-            let entry = entry.map_err(|source| StoreError::Io {
-                what: "list",
-                path: dir.clone(),
-                source,
-            })?;
-            let path = entry.path();
+        for path in entries {
+            // Skips orphaned `.tmp` siblings from interrupted atomic
+            // writes as well as anything else that is not a journal.
             if path.extension().and_then(|e| e.to_str()) != Some("json") {
                 continue;
             }
@@ -207,11 +355,13 @@ impl ArtifactStore {
             .and_then(|s| s.to_str())
             .and_then(parse_hex_id)
             .ok_or_else(|| corrupt("filename is not a hex job id".to_string()))?;
-        let text = fs::read_to_string(path).map_err(|source| StoreError::Io {
+        let bytes = self.fs.read(path).map_err(|source| StoreError::Io {
             what: "read",
             path: path.to_path_buf(),
             source,
         })?;
+        let text =
+            String::from_utf8(bytes).map_err(|_| corrupt("journal is not UTF-8".to_string()))?;
         let v = Json::parse(text.trim_end()).map_err(|e| corrupt(e.to_string()))?;
         let spec_json = v
             .get("spec")
@@ -244,7 +394,8 @@ impl ArtifactStore {
     /// equivalent to repair.
     pub fn read_cell_result(&self, key: u64) -> Option<CellResult> {
         let path = self.cell_result_path(key);
-        let text = fs::read_to_string(path).ok()?;
+        let bytes = self.fs.read(&path).ok()?;
+        let text = String::from_utf8(bytes).ok()?;
         let v = Json::parse(text.trim_end()).ok()?;
         let cell = CellResult::from_json(&v).ok()?;
         // A cache entry filed under the wrong key is corruption, not a
@@ -263,17 +414,17 @@ impl ArtifactStore {
     /// [`StoreError::Io`] if the write fails.
     pub fn write_cell_result(&self, cell: &CellResult) -> Result<(), StoreError> {
         let dir = self.cell_dir(cell.cell);
-        fs::create_dir_all(&dir).map_err(|source| StoreError::Io {
+        self.fs.create_dir_all(&dir).map_err(|source| StoreError::Io {
             what: "create directory",
             path: dir.clone(),
             source,
         })?;
         let mut line = cell.to_json().encode();
         line.push('\n');
-        write_atomic(&self.cell_result_path(cell.cell), line.as_bytes())?;
+        self.write_atomic(&self.cell_result_path(cell.cell), line.as_bytes())?;
         // The checkpoint only exists to resume an interrupted run; once
         // the result is cached it is dead weight.
-        let _ = fs::remove_file(self.checkpoint_path(cell.cell));
+        let _ = self.fs.remove_file(&self.checkpoint_path(cell.cell));
         Ok(())
     }
 
@@ -285,22 +436,68 @@ impl ArtifactStore {
     /// [`StoreError::Io`] if creation fails.
     pub fn ensure_cell_dir(&self, key: u64) -> Result<(), StoreError> {
         let dir = self.cell_dir(key);
-        fs::create_dir_all(&dir).map_err(|source| StoreError::Io {
+        self.fs.create_dir_all(&dir).map_err(|source| StoreError::Io {
             what: "create directory",
             path: dir,
             source,
         })
     }
+
+    /// Atomic write-then-rename composed from the shim's primitives, so
+    /// a simulated crash can land between the write and the commit —
+    /// exactly where a real one would. The temp sibling swaps the
+    /// `.json` extension for `.tmp`, which [`ArtifactStore::load_jobs`]
+    /// skips.
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+        let tmp = path.with_extension("tmp");
+        let io_err = |what: &'static str, p: &Path, source: io::Error| StoreError::Io {
+            what,
+            path: p.to_path_buf(),
+            source,
+        };
+        self.fs
+            .write_file(&tmp, bytes)
+            .map_err(|e| io_err("write", &tmp, e))?;
+        self.fs
+            .rename(&tmp, path)
+            .map_err(|e| io_err("commit write of", path, e))
+    }
 }
 
-/// Atomic write-then-rename via the simulator's snapshot primitive,
-/// mapped into store errors.
-fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
-    treelet_rt::write_atomic(path, bytes).map_err(|e| StoreError::Io {
-        what: "write",
-        path: path.to_path_buf(),
-        source: io::Error::other(e.to_string()),
-    })
+/// Who holds a lock file.
+enum Holder {
+    Alive(u32),
+    Dead(u32),
+    Unknown,
+}
+
+impl Holder {
+    fn describe(&self) -> String {
+        match self {
+            Holder::Alive(pid) => format!("pid {pid}, alive"),
+            Holder::Dead(pid) => format!("pid {pid}, dead but steal raced"),
+            Holder::Unknown => "unrecognized lock contents".to_string(),
+        }
+    }
+}
+
+/// Whether `pid` names a live process: `kill(pid, 0)` succeeds, or
+/// fails with anything but ESRCH (EPERM in particular means *alive but
+/// not ours*).
+fn pid_alive(pid: u32) -> bool {
+    const ESRCH: i32 = 3;
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    let Ok(pid) = i32::try_from(pid) else {
+        // Not a representable pid; claim alive so the lock is refused,
+        // not stolen.
+        return true;
+    };
+    if unsafe { kill(pid, 0) } == 0 {
+        return true;
+    }
+    io::Error::last_os_error().raw_os_error() != Some(ESRCH)
 }
 
 #[cfg(test)]
@@ -395,5 +592,52 @@ mod tests {
             Err(StoreError::NotADirectory { .. })
         ));
         let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn lock_excludes_a_second_holder_and_releases_on_drop() {
+        let store = temp_store("lock");
+        let lock = store.lock().expect("first lock");
+        match store.lock() {
+            Err(StoreError::Locked { holder, .. }) => {
+                // Held by this very process, which is definitely alive.
+                assert!(holder.contains("alive"), "{holder}");
+            }
+            other => panic!("expected Locked, got {other:?}"),
+        }
+        drop(lock);
+        let relock = store.lock().expect("relock after release");
+        drop(relock);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn stale_lock_from_a_dead_pid_is_stolen() {
+        let store = temp_store("stale-lock");
+        // A child process that has already been waited on is guaranteed
+        // dead and its pid unambiguous.
+        let child = std::process::Command::new("sh")
+            .arg("-c")
+            .arg("echo $$")
+            .output()
+            .expect("spawn child");
+        let dead_pid: u32 = String::from_utf8_lossy(&child.stdout).trim().parse().unwrap();
+        fs::write(store.root().join("LOCK"), format!("pid={dead_pid}\n")).unwrap();
+        let lock = store.lock().expect("steal stale lock");
+        drop(lock);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn unrecognized_lock_contents_refuse_the_start() {
+        let store = temp_store("garbage-lock");
+        fs::write(store.root().join("LOCK"), b"who knows\n").unwrap();
+        match store.lock() {
+            Err(StoreError::Locked { holder, .. }) => {
+                assert!(holder.contains("unrecognized"), "{holder}");
+            }
+            other => panic!("expected Locked, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(store.root());
     }
 }

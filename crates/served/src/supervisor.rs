@@ -21,16 +21,29 @@
 //! and the in-progress cell resumes from its checkpoint.
 
 use crate::protocol::{CellResult, JobSpec, JobState, JobStatus};
-use crate::store::{ArtifactStore, StoreError};
+use crate::store::{ArtifactStore, StoreError, StoreLock};
 use rt_scene::{SceneId, Workload, WorkloadKind};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
-use treelet_rt::{catch_job_panic, Bench, CheckpointOptions, SimConfig, SimError, SnapshotError};
+use treelet_rt::{catch_job_panic, Bench, CheckpointOptions, SimConfig};
+
+/// Locks a mutex, recovering from poisoning.
+///
+/// A thread that panics while holding one of the supervisor's locks
+/// must surface as that job's typed failure, not cascade the whole
+/// daemon down with lock-poisoning panics. Recovery is sound here
+/// because every guarded update is a single assignment over coarse
+/// state (counters, state enums, queued ids) — an unwound holder leaves
+/// the map consistent, at worst a little stale, and the journal remains
+/// the durable source of truth.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Tuning knobs for the supervisor.
 #[derive(Debug, Clone)]
@@ -153,17 +166,23 @@ struct Shared {
 pub struct Supervisor {
     shared: Arc<Shared>,
     workers: Mutex<Vec<thread::JoinHandle<()>>>,
+    /// Exclusive ownership of the store, released at shutdown (or drop).
+    lock: Mutex<Option<StoreLock>>,
 }
 
 impl Supervisor {
-    /// Opens the journal, re-enqueues any job the previous process left
-    /// `queued` or `running`, and starts the worker pool.
+    /// Takes the store's exclusive lock, opens the journal, re-enqueues
+    /// any job the previous process left `queued` or `running`, and
+    /// starts the worker pool.
     ///
     /// # Errors
     ///
-    /// [`StoreError`] if the journal is unreadable or corrupt — startup
-    /// must fail loudly rather than silently drop journaled work.
+    /// [`StoreError::Locked`] if another live daemon owns the store,
+    /// and [`StoreError`] if the journal is unreadable or corrupt —
+    /// startup must fail loudly rather than silently drop journaled
+    /// work or interleave writes with a concurrent daemon.
     pub fn start(store: ArtifactStore, cfg: SupervisorConfig) -> Result<Supervisor, StoreError> {
+        let lock = store.lock()?;
         let journaled = store.load_jobs()?;
         let shared = Arc::new(Shared {
             store,
@@ -185,7 +204,7 @@ impl Supervisor {
                     .store
                     .journal_job(job.id, &job.spec, JobState::Queued, None)?;
             }
-            shared.jobs.lock().expect("jobs lock").insert(
+            relock(&shared.jobs).insert(
                 job.id,
                 JobRecord {
                     spec: job.spec,
@@ -196,7 +215,7 @@ impl Supervisor {
                 },
             );
             if resume {
-                shared.queue.lock().expect("queue lock").push_back(job.id);
+                relock(&shared.queue).push_back(job.id);
             }
         }
 
@@ -209,6 +228,7 @@ impl Supervisor {
         Ok(Supervisor {
             shared,
             workers: Mutex::new(workers),
+            lock: Mutex::new(Some(lock)),
         })
     }
 
@@ -226,7 +246,7 @@ impl Supervisor {
         }
         let id = spec.identity();
         let shared = &self.shared;
-        let mut jobs = shared.jobs.lock().expect("jobs lock");
+        let mut jobs = relock(&shared.jobs);
 
         if let Some(record) = jobs.get(&id) {
             // Queued/running/done: the earlier submission answers this
@@ -265,7 +285,7 @@ impl Supervisor {
         }
 
         {
-            let queue = shared.queue.lock().expect("queue lock");
+            let queue = relock(&shared.queue);
             if queue.len() >= shared.cfg.queue_cap {
                 return Err(SubmitRejection::Busy {
                     queue_cap: shared.cfg.queue_cap,
@@ -286,14 +306,14 @@ impl Supervisor {
         let status = status_of(id, &record);
         jobs.insert(id, record);
         drop(jobs);
-        shared.queue.lock().expect("queue lock").push_back(id);
+        relock(&shared.queue).push_back(id);
         shared.wake.notify_one();
         Ok(status)
     }
 
     /// A job's current status, or `None` for an unknown id.
     pub fn status(&self, id: u64) -> Option<JobStatus> {
-        let jobs = self.shared.jobs.lock().expect("jobs lock");
+        let jobs = relock(&self.shared.jobs);
         jobs.get(&id).map(|record| status_of(id, record))
     }
 
@@ -305,7 +325,7 @@ impl Supervisor {
     /// [`ResultError::MissingCell`] if the cache was tampered with.
     pub fn result(&self, id: u64) -> Result<Vec<CellResult>, ResultError> {
         let (spec, state, error) = {
-            let jobs = self.shared.jobs.lock().expect("jobs lock");
+            let jobs = relock(&self.shared.jobs);
             let record = jobs.get(&id).ok_or(ResultError::UnknownJob)?;
             (record.spec.clone(), record.state, record.error.clone())
         };
@@ -324,9 +344,27 @@ impl Supervisor {
             .collect()
     }
 
+    /// Blocks until job `id` reaches a terminal state or `budget`
+    /// elapses — the driver the crash-point harness uses to run one
+    /// daemon lifecycle to quiescence without a TCP round trip per
+    /// poll. Returns `None` for unknown ids and expired budgets.
+    pub fn wait_terminal(&self, id: u64, poll: Duration, budget: Duration) -> Option<JobStatus> {
+        let deadline = Instant::now() + budget;
+        loop {
+            let status = self.status(id)?;
+            if status.state.is_terminal() {
+                return Some(status);
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            thread::sleep(poll);
+        }
+    }
+
     /// Jobs currently waiting in the queue.
     pub fn queue_depth(&self) -> usize {
-        self.shared.queue.lock().expect("queue lock").len()
+        relock(&self.shared.queue).len()
     }
 
     /// Stops accepting work and joins the workers.
@@ -337,10 +375,13 @@ impl Supervisor {
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.wake.notify_all();
-        let workers = std::mem::take(&mut *self.workers.lock().expect("workers lock"));
+        let workers = std::mem::take(&mut *relock(&self.workers));
         for handle in workers {
             let _ = handle.join();
         }
+        // Release the store for the next daemon only after the workers
+        // can no longer write to it.
+        relock(&self.lock).take();
     }
 }
 
@@ -437,7 +478,7 @@ fn build_config(name: &str, spec: &JobSpec) -> Option<SimConfig> {
 fn worker_loop(shared: &Shared) {
     loop {
         let id = {
-            let mut queue = shared.queue.lock().expect("queue lock");
+            let mut queue = relock(&shared.queue);
             loop {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
@@ -448,7 +489,7 @@ fn worker_loop(shared: &Shared) {
                 let (guard, _) = shared
                     .wake
                     .wait_timeout(queue, Duration::from_millis(200))
-                    .expect("queue lock");
+                    .unwrap_or_else(PoisonError::into_inner);
                 queue = guard;
             }
         };
@@ -460,7 +501,7 @@ fn worker_loop(shared: &Shared) {
 /// write failures are swallowed here — the in-memory state still
 /// serves clients, and the worst crash outcome is a redundant re-run.
 fn transition(shared: &Shared, id: u64, state: JobState, error: Option<&JobError>) {
-    let mut jobs = shared.jobs.lock().expect("jobs lock");
+    let mut jobs = relock(&shared.jobs);
     if let Some(record) = jobs.get_mut(&id) {
         record.state = state;
         record.error = error.map(|e| e.to_string());
@@ -474,7 +515,7 @@ fn transition(shared: &Shared, id: u64, state: JobState, error: Option<&JobError
 }
 
 fn run_job(shared: &Shared, id: u64) {
-    let spec = match shared.jobs.lock().expect("jobs lock").get(&id) {
+    let spec = match relock(&shared.jobs).get(&id) {
         Some(record) => record.spec.clone(),
         None => return,
     };
@@ -539,7 +580,7 @@ fn run_job(shared: &Shared, id: u64) {
 }
 
 fn bump_cells_done(shared: &Shared, id: u64) {
-    if let Some(record) = shared.jobs.lock().expect("jobs lock").get_mut(&id) {
+    if let Some(record) = relock(&shared.jobs).get_mut(&id) {
         record.cells_done += 1;
     }
 }
@@ -674,23 +715,10 @@ fn run_cell(
             Ok(())
         }
         Err(e) => Err(CellFailure {
-            transient: is_transient(&e),
+            transient: e.is_transient(),
             message: e.to_string(),
         }),
     }
-}
-
-/// Whether re-running the same cell could plausibly succeed. The
-/// simulator is deterministic, so genuine simulation failures (cycle
-/// limits, livelocks, invalid configs) are permanent; only
-/// environmental failures are worth a retry.
-fn is_transient(e: &SimError) -> bool {
-    matches!(
-        e,
-        SimError::WorkerPanicked { .. }
-            | SimError::BatchPoisoned { .. }
-            | SimError::Snapshot(SnapshotError::Io { .. })
-    )
 }
 
 #[cfg(test)]
@@ -940,6 +968,57 @@ mod tests {
             JobState::Done,
             "a journaled running job must be re-run to completion on restart"
         );
+        assert_eq!(sup.result(id).unwrap().len(), 1);
+        sup.shutdown();
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn second_supervisor_on_a_locked_store_is_refused() {
+        let store = temp_store("locked");
+        let sup = Supervisor::start(store.clone(), SupervisorConfig::default()).unwrap();
+        match Supervisor::start(store.clone(), SupervisorConfig::default()) {
+            Err(StoreError::Locked { .. }) => {}
+            Err(other) => panic!("expected Locked, got {other}"),
+            Ok(_) => panic!("two daemons must not share a store"),
+        }
+        sup.shutdown();
+        // Shutdown released the lock; the next daemon starts cleanly.
+        let sup2 = Supervisor::start(store.clone(), SupervisorConfig::default())
+            .expect("restart after clean shutdown");
+        sup2.shutdown();
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn poisoned_locks_do_not_cascade() {
+        let store = temp_store("poison");
+        let sup = Supervisor::start(store.clone(), SupervisorConfig::default()).unwrap();
+        let spec = tiny_spec();
+        let id = sup.submit(spec.clone()).unwrap().job;
+        wait_terminal(&sup, id);
+
+        // Panic while holding each supervisor lock, poisoning it.
+        for _ in 0..2 {
+            let shared = Arc::clone(&sup.shared);
+            let _ = thread::spawn(move || {
+                let _jobs = shared.jobs.lock().unwrap();
+                panic!("deliberate poison");
+            })
+            .join();
+            let shared = Arc::clone(&sup.shared);
+            let _ = thread::spawn(move || {
+                let _queue = shared.queue.lock().unwrap();
+                panic!("deliberate poison");
+            })
+            .join();
+        }
+
+        // Every API that takes those locks must still answer.
+        assert_eq!(sup.status(id).unwrap().state, JobState::Done);
+        assert_eq!(sup.queue_depth(), 0);
+        let resubmit = sup.submit(spec).unwrap();
+        assert!(resubmit.cached, "cache hit must survive poisoned locks");
         assert_eq!(sup.result(id).unwrap().len(), 1);
         sup.shutdown();
         let _ = std::fs::remove_dir_all(store.root());

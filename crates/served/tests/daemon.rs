@@ -7,8 +7,8 @@
 //! restart, and clean protocol-driven shutdown.
 
 use rt_served::{
-    Client, ClientError, ErrorKind, JobSpec, JobState, Server, ServerConfig, ShutdownReason,
-    SupervisorConfig,
+    Chaos, Client, ClientError, ErrorKind, JobSpec, JobState, Server, ServerConfig,
+    ShutdownReason, SupervisorConfig,
 };
 use std::net::TcpStream;
 use std::path::PathBuf;
@@ -33,6 +33,7 @@ fn spawn_daemon(store_dir: PathBuf, supervisor: SupervisorConfig) -> TestDaemon 
         store_dir: store_dir.clone(),
         supervisor,
         signal_flag: None,
+        chaos: Chaos::off(),
     })
     .expect("bind daemon");
     let addr = server.local_addr();

@@ -49,6 +49,8 @@ struct ServeOptions {
     timeout_ms: Option<u64>,
     retries: Option<u32>,
     backoff_ms: Option<u64>,
+    /// Chaos seed (fault injection); `--chaos` overrides `RT_CHAOS`.
+    chaos: Option<u64>,
 }
 
 /// Options for the `client` subcommand.
@@ -521,6 +523,7 @@ fn parse_serve_options(args: &[String]) -> Result<ServeOptions, String> {
         timeout_ms: None,
         retries: None,
         backoff_ms: None,
+        chaos: None,
     };
     let mut it = args.iter().peekable();
     while let Some(flag) = it.next() {
@@ -569,6 +572,18 @@ fn parse_serve_options(args: &[String]) -> Result<ServeOptions, String> {
                     return Err("--backoff-ms must be positive".into());
                 }
                 options.backoff_ms = Some(v);
+            }
+            "--chaos" => {
+                let v = next_value(&mut it, "--chaos")?;
+                let parsed = match v.strip_prefix("0x") {
+                    Some(hex) => u64::from_str_radix(hex, 16),
+                    None => v.parse(),
+                };
+                options.chaos = Some(
+                    parsed.map_err(|_| {
+                        format!("bad --chaos {v:?} (expected a u64 seed, e.g. 42 or 0x2a)")
+                    })?,
+                );
             }
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -1250,11 +1265,28 @@ fn cmd_serve(options: &ServeOptions) -> ExitCode {
     #[cfg(not(unix))]
     let signal_flag = None;
 
+    // `--chaos` beats `RT_CHAOS`; a malformed env var is refused as
+    // invalid input rather than silently running without faults.
+    let chaos = match options.chaos {
+        Some(seed) => rt_served::Chaos::seeded(seed),
+        None => match rt_served::Chaos::from_env() {
+            Ok(chaos) => chaos,
+            Err(message) => {
+                eprintln!("error: {message}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    if let Some(seed) = chaos.seed() {
+        eprintln!("chaos: fault injection active (seed {seed}); not for production use");
+    }
+
     let server = match rt_served::Server::bind(rt_served::ServerConfig {
         addr: options.addr.clone(),
         store_dir: options.store.clone().into(),
         supervisor,
         signal_flag,
+        chaos,
     }) {
         Ok(server) => server,
         Err(e @ rt_served::ServeError::Bind { .. }) => {
@@ -1332,7 +1364,10 @@ fn print_job_rows(rows: &[rt_served::CellResult]) {
 }
 
 fn cmd_client(options: &ClientOptions) -> Result<(), Failure> {
-    let client = rt_served::Client::new(options.addr.clone());
+    // The client honors RT_CHAOS too, so a chaos campaign can shake the
+    // client side of the protocol without code changes.
+    let chaos = rt_served::Chaos::from_env().map_err(|message| Failure { message, code: 2 })?;
+    let client = rt_served::Client::with_chaos(options.addr.clone(), &chaos);
     match &options.action {
         ClientAction::Ping => {
             client.ping().map_err(client_failure)?;
@@ -1420,7 +1455,7 @@ USAGE:
   treelet-prefetching bisect-divergence LOG_A LOG_B
   treelet-prefetching serve  --addr HOST:PORT --store DIR [--workers N]
                              [--queue-cap N] [--timeout-ms N]
-                             [--retries N] [--backoff-ms N]
+                             [--retries N] [--backoff-ms N] [--chaos SEED]
   treelet-prefetching client ping|submit|status|result|shutdown --addr HOST:PORT
                              [--job 0xID] [--wait] [--scenes CAR,BUNNY,..]
                              [--configs baseline,prefetch] [--detail 0.1]
@@ -1486,6 +1521,13 @@ SERVICE:
                        (--wait polls to completion and prints the result
                        table), query status/result by --job id, or ask
                        for a clean shutdown
+  --chaos SEED         serve only: deterministic fault injection into
+                       the daemon's filesystem and socket I/O (short
+                       writes, disk-full, failed renames, connection
+                       resets, partial reads, delays) from the given
+                       seed. Test hook, not for production. The RT_CHAOS
+                       env var does the same for serve and client;
+                       --chaos wins when both are set
 
 EXIT CODES:
   0 ok · 1 generic error · 2 invalid config/input · 3 cycle budget
@@ -1926,6 +1968,36 @@ mod tests {
         std::fs::copy(&a, &b).unwrap();
         cmd_bisect(a.to_str().unwrap(), b.to_str().unwrap()).unwrap();
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_parses_chaos_seeds_and_rejects_garbage() {
+        match parse(&[
+            "serve", "--addr", "127.0.0.1:0", "--store", "/tmp/s", "--chaos", "42",
+        ])
+        .unwrap()
+        {
+            Command::Serve(options) => assert_eq!(options.chaos, Some(42)),
+            other => panic!("expected serve, got {other:?}"),
+        }
+        match parse(&[
+            "serve", "--addr", "127.0.0.1:0", "--store", "/tmp/s", "--chaos", "0x2a",
+        ])
+        .unwrap()
+        {
+            Command::Serve(options) => assert_eq!(options.chaos, Some(0x2a)),
+            other => panic!("expected serve, got {other:?}"),
+        }
+        let err = parse(&[
+            "serve", "--addr", "127.0.0.1:0", "--store", "/tmp/s", "--chaos", "entropy",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--chaos"), "{err}");
+        // Chaos stays opt-in: absent flag parses to none.
+        match parse(&["serve", "--addr", "127.0.0.1:0", "--store", "/tmp/s"]).unwrap() {
+            Command::Serve(options) => assert_eq!(options.chaos, None),
+            other => panic!("expected serve, got {other:?}"),
+        }
     }
 
     #[test]

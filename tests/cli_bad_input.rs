@@ -174,6 +174,11 @@ fn bad_input_exits_with_code_2_and_no_panic() {
             args: &["client", "submit", "--addr", "127.0.0.1:1", "--treelet-bytes", "1"],
             needle: "--treelet-bytes",
         },
+        Case {
+            name: "serve with a garbage chaos seed",
+            args: &["serve", "--addr", "127.0.0.1:0", "--store", "s", "--chaos", "entropy"],
+            needle: "--chaos",
+        },
     ];
     for case in &cases {
         let out = run_cli(case.args);
@@ -204,6 +209,23 @@ fn bad_input_exits_with_code_2_and_no_panic() {
             );
         }
     }
+}
+
+#[test]
+fn garbage_rt_chaos_env_is_a_typed_exit_2() {
+    // The env path must match the flag's contract: exit 2, clean
+    // `error:` line naming RT_CHAOS, no backtrace.
+    let out = Command::new(BIN)
+        .args(["serve", "--addr", "127.0.0.1:0", "--store", "/tmp/nowhere"])
+        .env("RUST_BACKTRACE", "1")
+        .env("RT_CHAOS", "entropy")
+        .output()
+        .expect("failed to spawn CLI");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stderr: {stderr}");
+    assert!(stderr.contains("error:"), "{stderr}");
+    assert!(stderr.contains("RT_CHAOS"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
 }
 
 fn digest_line(stdout: &str) -> &str {
