@@ -1,7 +1,7 @@
 //! `simperf` — wall-clock smoke benchmark of the simulator itself.
 //!
 //! Every figure in the reproduction is bottlenecked on how fast the
-//! cycle-level simulator runs, so this binary starts the performance
+//! cycle-level simulator runs, so this binary tracks the performance
 //! trajectory: it times the full sixteen-scene suite end-to-end under
 //! the baseline and prefetch configurations, micro-times one scene's
 //! hot simulation kernels, and cross-checks the determinism contract
@@ -9,6 +9,23 @@
 //! must be bit-identical between `--jobs 1` and a parallel run, and
 //! between the idle-skipping cycle loop and the naive cycle-by-cycle
 //! reference loop (`idle_skip = false`).
+//!
+//! Suite timings are the **median of `--reps` repetitions** (default 5,
+//! minimum 5 unless lowered explicitly) with the minimum alongside; the
+//! three modes are interleaved rep by rep so drift hits them equally,
+//! and one untimed warm-up run absorbs cold caches. Each repetition
+//! also records per-cell wall times, and the JSON captures the
+//! cost-model scheduler's plan (workers, inline cells, chunks) so a
+//! perf record explains *how* the suite was scheduled, not just how
+//! long it took.
+//!
+//! Worker counts come from the cost-model scheduler: the parallel mode
+//! requests `default_jobs_for(scene count)` (so `RT_JOBS` overrides it)
+//! and the scheduler clamps to the machine's cores — the old behaviour
+//! of forcing four workers made the parallel mode *slower* than serial
+//! on small runners by pure context-switch overhead. `--gate-parallel`
+//! turns that regression into a hard failure: the run exits nonzero if
+//! the parallel median exceeds the serial median for any config.
 //!
 //! Writes `BENCH_simperf.json` in the current directory (override with
 //! `--out PATH`) and exits nonzero on any digest mismatch, so CI can
@@ -19,21 +36,30 @@
 //! local runs.
 
 use rt_bench::microbench::Group;
-use rt_bench::{default_jobs, SimConfig, SimResult, Suite};
+use rt_bench::{default_jobs_for, plan_schedule, Schedule, SimConfig, SimResult, Suite};
 use rt_scene::{SceneId, Workload, WorkloadKind};
 use std::fmt::Write as _;
 use std::process::ExitCode;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Median and minimum of a set of repeated wall-time samples.
+#[derive(Clone, Copy)]
+struct WallStats {
+    median_ms: f64,
+    min_ms: f64,
+}
 
 /// One configuration's suite timings and determinism verdicts.
 struct ConfigReport {
     name: &'static str,
-    wall_ms_jobs1: f64,
-    wall_ms_parallel: f64,
-    wall_ms_no_idle_skip: f64,
+    jobs1: WallStats,
+    parallel: WallStats,
+    no_idle_skip: WallStats,
     digests_match_across_jobs: bool,
     digests_match_without_idle_skip: bool,
-    scenes: Vec<(SceneId, u64, u64)>,
+    /// Per scene: cycles, digest, and the serial per-cell wall stats.
+    scenes: Vec<(SceneId, u64, u64, WallStats)>,
 }
 
 fn main() -> ExitCode {
@@ -42,6 +68,9 @@ fn main() -> ExitCode {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.1);
+    let mut reps: usize = 5;
+    let mut jobs_override: Option<usize> = None;
+    let mut gate_parallel = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -53,15 +82,30 @@ fn main() -> ExitCode {
                 Some(d) if d > 0.0 => detail = d,
                 _ => return usage("--detail needs a positive number"),
             },
+            "--reps" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => reps = n,
+                _ => return usage("--reps needs a positive integer"),
+            },
+            "--jobs" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => jobs_override = Some(n),
+                _ => return usage("--jobs needs a positive integer"),
+            },
+            "--gate-parallel" => gate_parallel = true,
             other => return usage(&format!("unknown argument `{other}`")),
         }
     }
 
     let workload = Workload::new(WorkloadKind::Primary, 16, 16);
     let suite = Suite::prepare(detail, workload);
-    // At least four workers so the cross-jobs digest check exercises real
-    // sharding even on single-core CI runners.
-    let jobs = default_jobs().max(4);
+    let jobs = jobs_override.unwrap_or_else(|| default_jobs_for(suite.benches().len()));
+    let costs = suite.scene_costs();
+    let plan = plan_schedule(jobs, &costs);
+    println!(
+        "schedule: {jobs} job(s) requested -> {} worker(s), {} inline cell(s), {} chunk(s)",
+        plan.workers(),
+        plan.inline_cells().len(),
+        plan.chunks().len(),
+    );
 
     let mut reports = Vec::new();
     let mut all_clean = true;
@@ -69,7 +113,7 @@ fn main() -> ExitCode {
         ("baseline", SimConfig::paper_baseline()),
         ("prefetch", SimConfig::paper_treelet_prefetch()),
     ] {
-        let report = run_config(&suite, name, &config, jobs);
+        let report = run_config(&suite, name, &config, jobs, reps);
         all_clean &= report.digests_match_across_jobs && report.digests_match_without_idle_skip;
         reports.push(report);
     }
@@ -97,7 +141,7 @@ fn main() -> ExitCode {
         ),
     ];
 
-    let json = render_json(detail, jobs, &reports, &kernels);
+    let json = render_json(detail, jobs, reps, &plan, &costs, &reports, &kernels);
     // Atomic write-then-rename: CI archives this file, and a benchmark
     // process killed mid-write must never leave a torn perf record that
     // later tooling would parse as a regression.
@@ -107,56 +151,154 @@ fn main() -> ExitCode {
     }
     println!("\nwrote {out}");
 
-    if all_clean {
-        println!("digest cross-checks clean (jobs 1 vs {jobs}, idle-skip on vs off)");
-        ExitCode::SUCCESS
-    } else {
+    if !all_clean {
         eprintln!("error: state digest mismatch — see {out}");
-        ExitCode::FAILURE
+        return ExitCode::FAILURE;
     }
+    println!("digest cross-checks clean (jobs 1 vs {jobs}, idle-skip on vs off)");
+    if gate_parallel {
+        for r in &reports {
+            if r.parallel.median_ms > r.jobs1.median_ms {
+                eprintln!(
+                    "error: parallel regression in `{}`: median jobs{jobs} \
+                     {:.3} ms > median jobs1 {:.3} ms",
+                    r.name, r.parallel.median_ms, r.jobs1.median_ms
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        println!("parallel gate clean (median parallel <= median jobs1 for every config)");
+    }
+    ExitCode::SUCCESS
 }
 
 fn usage(problem: &str) -> ExitCode {
     eprintln!("error: {problem}");
-    eprintln!("usage: simperf [--out BENCH_simperf.json] [--detail 0.1]");
+    eprintln!(
+        "usage: simperf [--out BENCH_simperf.json] [--detail 0.1] [--reps 5] \
+         [--jobs N] [--gate-parallel]"
+    );
     ExitCode::FAILURE
 }
 
-/// Times one configuration three ways and checks both digest contracts.
-fn run_config(suite: &Suite, name: &'static str, config: &SimConfig, jobs: usize) -> ConfigReport {
-    let (reference, wall_ms_jobs1) = timed(|| suite.run_all_parallel(config, 1));
-    let (parallel, wall_ms_parallel) = timed(|| suite.run_all_parallel(config, jobs));
+/// Times one configuration three ways (interleaved across `reps`
+/// repetitions) and checks both digest contracts.
+fn run_config(
+    suite: &Suite,
+    name: &'static str,
+    config: &SimConfig,
+    jobs: usize,
+    reps: usize,
+) -> ConfigReport {
     let mut naive_config = config.clone();
     naive_config.idle_skip = false;
-    let (naive, wall_ms_no_idle_skip) = timed(|| suite.run_all_parallel(&naive_config, 1));
 
-    let digests_match_across_jobs = digests_equal(&reference, &parallel);
-    let digests_match_without_idle_skip = digests_equal(&reference, &naive);
+    // Warm-up (untimed): pulls code and scene data into cache and
+    // doubles as the reference results for the digest cross-checks.
+    let (reference, _, _) = run_suite_timed(suite, config, 1);
+
+    let mut jobs1_ms = Vec::with_capacity(reps);
+    let mut parallel_ms = Vec::with_capacity(reps);
+    let mut no_skip_ms = Vec::with_capacity(reps);
+    // cell_ms[scene][rep]: per-cell wall times from the serial runs —
+    // the parallel runs share cores, so per-cell time there measures
+    // contention, not the cell.
+    let mut cell_ms: Vec<Vec<f64>> = vec![Vec::with_capacity(reps); suite.benches().len()];
+    let mut digests_match_across_jobs = true;
+    let mut digests_match_without_idle_skip = true;
+    for _ in 0..reps {
+        let (serial, wall, cells) = run_suite_timed(suite, config, 1);
+        jobs1_ms.push(wall);
+        for (per_scene, ms) in cell_ms.iter_mut().zip(cells) {
+            per_scene.push(ms);
+        }
+        digests_match_across_jobs &= digests_equal(&reference, &serial);
+
+        let (parallel, wall, _) = run_suite_timed(suite, config, jobs);
+        parallel_ms.push(wall);
+        digests_match_across_jobs &= digests_equal(&reference, &parallel);
+
+        let (naive, wall, _) = run_suite_timed(suite, &naive_config, 1);
+        no_skip_ms.push(wall);
+        digests_match_without_idle_skip &= digests_equal(&reference, &naive);
+    }
+
+    let jobs1 = wall_stats(&jobs1_ms);
+    let parallel = wall_stats(&parallel_ms);
+    let no_idle_skip = wall_stats(&no_skip_ms);
     println!(
-        "{name:<9} jobs1 {wall_ms_jobs1:>8.1} ms   jobs{jobs} {wall_ms_parallel:>8.1} ms   \
-         no-skip {wall_ms_no_idle_skip:>8.1} ms   digests: jobs {}  idle-skip {}",
+        "{name:<9} ({reps} reps, median/min ms)  jobs1 {:.1}/{:.1}   jobs{jobs} {:.1}/{:.1}   \
+         no-skip {:.1}/{:.1}   digests: jobs {}  idle-skip {}",
+        jobs1.median_ms,
+        jobs1.min_ms,
+        parallel.median_ms,
+        parallel.min_ms,
+        no_idle_skip.median_ms,
+        no_idle_skip.min_ms,
         verdict(digests_match_across_jobs),
         verdict(digests_match_without_idle_skip),
     );
     ConfigReport {
         name,
-        wall_ms_jobs1,
-        wall_ms_parallel,
-        wall_ms_no_idle_skip,
+        jobs1,
+        parallel,
+        no_idle_skip,
         digests_match_across_jobs,
         digests_match_without_idle_skip,
         scenes: SceneId::ALL
             .into_iter()
             .zip(&reference)
-            .map(|(id, r)| (id, r.cycles, r.state_digest))
+            .zip(&cell_ms)
+            .map(|((id, r), ms)| (id, r.cycles, r.state_digest, wall_stats(ms)))
             .collect(),
     }
 }
 
-fn timed(f: impl FnOnce() -> Vec<SimResult>) -> (Vec<SimResult>, f64) {
+/// Runs the whole suite once under the cost-model scheduler, returning
+/// the results (suite order), the end-to-end wall time, and each cell's
+/// own wall time in milliseconds.
+fn run_suite_timed(suite: &Suite, config: &SimConfig, jobs: usize) -> (Vec<SimResult>, f64, Vec<f64>) {
+    let cell_ms = Mutex::new(vec![0.0f64; suite.benches().len()]);
     let t0 = Instant::now();
-    let results = f();
-    (results, t0.elapsed().as_secs_f64() * 1e3)
+    let outcomes = suite.run_all_robust_with_jobs(jobs, |b| {
+        let c0 = Instant::now();
+        let result = b.try_run(config);
+        let ms = c0.elapsed().as_secs_f64() * 1e3;
+        let idx = suite
+            .benches()
+            .iter()
+            .position(|x| std::ptr::eq(x, b))
+            .expect("bench belongs to the suite");
+        cell_ms.lock().unwrap()[idx] = ms;
+        result
+    });
+    let wall = t0.elapsed().as_secs_f64() * 1e3;
+    let results = outcomes
+        .into_iter()
+        .map(|o| match o {
+            rt_bench::SceneOutcome::Completed { result, .. } => result,
+            rt_bench::SceneOutcome::Failed { scene, reason, .. } => {
+                panic!("scene {scene} failed: {reason}")
+            }
+        })
+        .collect();
+    (results, wall, cell_ms.into_inner().unwrap())
+}
+
+fn wall_stats(samples: &[f64]) -> WallStats {
+    assert!(!samples.is_empty(), "wall stats need at least one sample");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let mid = sorted.len() / 2;
+    let median_ms = if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    };
+    WallStats {
+        median_ms,
+        min_ms: sorted[0],
+    }
 }
 
 fn digests_equal(a: &[SimResult], b: &[SimResult]) -> bool {
@@ -179,6 +321,9 @@ fn verdict(ok: bool) -> &'static str {
 fn render_json(
     detail: f32,
     jobs: usize,
+    reps: usize,
+    plan: &Schedule,
+    costs: &[u64],
     reports: &[ConfigReport],
     kernels: &[(&str, rt_bench::microbench::Measurement)],
 ) -> String {
@@ -186,29 +331,46 @@ fn render_json(
     let _ = write!(
         s,
         "{{\n  \"bench\": \"simperf\",\n  \"detail\": {detail},\n  \
-         \"workload\": \"primary 16x16\",\n  \"jobs\": {jobs},\n  \"suite\": ["
+         \"workload\": \"primary 16x16\",\n  \"jobs\": {jobs},\n  \"reps\": {reps},\n  \
+         \"scheduler\": {{\n    \"requested_jobs\": {jobs},\n    \"workers\": {},\n    \
+         \"inline_cells\": {},\n    \"chunks\": {},\n    \"inline_cost\": {},\n    \
+         \"chunked_cost\": {}\n  }},\n  \"suite\": [",
+        plan.workers(),
+        plan.inline_cells().len(),
+        plan.chunks().len(),
+        plan.inline_cost(),
+        plan.chunked_cost(),
     );
     for (i, r) in reports.iter().enumerate() {
         let _ = write!(
             s,
             "{}\n    {{\n      \"config\": \"{}\",\n      \"wall_ms_jobs1\": {:.3},\n      \
-             \"wall_ms_parallel\": {:.3},\n      \"wall_ms_no_idle_skip\": {:.3},\n      \
+             \"wall_ms_jobs1_min\": {:.3},\n      \"wall_ms_parallel\": {:.3},\n      \
+             \"wall_ms_parallel_min\": {:.3},\n      \"wall_ms_no_idle_skip\": {:.3},\n      \
+             \"wall_ms_no_idle_skip_min\": {:.3},\n      \
              \"digests_match_across_jobs\": {},\n      \
              \"digests_match_without_idle_skip\": {},\n      \"scenes\": [",
             if i == 0 { "" } else { "," },
             r.name,
-            r.wall_ms_jobs1,
-            r.wall_ms_parallel,
-            r.wall_ms_no_idle_skip,
+            r.jobs1.median_ms,
+            r.jobs1.min_ms,
+            r.parallel.median_ms,
+            r.parallel.min_ms,
+            r.no_idle_skip.median_ms,
+            r.no_idle_skip.min_ms,
             r.digests_match_across_jobs,
             r.digests_match_without_idle_skip,
         );
-        for (j, (id, cycles, digest)) in r.scenes.iter().enumerate() {
+        for (j, (id, cycles, digest, cell)) in r.scenes.iter().enumerate() {
             let _ = write!(
                 s,
                 "{}\n        {{\"scene\": \"{id}\", \"cycles\": {cycles}, \
-                 \"state_digest\": \"{digest:#018x}\"}}",
+                 \"state_digest\": \"{digest:#018x}\", \"est_cost\": {}, \
+                 \"cell_ms_median\": {:.3}, \"cell_ms_min\": {:.3}}}",
                 if j == 0 { "" } else { "," },
+                costs[j],
+                cell.median_ms,
+                cell.min_ms,
             );
         }
         let _ = write!(s, "\n      ]\n    }}");

@@ -17,9 +17,10 @@ use rt_scene::{SceneId, Workload};
 use std::time::Instant;
 pub use svg::bar_chart;
 pub use treelet_rt::{
-    catch_job_panic, default_jobs, geometric_mean, run_indexed, Bench, CheckpointOptions,
-    SimConfig, SimError, SimResult, SimSession, Sweep, SweepOutcome, Telemetry, TelemetryOptions,
-    TelemetrySample,
+    catch_job_panic, default_jobs, default_jobs_for, geometric_mean, plan_schedule,
+    plan_schedule_with, run_indexed, run_scheduled, run_weighted, Bench, CheckpointOptions,
+    Schedule, SimConfig, SimError, SimResult, SimSession, Sweep, SweepOutcome, Telemetry,
+    TelemetryOptions, TelemetrySample,
 };
 
 /// Default scene detail for the experiment suite (full evaluation scale;
@@ -67,17 +68,24 @@ impl Suite {
         &self.benches
     }
 
+    /// Per-scene cost estimates in suite order — the inputs the
+    /// cost-model scheduler plans with (see [`run_weighted`]).
+    pub fn scene_costs(&self) -> Vec<u64> {
+        self.benches.iter().map(Bench::estimated_cost).collect()
+    }
+
     /// Runs `config` on every scene, in suite order. Scenes are sharded
     /// across the machine's worker pool (each simulation itself is
     /// deterministic and single-threaded, so results are identical to a
-    /// serial run).
+    /// serial run). The pool never exceeds the scene count or the
+    /// machine's core count.
     ///
     /// # Panics
     ///
     /// Panics with the failing scene's recorded reason if any scene
     /// fails; use [`Suite::run_all_robust`] to keep the survivors.
     pub fn run_all(&self, config: &SimConfig) -> Vec<SimResult> {
-        self.run_all_parallel(config, default_jobs())
+        self.run_all_parallel(config, default_jobs_for(self.benches.len()))
     }
 
     /// [`Suite::run_all`] with an explicit worker count. `jobs == 1`
@@ -150,15 +158,18 @@ impl Suite {
     where
         F: Fn(&Bench) -> Result<SimResult, SimError> + Sync,
     {
-        self.run_all_robust_with_jobs(default_jobs(), run)
+        self.run_all_robust_with_jobs(default_jobs_for(self.benches.len()), run)
     }
 
     /// [`Suite::run_all_robust_with`] with an explicit worker count.
-    /// Scenes are claimed dynamically from a bounded pool (rather than
-    /// one unbounded thread per scene), so a 16-scene suite on a 4-core
-    /// box runs 4 simulations at a time instead of oversubscribing.
-    /// Outcomes come back in suite order regardless of which scene
-    /// finished first.
+    /// Scenes are scheduled by the cost model ([`run_weighted`]): each
+    /// scene's estimated cost is its BVH node count × ray count, cheap
+    /// scenes run inline on the caller's thread, expensive ones are
+    /// claimed longest-first in cost-weighted chunks, and the worker
+    /// count is clamped to the machine's core count — a 16-scene suite
+    /// on a 4-core box runs 4 simulations at a time instead of
+    /// oversubscribing. Outcomes come back in suite order regardless of
+    /// which scene finished first.
     ///
     /// # Panics
     ///
@@ -171,7 +182,8 @@ impl Suite {
     where
         F: Fn(&Bench) -> Result<SimResult, SimError> + Sync,
     {
-        run_indexed(jobs, self.benches.len(), |i| {
+        let costs = self.scene_costs();
+        run_weighted(jobs, &costs, |i| {
             let b = &self.benches[i];
             let mut attempts = 1;
             let mut attempt = catch_job_panic(i, || run(b));

@@ -5,6 +5,9 @@
 //!
 //! - [`WideBvh`] / [`WideBvhBuilder`] — binned-SAH binary construction
 //!   collapsed into the 6-wide tree the RT unit traverses,
+//! - [`ChildSoa`] — the structure-of-arrays mirror of each internal
+//!   node's child bounds + pointers that traversal's batched 6-wide
+//!   slab test reads (the Arches `Data[WIDTH]` + `AABB[WIDTH]` layout),
 //! - [`NodeRecord`] — the 64-byte node record with the paper's treelet
 //!   child bits in the previously unused bytes (Fig. 6),
 //! - [`MemoryImage`] — byte-address assignment for node records and
@@ -39,11 +42,13 @@
 mod binary;
 mod layout;
 mod record;
+mod soa;
 mod stats;
 mod wide;
 
 pub use layout::{LayoutKind, MemoryImage, PackOptions, NODE_REGION_BASE};
 pub use record::{NodeRecord, RECORD_BYTES};
+pub use soa::{build_soa_table, ChildHits, ChildSoa};
 pub use stats::TreeStats;
 pub use wide::{
     WideBvh, WideBvhBuilder, WideChild, WideNode, DEFAULT_MAX_LEAF_TRIS, NODE_SIZE_BYTES,

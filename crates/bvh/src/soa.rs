@@ -1,0 +1,236 @@
+//! Structure-of-arrays mirror of each internal node's child list.
+//!
+//! [`WideNode::Internal`](crate::WideNode) keeps its children in a
+//! heap-allocated `Vec<WideChild>` — convenient for construction and
+//! inspection, but the traversal hot loop then chases a pointer per
+//! node and tests six boxes through an array-of-structures layout. The
+//! Arches `WideTreeletBVH::Node` exemplar stores `Data[WIDTH]` +
+//! `AABB[WIDTH]` side by side instead; [`ChildSoa`] is that layout
+//! here: one flat record per node holding the child bounds as a
+//! [`WideAabb`] batch plus the child node indices, built once at
+//! construction (and rebuilt on [`WideBvh::refit`](crate::WideBvh)) and
+//! indexed directly by node id.
+//!
+//! The table is a *mirror*, not a replacement: `WideNode` remains the
+//! source of truth, and `rt-bvh`'s validation tests assert the two stay
+//! in lockstep. Traversal reads only the mirror.
+
+use crate::wide::{WideChild, WideNode, WIDE_ARITY};
+use rt_geometry::WideAabb;
+
+/// One internal node's children in structure-of-arrays form: bounds as
+/// a batched [`WideAabb`] (lane `i` = child `i`) plus the child node
+/// indices. Leaf nodes get an empty record (zero live lanes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChildSoa {
+    /// Child bounding boxes, one lane per child, in child-list order.
+    pub bounds: WideAabb,
+    /// Child node indices; lanes `len()..` are `u32::MAX` padding.
+    pub nodes: [u32; WIDE_ARITY],
+}
+
+impl ChildSoa {
+    /// The record for a node with no children (leaves).
+    pub fn empty() -> ChildSoa {
+        ChildSoa {
+            bounds: WideAabb::empty(),
+            nodes: [u32::MAX; WIDE_ARITY],
+        }
+    }
+
+    /// Packs an internal node's child list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `children` exceeds the wide arity.
+    pub fn pack(children: &[WideChild]) -> ChildSoa {
+        assert!(children.len() <= WIDE_ARITY, "child list exceeds arity");
+        let mut soa = ChildSoa::empty();
+        for (i, c) in children.iter().enumerate() {
+            soa.bounds.set(i, &c.aabb);
+            soa.nodes[i] = c.node;
+        }
+        soa.bounds.len = children.len() as u8;
+        soa
+    }
+
+    /// Number of children in this record.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// `true` for leaf records.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bounds.is_empty()
+    }
+}
+
+/// Builds the node-indexed SoA table for a node array: entry `i`
+/// mirrors node `i`'s children (empty for leaves).
+pub fn build_soa_table(nodes: &[WideNode]) -> Vec<ChildSoa> {
+    nodes
+        .iter()
+        .map(|n| match n {
+            WideNode::Internal { children } => ChildSoa::pack(children),
+            WideNode::Leaf { .. } => ChildSoa::empty(),
+        })
+        .collect()
+}
+
+/// Fixed-capacity list of `(child node, entry distance)` hits from one
+/// batched child test — the traversal scratch that replaces a per-node
+/// `Vec` allocation.
+#[derive(Debug, Clone, Copy)]
+pub struct ChildHits {
+    items: [(u32, f32); WIDE_ARITY],
+    len: usize,
+}
+
+impl ChildHits {
+    /// An empty hit list.
+    #[inline]
+    pub fn new() -> ChildHits {
+        ChildHits {
+            items: [(0, 0.0); WIDE_ARITY],
+            len: 0,
+        }
+    }
+
+    /// The recorded hits, in their current order.
+    #[inline]
+    pub fn as_slice(&self) -> &[(u32, f32)] {
+        &self.items[..self.len]
+    }
+
+    /// Appends a hit.
+    #[inline]
+    pub fn push(&mut self, node: u32, entry: f32) {
+        self.items[self.len] = (node, entry);
+        self.len += 1;
+    }
+
+    /// Number of recorded hits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no hits were recorded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sorts the hits farthest-first (descending entry distance), so a
+    /// LIFO stack pops the nearest child first.
+    ///
+    /// The insertion sort is *stable* — equal entry distances keep
+    /// child-list order — and compares with `f32::total_cmp`, exactly
+    /// like the `sort_by(|a, b| b.1.total_cmp(&a.1))` it replaces, so
+    /// traversal order is bit-identical to the old `Vec`-based path.
+    #[inline]
+    pub fn sort_far_first(&mut self) {
+        for i in 1..self.len {
+            let x = self.items[i];
+            let mut j = i;
+            while j > 0
+                && self.items[j - 1].1.total_cmp(&x.1) == std::cmp::Ordering::Less
+            {
+                self.items[j] = self.items[j - 1];
+                j -= 1;
+            }
+            self.items[j] = x;
+        }
+    }
+}
+
+impl Default for ChildHits {
+    fn default() -> Self {
+        ChildHits::new()
+    }
+}
+
+impl ChildSoa {
+    /// Batched slab test of `ray` against every child, appending the
+    /// hit lanes to `out` in child-list order (the same order the
+    /// scalar `children.iter().filter_map(..)` loop produced).
+    #[inline]
+    pub fn intersect_into(&self, ray: &rt_geometry::Ray, inv_dir: rt_geometry::Vec3, out: &mut ChildHits) {
+        let hits = self.bounds.intersect(ray, inv_dir);
+        for i in 0..self.bounds.len as usize {
+            if hits.mask & (1 << i) != 0 {
+                out.push(self.nodes[i], hits.entries[i]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_geometry::{Aabb, Vec3};
+
+    fn child(node: u32, lo: f32) -> WideChild {
+        WideChild {
+            aabb: Aabb::new(Vec3::splat(lo), Vec3::splat(lo + 1.0)),
+            node,
+        }
+    }
+
+    #[test]
+    fn pack_round_trips_children() {
+        let children = vec![child(3, 0.0), child(7, 2.0), child(9, -4.0)];
+        let soa = ChildSoa::pack(&children);
+        assert_eq!(soa.len(), 3);
+        for (i, c) in children.iter().enumerate() {
+            assert_eq!(soa.bounds.get(i), c.aabb);
+            assert_eq!(soa.nodes[i], c.node);
+        }
+        // Padding lanes are inert.
+        for i in children.len()..WIDE_ARITY {
+            assert_eq!(soa.nodes[i], u32::MAX);
+        }
+    }
+
+    #[test]
+    fn empty_record_for_leaves() {
+        let soa = ChildSoa::empty();
+        assert!(soa.is_empty());
+        assert_eq!(soa.len(), 0);
+    }
+
+    #[test]
+    fn table_mirrors_node_kinds() {
+        let nodes = vec![
+            WideNode::Internal {
+                children: vec![child(1, 0.0), child(2, 3.0)],
+            },
+            WideNode::Leaf {
+                aabb: Aabb::new(Vec3::ZERO, Vec3::ONE),
+                first: 0,
+                count: 1,
+            },
+            WideNode::Leaf {
+                aabb: Aabb::new(Vec3::splat(3.0), Vec3::splat(4.0)),
+                first: 1,
+                count: 2,
+            },
+        ];
+        let table = build_soa_table(&nodes);
+        assert_eq!(table.len(), 3);
+        assert_eq!(table[0].len(), 2);
+        assert_eq!(table[0].nodes[0], 1);
+        assert_eq!(table[0].nodes[1], 2);
+        assert!(table[1].is_empty());
+        assert!(table[2].is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds arity")]
+    fn pack_rejects_oversized_lists() {
+        let children: Vec<WideChild> = (0..WIDE_ARITY as u32 + 1).map(|i| child(i, 0.0)).collect();
+        let _ = ChildSoa::pack(&children);
+    }
+}

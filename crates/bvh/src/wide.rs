@@ -7,6 +7,7 @@
 //! triangles in the primitive buffer.
 
 use crate::binary::{build_binary, BinaryBvh};
+use crate::soa::{build_soa_table, ChildHits, ChildSoa};
 use rt_geometry::{Aabb, HitRecord, Ray, Triangle};
 
 /// Maximum number of children of an internal node (the paper's 6-wide BVH).
@@ -139,6 +140,9 @@ impl Default for WideBvhBuilder {
 pub struct WideBvh {
     nodes: Vec<WideNode>,
     triangles: Vec<Triangle>,
+    /// SoA mirror of every node's child list (see [`ChildSoa`]); what
+    /// the traversal hot loops read instead of the per-node `Vec`s.
+    children_soa: Vec<ChildSoa>,
 }
 
 impl WideBvh {
@@ -160,6 +164,13 @@ impl WideBvh {
     /// The reordered triangles.
     pub fn triangles(&self) -> &[Triangle] {
         &self.triangles
+    }
+
+    /// The node-indexed SoA mirror of every node's child bounds and
+    /// pointers (empty records for leaves). Kept in lockstep with
+    /// [`WideBvh::nodes`] by construction and [`WideBvh::refit`].
+    pub fn children_soa(&self) -> &[ChildSoa] {
+        &self.children_soa
     }
 
     /// Number of nodes (internal + leaf records).
@@ -246,7 +257,8 @@ impl WideBvh {
                 }
             }
         }
-        // Write the refitted bounds back into the nodes.
+        // Write the refitted bounds back into the nodes, then rebuild
+        // the SoA mirror so traversal sees the new child bounds.
         for idx in 0..self.nodes.len() {
             match &mut self.nodes[idx] {
                 WideNode::Leaf { aabb, .. } => *aabb = new_bounds[idx],
@@ -257,6 +269,7 @@ impl WideBvh {
                 }
             }
         }
+        self.children_soa = build_soa_table(&self.nodes);
     }
 
     /// Closest-hit reference traversal on the CPU.
@@ -277,15 +290,13 @@ impl WideBvh {
                 continue; // early ray termination
             }
             match &self.nodes[node as usize] {
-                WideNode::Internal { children } => {
-                    // Gather hit children, then push far-to-near so the
-                    // nearest is popped first.
-                    let mut hits: Vec<(u32, f32)> = children
-                        .iter()
-                        .filter_map(|c| c.aabb.intersect(&ray, inv).map(|t| (c.node, t)))
-                        .collect();
-                    hits.sort_by(|a, b| b.1.total_cmp(&a.1));
-                    stack.extend(hits);
+                WideNode::Internal { .. } => {
+                    // Batched test of all children at once, then push
+                    // far-to-near so the nearest is popped first.
+                    let mut hits = ChildHits::new();
+                    self.children_soa[node as usize].intersect_into(&ray, inv, &mut hits);
+                    hits.sort_far_first();
+                    stack.extend_from_slice(hits.as_slice());
                 }
                 WideNode::Leaf { first, count, .. } => {
                     for i in *first..*first + *count {
@@ -324,9 +335,11 @@ fn collapse(binary: BinaryBvh, triangles: Vec<Triangle>) -> WideBvh {
             first: b.first,
             count: b.count,
         });
+        let children_soa = build_soa_table(&nodes);
         return WideBvh {
             nodes,
             triangles: reordered,
+            children_soa,
         };
     }
 
@@ -389,9 +402,11 @@ fn collapse(binary: BinaryBvh, triangles: Vec<Triangle>) -> WideBvh {
         }
         nodes[wide_idx as usize] = WideNode::Internal { children };
     }
+    let children_soa = build_soa_table(&nodes);
     WideBvh {
         nodes,
         triangles: reordered,
+        children_soa,
     }
 }
 
@@ -418,11 +433,19 @@ mod tests {
         let mut visited = vec![false; bvh.node_count()];
         let mut covered = vec![false; bvh.triangles().len()];
         let mut stack = vec![0u32];
+        assert_eq!(bvh.children_soa().len(), bvh.node_count());
         while let Some(n) = stack.pop() {
             assert!(!visited[n as usize], "node {n} reachable twice");
             visited[n as usize] = true;
+            // The SoA mirror must agree with the node's own child list.
+            let soa = &bvh.children_soa()[n as usize];
             match &bvh.nodes()[n as usize] {
                 WideNode::Internal { children } => {
+                    assert_eq!(soa.len(), children.len(), "SoA lane count desynced");
+                    for (i, c) in children.iter().enumerate() {
+                        assert_eq!(soa.bounds.get(i), c.aabb, "SoA bounds desynced");
+                        assert_eq!(soa.nodes[i], c.node, "SoA pointer desynced");
+                    }
                     assert!(!children.is_empty());
                     assert!(children.len() <= WIDE_ARITY);
                     for c in children {
@@ -433,6 +456,7 @@ mod tests {
                     }
                 }
                 WideNode::Leaf { first, count, aabb } => {
+                    assert!(soa.is_empty(), "leaf {n} has SoA children");
                     assert!(*count >= 1);
                     for i in *first..*first + *count {
                         assert!(!covered[i as usize], "triangle {i} in two leaves");

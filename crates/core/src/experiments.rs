@@ -74,6 +74,17 @@ impl Bench {
         TreeStats::of(&self.bvh)
     }
 
+    /// Estimated simulation cost of one run over this bench, in the
+    /// cost-model scheduler's work units: BVH node count × ray count.
+    /// Simulated cycles scale with how much tree each ray walks, and
+    /// node count × rays tracks that within a detail level — good
+    /// enough to decide inline-vs-chunked placement (see
+    /// [`run_weighted`](crate::run_weighted); a misprediction costs
+    /// balance, never correctness).
+    pub fn estimated_cost(&self) -> u64 {
+        (self.bvh.node_count() as u64).saturating_mul(self.rays.len().max(1) as u64)
+    }
+
     /// A [`SimSession`] over this bench's BVH and rays — the front door
     /// for runs needing option combinations the convenience methods
     /// below don't cover.

@@ -81,7 +81,9 @@ pub use prefetch::{
     Vote, VoterAreaModel, VoterKind,
 };
 pub use runner::{
-    catch_job_panic, default_jobs, panic_message, run_indexed, Sweep, SweepOutcome,
+    catch_job_panic, default_jobs, default_jobs_for, panic_message, plan_schedule,
+    plan_schedule_with, run_indexed, run_scheduled, run_weighted, Schedule, Sweep, SweepOutcome,
+    CHUNK_MIN_COST, INLINE_COST,
 };
 pub use session::SimSession;
 pub use sim::SimResult;

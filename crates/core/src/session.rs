@@ -168,6 +168,20 @@ impl<'a> SimSession<'a> {
         self
     }
 
+    /// Estimated cost of running this session, in the cost-model
+    /// scheduler's work units: BVH node count × total ray count (all
+    /// batches for a batched session). The same estimate
+    /// [`Bench::estimated_cost`](crate::Bench::estimated_cost) feeds to
+    /// [`run_weighted`](crate::run_weighted) — callers scheduling raw
+    /// sessions across a pool can weigh them identically.
+    pub fn estimated_cost(&self) -> u64 {
+        let rays = match &self.rays {
+            RaySource::Single(rays) => rays.len(),
+            RaySource::Batches(batches) => batches.iter().map(Vec::len).sum(),
+        };
+        (self.bvh.node_count() as u64).saturating_mul(rays.max(1) as u64)
+    }
+
     /// Runs the session to completion. For a batched session this
     /// returns the final batch's result (the one whose prefetch
     /// effectiveness is finalized); use [`SimSession::run_batches`] for

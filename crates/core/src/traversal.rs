@@ -6,7 +6,7 @@
 //! accesses; the RT-unit timing model replays those sequences.
 
 use crate::treelet::TreeletAssignment;
-use rt_bvh::{MemoryImage, WideBvh, WideNode};
+use rt_bvh::{ChildHits, MemoryImage, WideBvh, WideNode};
 use rt_geometry::{HitRecord, Ray};
 
 /// Which traversal algorithm a ray executes.
@@ -111,6 +111,9 @@ pub fn trace_ray_with(
     }
 }
 
+// One argument per piece of traversal scratch the caller owns; bundling
+// them into a struct would just move the field list.
+#[allow(clippy::too_many_arguments)]
 fn visit(
     bvh: &WideBvh,
     treelets: &TreeletAssignment,
@@ -119,7 +122,8 @@ fn visit(
     steps: &mut Vec<TraceStep>,
     node: u32,
     options: TraversalOptions,
-) -> Vec<(u32, f32)> {
+    children: &mut ChildHits,
+) {
     // Record the node visit (this is the memory access).
     let step = match &bvh.nodes()[node as usize] {
         WideNode::Leaf { first, count, .. } => TraceStep {
@@ -135,18 +139,18 @@ fn visit(
     };
     steps.push(step);
 
+    *children = ChildHits::new();
     match &bvh.nodes()[node as usize] {
-        WideNode::Internal { children } => {
+        WideNode::Internal { .. } => {
+            // Batched 6-wide slab test against the SoA child bounds —
+            // lane-for-lane bit-identical to the scalar per-child loop,
+            // with hits appended in child-list order.
             let inv = ray.inv_direction();
-            let mut hits: Vec<(u32, f32)> = children
-                .iter()
-                .filter_map(|c| c.aabb.intersect(ray, inv).map(|t| (c.node, t)))
-                .collect();
+            bvh.children_soa()[node as usize].intersect_into(ray, inv, children);
             if options.ordered_children {
                 // Far-first, so that popping yields the nearest child.
-                hits.sort_by(|a, b| b.1.total_cmp(&a.1));
+                children.sort_far_first();
             }
-            hits
         }
         WideNode::Leaf { first, count, .. } => {
             for i in *first..*first + *count {
@@ -158,7 +162,6 @@ fn visit(
                     }
                 }
             }
-            Vec::new()
         }
     }
 }
@@ -177,12 +180,22 @@ fn trace_dfs(
     if let Some(t) = bvh.root_aabb().intersect(&ray, inv) {
         stack.push((bvh.root(), t));
     }
+    let mut children = ChildHits::new();
     while let Some((node, entry)) = stack.pop() {
         if entry > ray.t_max {
             continue; // early ray termination: skipped without a fetch
         }
-        let children = visit(bvh, treelets, &mut ray, &mut hit, &mut steps, node, options);
-        stack.extend(children);
+        visit(
+            bvh,
+            treelets,
+            &mut ray,
+            &mut hit,
+            &mut steps,
+            node,
+            options,
+            &mut children,
+        );
+        stack.extend_from_slice(children.as_slice());
     }
     // Without early termination the closest hit must still be correct.
     RayTrace { steps, hit }
@@ -203,6 +216,7 @@ fn trace_two_stack(
     if let Some(t) = bvh.root_aabb().intersect(&ray, inv) {
         current.push((bvh.root(), t));
     }
+    let mut children = ChildHits::new();
     while !current.is_empty() || !other.is_empty() {
         if current.is_empty() {
             // Transfer the front of the other-treelet stack (Alg. 1, l. 5).
@@ -227,8 +241,17 @@ fn trace_two_stack(
             continue;
         }
         let node_treelet = treelets.of_node(node);
-        let children = visit(bvh, treelets, &mut ray, &mut hit, &mut steps, node, options);
-        for (child, t) in children {
+        visit(
+            bvh,
+            treelets,
+            &mut ray,
+            &mut hit,
+            &mut steps,
+            node,
+            options,
+            &mut children,
+        );
+        for &(child, t) in children.as_slice() {
             // Algorithm 1, line 13: the treelet child-bit test.
             if treelets.of_node(child) == node_treelet {
                 current.push((child, t));

@@ -6,6 +6,8 @@
 //! - [`Vec3`] — three-component `f32` vector,
 //! - [`Ray`] / [`HitRecord`] — parametric rays and closest-hit bookkeeping,
 //! - [`Aabb`] — axis-aligned bounding boxes with the slab intersection test,
+//! - [`WideAabb`] — up to six boxes in structure-of-arrays form with a
+//!   batched slab test, bit-identical per lane to [`Aabb::intersect`],
 //! - [`Triangle`] — triangles with the Möller–Trumbore intersection test.
 //!
 //! # Examples
@@ -34,8 +36,10 @@ mod aabb;
 mod ray;
 mod triangle;
 mod vec3;
+mod wide;
 
 pub use aabb::Aabb;
 pub use ray::{HitRecord, Ray};
 pub use triangle::Triangle;
 pub use vec3::Vec3;
+pub use wide::{WideAabb, WideHits, WIDE_LANES};

@@ -1,0 +1,301 @@
+//! Batched slab tests: one ray against up to six boxes at a time.
+//!
+//! The 6-wide BVH stores each internal node's child bounds together, so
+//! traversal always tests one ray against *all* of a node's children —
+//! a natural SIMD-shaped workload. [`WideAabb`] keeps those bounds in
+//! structure-of-arrays form (`min_x[6]`, `min_y[6]`, … as in the Arches
+//! `WideTreeletBVH::Node` `Data[WIDTH]` + `AABB[WIDTH]` layout) so the
+//! per-lane slab test compiles to straight-line component loops the
+//! auto-vectorizer can handle, instead of six pointer-chased
+//! [`Aabb`](crate::Aabb) records.
+//!
+//! **Bit-identical contract.** [`WideAabb::intersect`] performs, per
+//! lane, exactly the operations of [`Aabb::intersect`](crate::Aabb) in
+//! the same order on the same `f32` values. Lane `i` of the batched
+//! result equals the scalar result for child `i` — not approximately,
+//! but bit for bit — so traversal order, early termination, and
+//! therefore every simulator state digest are unchanged when the
+//! batched kernel replaces the scalar loop. `rt-bvh`'s suite-scene
+//! golden test pins this equivalence.
+
+use crate::{Aabb, Ray, Vec3};
+
+/// Number of lanes in the batched AABB test (the wide-BVH arity).
+pub const WIDE_LANES: usize = 6;
+
+/// Up to six axis-aligned boxes in structure-of-arrays form.
+///
+/// Lanes `len..WIDE_LANES` are padding and are never read by
+/// [`WideAabb::intersect`]; their contents are the canonical empty box.
+///
+/// # Examples
+///
+/// ```
+/// use rt_geometry::{Aabb, Ray, Vec3, WideAabb};
+///
+/// let near = Aabb::new(Vec3::new(1.0, -1.0, -1.0), Vec3::new(2.0, 1.0, 1.0));
+/// let far = Aabb::new(Vec3::new(5.0, -1.0, -1.0), Vec3::new(6.0, 1.0, 1.0));
+/// let wide = WideAabb::from_boxes(&[near, far]);
+/// let ray = Ray::new(Vec3::ZERO, Vec3::X);
+/// let hits = wide.intersect(&ray, ray.inv_direction());
+/// assert_eq!(hits.entry(0), near.intersect(&ray, ray.inv_direction()));
+/// assert_eq!(hits.entry(1), far.intersect(&ray, ray.inv_direction()));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WideAabb {
+    /// Minimum X corner per lane.
+    pub min_x: [f32; WIDE_LANES],
+    /// Minimum Y corner per lane.
+    pub min_y: [f32; WIDE_LANES],
+    /// Minimum Z corner per lane.
+    pub min_z: [f32; WIDE_LANES],
+    /// Maximum X corner per lane.
+    pub max_x: [f32; WIDE_LANES],
+    /// Maximum Y corner per lane.
+    pub max_y: [f32; WIDE_LANES],
+    /// Maximum Z corner per lane.
+    pub max_z: [f32; WIDE_LANES],
+    /// Number of live lanes (`0..=WIDE_LANES`).
+    pub len: u8,
+}
+
+/// Result of a batched slab test: a hit mask plus per-lane entry
+/// distances.
+///
+/// Only lanes whose mask bit is set carry a meaningful entry distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WideHits {
+    /// Bit `i` is set when lane `i`'s box is intersected within the
+    /// ray's `[t_min, t_max]` interval.
+    pub mask: u8,
+    /// Per-lane entry distances; only meaningful where `mask` is set.
+    pub entries: [f32; WIDE_LANES],
+}
+
+impl WideHits {
+    /// The scalar-equivalent result for lane `i`: the entry distance if
+    /// the lane's box was hit, `None` otherwise — exactly what
+    /// [`Aabb::intersect`](crate::Aabb::intersect) returns for that box.
+    #[inline]
+    pub fn entry(&self, i: usize) -> Option<f32> {
+        if self.mask & (1 << i) != 0 {
+            Some(self.entries[i])
+        } else {
+            None
+        }
+    }
+
+    /// `true` if no lane was hit.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.mask == 0
+    }
+}
+
+impl WideAabb {
+    /// A batch with no live lanes (padding lanes hold empty boxes).
+    #[inline]
+    pub fn empty() -> WideAabb {
+        WideAabb {
+            min_x: [f32::INFINITY; WIDE_LANES],
+            min_y: [f32::INFINITY; WIDE_LANES],
+            min_z: [f32::INFINITY; WIDE_LANES],
+            max_x: [f32::NEG_INFINITY; WIDE_LANES],
+            max_y: [f32::NEG_INFINITY; WIDE_LANES],
+            max_z: [f32::NEG_INFINITY; WIDE_LANES],
+            len: 0,
+        }
+    }
+
+    /// Packs `boxes` into lanes `0..boxes.len()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `boxes` has more than [`WIDE_LANES`] entries.
+    pub fn from_boxes(boxes: &[Aabb]) -> WideAabb {
+        assert!(boxes.len() <= WIDE_LANES, "too many boxes for one batch");
+        let mut wide = WideAabb::empty();
+        for (i, b) in boxes.iter().enumerate() {
+            wide.set(i, b);
+        }
+        wide.len = boxes.len() as u8;
+        wide
+    }
+
+    /// Stores `aabb` in lane `i` without changing `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= WIDE_LANES`.
+    #[inline]
+    pub fn set(&mut self, i: usize, aabb: &Aabb) {
+        self.min_x[i] = aabb.min.x;
+        self.min_y[i] = aabb.min.y;
+        self.min_z[i] = aabb.min.z;
+        self.max_x[i] = aabb.max.x;
+        self.max_y[i] = aabb.max.y;
+        self.max_z[i] = aabb.max.z;
+    }
+
+    /// Reconstructs lane `i` as a scalar [`Aabb`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= WIDE_LANES`.
+    #[inline]
+    pub fn get(&self, i: usize) -> Aabb {
+        Aabb::new(
+            Vec3::new(self.min_x[i], self.min_y[i], self.min_z[i]),
+            Vec3::new(self.max_x[i], self.max_y[i], self.max_z[i]),
+        )
+    }
+
+    /// Number of live lanes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// `true` when no lanes are live.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Slab test of one ray against every live lane.
+    ///
+    /// Lane `i` of the result is bit-identical to
+    /// `self.get(i).intersect(ray, inv_dir)`: the same multiplies,
+    /// `f32::min`/`f32::max` folds (including their NaN behavior for
+    /// axis-parallel rays), clamping, and comparison, in the same
+    /// order. Dead lanes never set their mask bit.
+    #[inline]
+    // The index drives six parallel arrays plus the mask bit, which is
+    // the SoA point — an iterator over one of them would obscure that.
+    #[allow(clippy::needless_range_loop)]
+    pub fn intersect(&self, ray: &Ray, inv_dir: Vec3) -> WideHits {
+        let mut entries = [0.0f32; WIDE_LANES];
+        let mut mask = 0u8;
+        // A counted loop over the fixed-width arrays: the bound is
+        // `len`, but every lane's arithmetic is independent, which is
+        // what lets the compiler unroll/vectorize the body.
+        for i in 0..self.len as usize {
+            let t0x = (self.min_x[i] - ray.origin.x) * inv_dir.x;
+            let t0y = (self.min_y[i] - ray.origin.y) * inv_dir.y;
+            let t0z = (self.min_z[i] - ray.origin.z) * inv_dir.z;
+            let t1x = (self.max_x[i] - ray.origin.x) * inv_dir.x;
+            let t1y = (self.max_y[i] - ray.origin.y) * inv_dir.y;
+            let t1z = (self.max_z[i] - ray.origin.z) * inv_dir.z;
+            // Same fold shape as Aabb::intersect: per-axis min/max,
+            // then entry = max(near_x, near_y, near_z, t_min) and
+            // exit = min(far_x, far_y, far_z, t_max).
+            let near_x = t0x.min(t1x);
+            let near_y = t0y.min(t1y);
+            let near_z = t0z.min(t1z);
+            let far_x = t0x.max(t1x);
+            let far_y = t0y.max(t1y);
+            let far_z = t0z.max(t1z);
+            let t_entry = near_x.max(near_y).max(near_z).max(ray.t_min);
+            let t_exit = far_x.min(far_y).min(far_z).min(ray.t_max);
+            if t_entry <= t_exit {
+                mask |= 1 << i;
+                entries[i] = t_entry;
+            }
+        }
+        WideHits { mask, entries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_boxes() -> Vec<Aabb> {
+        vec![
+            Aabb::new(Vec3::new(1.0, -1.0, -1.0), Vec3::new(2.0, 1.0, 1.0)),
+            Aabb::new(Vec3::new(5.0, -0.5, -0.5), Vec3::new(6.0, 0.5, 0.5)),
+            Aabb::new(Vec3::new(-3.0, -1.0, -1.0), Vec3::new(-2.0, 1.0, 1.0)),
+            Aabb::new(Vec3::new(0.0, 3.0, 0.0), Vec3::new(1.0, 4.0, 1.0)),
+            Aabb::new(Vec3::new(1.5, -0.2, -0.2), Vec3::new(1.7, 0.2, 0.2)),
+        ]
+    }
+
+    fn sample_rays() -> Vec<Ray> {
+        vec![
+            Ray::new(Vec3::ZERO, Vec3::X),
+            Ray::new(Vec3::new(-5.0, 0.0, 0.0), Vec3::X),
+            Ray::new(Vec3::new(0.5, -5.0, 0.5), Vec3::Y),
+            Ray::new(Vec3::new(0.5, 0.5, 0.5), Vec3::Y), // axis-parallel inside slabs
+            Ray::with_interval(Vec3::ZERO, Vec3::X, 1e-4, 1.6),
+            Ray::new(Vec3::splat(-2.0), Vec3::ONE.normalized()),
+            Ray::new(Vec3::new(10.0, 10.0, 10.0), Vec3::Z), // misses all
+        ]
+    }
+
+    #[test]
+    fn lanes_match_scalar_bitwise() {
+        let boxes = sample_boxes();
+        let wide = WideAabb::from_boxes(&boxes);
+        assert_eq!(wide.len(), boxes.len());
+        for ray in sample_rays() {
+            let inv = ray.inv_direction();
+            let hits = wide.intersect(&ray, inv);
+            for (i, b) in boxes.iter().enumerate() {
+                let scalar = b.intersect(&ray, inv);
+                assert_eq!(hits.entry(i), scalar, "lane {i} diverged for {ray:?}");
+                // Bit-level equality, not approximate.
+                if let (Some(w), Some(s)) = (hits.entry(i), scalar) {
+                    assert_eq!(w.to_bits(), s.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dead_lanes_never_hit() {
+        let boxes = sample_boxes();
+        let wide = WideAabb::from_boxes(&boxes[..2]);
+        let ray = Ray::new(Vec3::ZERO, Vec3::X);
+        let hits = wide.intersect(&ray, ray.inv_direction());
+        for i in wide.len()..WIDE_LANES {
+            assert_eq!(hits.entry(i), None, "dead lane {i} reported a hit");
+        }
+    }
+
+    #[test]
+    fn empty_batch_hits_nothing() {
+        let wide = WideAabb::empty();
+        assert!(wide.is_empty());
+        let ray = Ray::new(Vec3::ZERO, Vec3::X);
+        assert!(wide.intersect(&ray, ray.inv_direction()).is_empty());
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let boxes = sample_boxes();
+        let wide = WideAabb::from_boxes(&boxes);
+        for (i, b) in boxes.iter().enumerate() {
+            assert_eq!(&wide.get(i), b);
+        }
+    }
+
+    #[test]
+    fn shrunk_t_max_culls_lanes_like_scalar() {
+        let boxes = sample_boxes();
+        let wide = WideAabb::from_boxes(&boxes);
+        let mut ray = Ray::new(Vec3::ZERO, Vec3::X);
+        ray.t_max = 1.5; // inside the first box, short of the second
+        let inv = ray.inv_direction();
+        let hits = wide.intersect(&ray, inv);
+        for (i, b) in boxes.iter().enumerate() {
+            assert_eq!(hits.entry(i), b.intersect(&ray, inv));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too many boxes")]
+    fn from_boxes_rejects_overflow() {
+        let boxes = vec![Aabb::new(Vec3::ZERO, Vec3::ONE); WIDE_LANES + 1];
+        let _ = WideAabb::from_boxes(&boxes);
+    }
+}

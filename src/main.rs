@@ -18,7 +18,7 @@ use treelet_prefetching::bvh::{TreeStats, WideBvh, NODE_SIZE_BYTES};
 use treelet_prefetching::gpu::FaultInjection;
 use treelet_prefetching::scene::{load_obj, Camera, Scene, SceneId, Workload, WorkloadKind};
 use treelet_prefetching::treelet::{
-    compile_trace, default_jobs, first_divergence, read_digest_log, trace_ray, write_traces,
+    compile_trace, default_jobs_for, first_divergence, read_digest_log, trace_ray, write_traces,
     Bench, CheckpointOptions, PrefetchHeuristic, SchedulerPolicy, SimConfig, SimError,
     SimSession, Sweep, SweepOutcome, Telemetry, TelemetryOptions, TreeletAssignment,
     DEFAULT_TELEMETRY_EVERY,
@@ -1149,8 +1149,9 @@ fn write_digest_logs(dir: &str, outcomes: &[SweepOutcome]) -> Result<(), Failure
 /// the (scene, config) cells across the worker pool, and report results
 /// in deterministic config-major order.
 fn cmd_sweep(options: &SweepOptions) -> Result<(), Failure> {
-    let jobs = options.jobs.unwrap_or_else(default_jobs);
     let grid = sweep_grid(options);
+    let cells = options.scenes.len() * grid.len();
+    let jobs = options.jobs.unwrap_or_else(|| default_jobs_for(cells));
     let workload = Workload::new(options.workload, options.res, options.res);
     eprintln!(
         "preparing {} scene(s), then running {} cell(s) on {jobs} worker(s)",
