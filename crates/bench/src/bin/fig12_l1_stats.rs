@@ -19,11 +19,10 @@ fn breakdown(r: &SimResult) -> [f64; 4] {
 fn main() {
     let suite = Suite::prepare_default();
     let configs: Vec<(&str, SimConfig)> = vec![
-        ("Baseline", {
-            let mut c = SimConfig::paper_treelet_traversal_only();
-            c.prefetch = PrefetchConfig::None;
-            c
-        }),
+        (
+            "Baseline",
+            SimConfig::paper_treelet_traversal_only().with_prefetcher(PrefetchConfig::none()),
+        ),
         (
             "ALWAYS",
             SimConfig::paper_treelet_prefetch().with_heuristic(PrefetchHeuristic::Always),

@@ -25,6 +25,14 @@ pub struct GhbStats {
     pub prefetches_enqueued: u64,
 }
 
+impl GhbStats {
+    pub(crate) fn merge(&mut self, other: &GhbStats) {
+        self.observed += other.observed;
+        self.history_hits += other.history_hits;
+        self.prefetches_enqueued += other.prefetches_enqueued;
+    }
+}
+
 /// Global history buffer prefetcher with address-indexed lookup.
 ///
 /// # Examples

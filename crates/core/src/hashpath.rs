@@ -1,0 +1,441 @@
+//! Hash-based ray-path prediction prefetcher (Demoullin, Gubran,
+//! Aamodt — *Hash-Based Ray Path Prediction*, arXiv:1910.01304).
+//!
+//! The predictor exploits ray coherence directly: two rays with nearly
+//! the same origin and direction traverse nearly the same BVH path. Each
+//! ray is reduced to a small integer key by quantizing its origin (in
+//! scene-bounds-normalized coordinates) and direction onto coarse grids
+//! and hashing the grid cells with a seeded FNV-1a mixed through the
+//! rt-rng generator. A bounded table maps keys to the node-line path the
+//! most recent same-key ray actually took; when a new ray enters the
+//! warp buffer, the table is probed and the remembered path's cache
+//! lines are enqueued as prefetches. The table and queue are fully
+//! snapshot-serializable so checkpointed runs resume bit-identically.
+//!
+//! Unlike the treelet voter (which predicts one treelet per decision
+//! from warp-buffer popularity) or MTA/GHB (which learn from the demand
+//! address stream), the hash predictor learns from *retired rays*: a
+//! ray's recorded path only enters the table once the ray completes, so
+//! predictions always reflect a full, real traversal.
+
+use rt_geometry::{Aabb, Ray};
+use rt_gpu_sim::{fnv1a64, ByteReader, ByteWriter, DecodeError, FxHashMap};
+use rt_rng::SmallRng;
+use std::collections::VecDeque;
+
+/// Counters the hash-path predictor accumulates during a run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct HashPathStats {
+    /// Rays observed entering the warp buffer (table probes).
+    pub rays_hashed: u64,
+    /// Probes that found a remembered path for the ray's key.
+    pub table_hits: u64,
+    /// Retired rays whose paths were recorded into the table.
+    pub paths_recorded: u64,
+    /// Table entries evicted to stay within capacity (FIFO order).
+    pub evictions: u64,
+    /// Predicted path lines enqueued for prefetch.
+    pub lines_enqueued: u64,
+    /// Predicted lines dropped because the prefetch queue was full.
+    pub queue_full_drops: u64,
+}
+
+impl HashPathStats {
+    /// Fraction of probes that found a remembered path, or 0 when no
+    /// rays were observed.
+    pub fn hit_rate(&self) -> f64 {
+        if self.rays_hashed == 0 {
+            0.0
+        } else {
+            self.table_hits as f64 / self.rays_hashed as f64
+        }
+    }
+
+    pub(crate) fn merge(&mut self, other: &HashPathStats) {
+        self.rays_hashed += other.rays_hashed;
+        self.table_hits += other.table_hits;
+        self.paths_recorded += other.paths_recorded;
+        self.evictions += other.evictions;
+        self.lines_enqueued += other.lines_enqueued;
+        self.queue_full_drops += other.queue_full_drops;
+    }
+}
+
+/// Quantizes one normalized coordinate in `[0, 1]` onto a `bits`-wide
+/// grid, clamping out-of-range values into the edge cells.
+fn quantize_unit(t: f32, bits: u32) -> u32 {
+    let cells = 1u32 << bits;
+    // NaN lands in cell zero, like everything at or below the range.
+    if t.is_nan() || t <= 0.0 {
+        return 0;
+    }
+    let cell = (t * cells as f32) as u32;
+    cell.min(cells - 1)
+}
+
+/// Hashes a ray's quantized origin and direction into its prediction
+/// key.
+///
+/// The origin is normalized by the scene bounds before quantization so
+/// the grid resolution adapts to the scene; the direction is normalized
+/// to unit length and mapped from `[-1, 1]` to `[0, 1]` per axis. The
+/// six grid cells plus the seed feed FNV-1a, and the raw hash is mixed
+/// through one [`SmallRng`] step for avalanche — two keys differing in
+/// one grid cell share no bit structure.
+pub fn hash_ray_key(
+    ray: &Ray,
+    scene_bounds: &Aabb,
+    origin_bits: u32,
+    dir_bits: u32,
+    seed: u64,
+) -> u64 {
+    let extent = scene_bounds.extent();
+    let norm = |v: f32, min: f32, ext: f32| if ext > 0.0 { (v - min) / ext } else { 0.0 };
+    let o = ray.origin;
+    let d = ray.direction;
+    let len = (d.x * d.x + d.y * d.y + d.z * d.z).sqrt();
+    // Degenerate directions (zero-length or NaN) collapse to cell zero
+    // rather than inheriting whatever the [-1, 1] -> [0, 1] remap makes
+    // of them.
+    let dir = |c: f32| if len > 0.0 { (c / len + 1.0) * 0.5 } else { 0.0 };
+    let cells = [
+        quantize_unit(norm(o.x, scene_bounds.min.x, extent.x), origin_bits),
+        quantize_unit(norm(o.y, scene_bounds.min.y, extent.y), origin_bits),
+        quantize_unit(norm(o.z, scene_bounds.min.z, extent.z), origin_bits),
+        quantize_unit(dir(d.x), dir_bits),
+        quantize_unit(dir(d.y), dir_bits),
+        quantize_unit(dir(d.z), dir_bits),
+    ];
+    let mut buf = [0u8; 32];
+    buf[..8].copy_from_slice(&seed.to_le_bytes());
+    for (i, cell) in cells.iter().enumerate() {
+        buf[8 + 4 * i..8 + 4 * (i + 1)].copy_from_slice(&cell.to_le_bytes());
+    }
+    SmallRng::seed_from_u64(fnv1a64(&buf)).next_u64()
+}
+
+/// The hash-based ray-path predictor.
+///
+/// Drives prefetches from two hooks the engine calls per ray: when a
+/// ray *enters* the warp buffer its key probes the prediction table and
+/// any remembered path is enqueued; when a ray *retires* its actual
+/// node-line path is recorded under its key. The table is bounded and
+/// evicts its oldest key first; re-recording an existing key replaces
+/// the path in place without refreshing its age.
+#[derive(Debug, Clone)]
+pub struct HashPathPrefetcher {
+    table: FxHashMap<u64, Vec<u64>>,
+    /// Keys in insertion order — the FIFO eviction schedule.
+    order: VecDeque<u64>,
+    table_capacity: usize,
+    max_path_lines: usize,
+    queue: VecDeque<u64>,
+    queue_capacity: usize,
+    stats: HashPathStats,
+}
+
+impl HashPathPrefetcher {
+    /// Creates a predictor with the given table capacity (entries),
+    /// prefetch-queue capacity (lines), and per-path line cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any capacity is zero.
+    pub fn new(table_capacity: usize, queue_capacity: usize, max_path_lines: usize) -> Self {
+        assert!(table_capacity > 0, "hash prediction table must hold entries");
+        assert!(queue_capacity > 0, "prefetch queue must hold entries");
+        assert!(max_path_lines > 0, "paths must keep at least one line");
+        HashPathPrefetcher {
+            table: FxHashMap::default(),
+            order: VecDeque::new(),
+            table_capacity,
+            max_path_lines,
+            queue: VecDeque::new(),
+            queue_capacity,
+            stats: HashPathStats::default(),
+        }
+    }
+
+    /// Probes the table with an entering ray's key and enqueues the
+    /// remembered path's lines (front first) when present.
+    pub fn observe_enter(&mut self, key: u64) {
+        self.stats.rays_hashed += 1;
+        let Some(path) = self.table.get(&key) else {
+            return;
+        };
+        self.stats.table_hits += 1;
+        for &line in path {
+            if self.queue.len() < self.queue_capacity {
+                self.queue.push_back(line);
+                self.stats.lines_enqueued += 1;
+            } else {
+                self.stats.queue_full_drops += 1;
+            }
+        }
+    }
+
+    /// Records a retired ray's node-line path under its key, truncating
+    /// to the path cap and evicting the oldest key at capacity.
+    pub fn record_path(&mut self, key: u64, path: &[u64]) {
+        if path.is_empty() {
+            return;
+        }
+        self.stats.paths_recorded += 1;
+        let kept = &path[..path.len().min(self.max_path_lines)];
+        if let Some(existing) = self.table.get_mut(&key) {
+            existing.clear();
+            existing.extend_from_slice(kept);
+            return;
+        }
+        if self.order.len() == self.table_capacity {
+            if let Some(oldest) = self.order.pop_front() {
+                self.table.remove(&oldest);
+                self.stats.evictions += 1;
+            }
+        }
+        self.table.insert(key, kept.to_vec());
+        self.order.push_back(key);
+    }
+
+    /// Pops the next predicted line to prefetch.
+    pub fn pop(&mut self) -> Option<u64> {
+        self.queue.pop_front()
+    }
+
+    /// Lines waiting in the prefetch queue.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Keys currently remembered in the prediction table.
+    pub fn table_len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> HashPathStats {
+        self.stats
+    }
+
+    /// Serializes the dynamic state (table in insertion order, queue,
+    /// counters) for a checkpoint.
+    pub(crate) fn encode_state(&self, w: &mut ByteWriter) {
+        w.put_len(self.order.len());
+        for key in &self.order {
+            w.put_u64(*key);
+            let path = &self.table[key];
+            w.put_len(path.len());
+            for &line in path {
+                w.put_u64(line);
+            }
+        }
+        w.put_len(self.queue.len());
+        for &line in &self.queue {
+            w.put_u64(line);
+        }
+        let s = &self.stats;
+        for v in [
+            s.rays_hashed,
+            s.table_hits,
+            s.paths_recorded,
+            s.evictions,
+            s.lines_enqueued,
+            s.queue_full_drops,
+        ] {
+            w.put_u64(v);
+        }
+    }
+
+    /// Restores the dynamic state written by [`Self::encode_state`].
+    pub(crate) fn restore_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), DecodeError> {
+        let entries = r.take_len(8)?;
+        if entries > self.table_capacity {
+            return Err(DecodeError::malformed(
+                "hash prediction table exceeds configured capacity",
+            ));
+        }
+        self.table.clear();
+        self.order.clear();
+        for _ in 0..entries {
+            let key = r.take_u64()?;
+            let lines = r.take_len(8)?;
+            if lines > self.max_path_lines {
+                return Err(DecodeError::malformed(
+                    "hash path exceeds configured line cap",
+                ));
+            }
+            let mut path = Vec::with_capacity(lines);
+            for _ in 0..lines {
+                path.push(r.take_u64()?);
+            }
+            if self.table.insert(key, path).is_some() {
+                return Err(DecodeError::malformed(
+                    "duplicate key in hash prediction table",
+                ));
+            }
+            self.order.push_back(key);
+        }
+        let queued = r.take_len(8)?;
+        if queued > self.queue_capacity {
+            return Err(DecodeError::malformed(
+                "hash prefetch queue exceeds configured capacity",
+            ));
+        }
+        self.queue.clear();
+        for _ in 0..queued {
+            self.queue.push_back(r.take_u64()?);
+        }
+        self.stats = HashPathStats {
+            rays_hashed: r.take_u64()?,
+            table_hits: r.take_u64()?,
+            paths_recorded: r.take_u64()?,
+            evictions: r.take_u64()?,
+            lines_enqueued: r.take_u64()?,
+            queue_full_drops: r.take_u64()?,
+        };
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_geometry::Vec3;
+
+    fn bounds() -> Aabb {
+        Aabb::new(Vec3::new(-1.0, -1.0, -1.0), Vec3::new(1.0, 1.0, 1.0))
+    }
+
+    fn ray(ox: f32, oy: f32, oz: f32, dx: f32, dy: f32, dz: f32) -> Ray {
+        Ray::new(Vec3::new(ox, oy, oz), Vec3::new(dx, dy, dz))
+    }
+
+    #[test]
+    fn nearby_rays_share_a_key_and_distant_rays_do_not() {
+        let b = bounds();
+        let a = hash_ray_key(&ray(0.10, 0.10, 0.10, 0.0, 0.0, 1.0), &b, 4, 4, 7);
+        let near = hash_ray_key(&ray(0.11, 0.10, 0.10, 0.0, 0.0, 1.0), &b, 4, 4, 7);
+        let far = hash_ray_key(&ray(-0.9, -0.9, -0.9, 1.0, 0.0, 0.0), &b, 4, 4, 7);
+        assert_eq!(a, near, "rays in the same grid cells share a key");
+        assert_ne!(a, far, "rays in distant cells get distinct keys");
+    }
+
+    #[test]
+    fn key_depends_on_seed_and_quantization() {
+        let b = bounds();
+        let r = ray(0.3, -0.2, 0.5, 0.2, 0.9, -0.1);
+        let base = hash_ray_key(&r, &b, 5, 5, 1);
+        assert_ne!(base, hash_ray_key(&r, &b, 5, 5, 2), "seed changes the key");
+        assert_ne!(
+            base,
+            hash_ray_key(&r, &b, 3, 5, 1),
+            "quantization changes the key"
+        );
+    }
+
+    #[test]
+    fn direction_scale_does_not_change_the_key() {
+        let b = bounds();
+        let a = hash_ray_key(&ray(0.0, 0.0, 0.0, 0.0, 0.0, 1.0), &b, 4, 4, 0);
+        let scaled = hash_ray_key(&ray(0.0, 0.0, 0.0, 0.0, 0.0, 42.0), &b, 4, 4, 0);
+        assert_eq!(a, scaled, "direction is normalized before hashing");
+    }
+
+    #[test]
+    fn degenerate_rays_hash_without_panicking() {
+        let b = Aabb::from_point(Vec3::new(0.0, 0.0, 0.0));
+        let zero = ray(0.0, 0.0, 0.0, 0.0, 0.0, 0.0);
+        let nan = ray(f32::NAN, 0.0, 0.0, f32::NAN, 0.0, 0.0);
+        let k0 = hash_ray_key(&zero, &b, 4, 4, 0);
+        let k1 = hash_ray_key(&nan, &b, 4, 4, 0);
+        assert_eq!(k0, k1, "degenerate coordinates collapse to cell zero");
+    }
+
+    #[test]
+    fn enter_predicts_only_after_a_same_key_retire() {
+        let mut p = HashPathPrefetcher::new(8, 16, 4);
+        p.observe_enter(42);
+        assert_eq!(p.queue_len(), 0, "cold table predicts nothing");
+        p.record_path(42, &[0x100, 0x140, 0x180]);
+        p.observe_enter(42);
+        assert_eq!(p.pop(), Some(0x100));
+        assert_eq!(p.pop(), Some(0x140));
+        assert_eq!(p.pop(), Some(0x180));
+        assert_eq!(p.pop(), None);
+        let s = p.stats();
+        assert_eq!((s.rays_hashed, s.table_hits, s.lines_enqueued), (2, 1, 3));
+    }
+
+    #[test]
+    fn table_evicts_fifo_at_capacity_and_caps_paths() {
+        let mut p = HashPathPrefetcher::new(2, 16, 2);
+        p.record_path(1, &[0x10, 0x20, 0x30]);
+        p.record_path(2, &[0x40]);
+        p.record_path(1, &[0x50]); // replace in place, no age refresh
+        p.record_path(3, &[0x60]); // evicts key 1 (oldest)
+        assert_eq!(p.table_len(), 2);
+        assert_eq!(p.stats().evictions, 1);
+        p.observe_enter(1);
+        assert_eq!(p.pop(), None, "evicted key predicts nothing");
+        p.observe_enter(2);
+        assert_eq!(p.pop(), Some(0x40));
+        // The three-line path was capped at two lines on record.
+        p.record_path(4, &[0x70, 0x80, 0x90]); // evicts key 2
+        p.observe_enter(4);
+        assert_eq!((p.pop(), p.pop(), p.pop()), (Some(0x70), Some(0x80), None));
+    }
+
+    #[test]
+    fn queue_overflow_drops_and_counts() {
+        let mut p = HashPathPrefetcher::new(4, 2, 4);
+        p.record_path(9, &[1, 2, 3, 4]);
+        p.observe_enter(9);
+        assert_eq!(p.queue_len(), 2);
+        let s = p.stats();
+        assert_eq!((s.lines_enqueued, s.queue_full_drops), (2, 2));
+    }
+
+    #[test]
+    fn state_round_trips_through_the_codec() {
+        let mut p = HashPathPrefetcher::new(4, 8, 4);
+        p.record_path(1, &[0x10, 0x20]);
+        p.record_path(2, &[0x30]);
+        p.observe_enter(1);
+        p.observe_enter(7);
+        let mut w = ByteWriter::new();
+        p.encode_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut q = HashPathPrefetcher::new(4, 8, 4);
+        let mut r = ByteReader::new(&bytes);
+        q.restore_state(&mut r).expect("restore");
+        r.expect_end().expect("consumed");
+        assert_eq!(p.stats(), q.stats());
+        assert_eq!(p.table_len(), q.table_len());
+        let mut w2 = ByteWriter::new();
+        q.encode_state(&mut w2);
+        assert_eq!(bytes, w2.into_bytes(), "re-encode is bit-identical");
+    }
+
+    #[test]
+    fn restore_rejects_oversized_state() {
+        let mut p = HashPathPrefetcher::new(4, 8, 2);
+        p.record_path(1, &[0x10, 0x20]);
+        let mut w = ByteWriter::new();
+        p.encode_state(&mut w);
+        let bytes = w.into_bytes();
+        // A predictor configured with a smaller path cap refuses it.
+        let mut q = HashPathPrefetcher::new(4, 8, 1);
+        assert!(q.restore_state(&mut ByteReader::new(&bytes)).is_err());
+        // As does one with a smaller table.
+        let mut p2 = HashPathPrefetcher::new(4, 8, 2);
+        p2.record_path(1, &[0x10]);
+        p2.record_path(2, &[0x20]);
+        let mut w2 = ByteWriter::new();
+        p2.encode_state(&mut w2);
+        let mut q2 = HashPathPrefetcher::new(1, 8, 2);
+        assert!(q2
+            .restore_state(&mut ByteReader::new(&w2.into_bytes()))
+            .is_err());
+    }
+}

@@ -51,10 +51,12 @@ mod config;
 mod error;
 mod experiments;
 mod ghb;
+mod hashpath;
 mod metrics;
 mod mta;
 mod power;
 mod prefetch;
+mod prefetcher;
 mod runner;
 mod session;
 mod sim;
@@ -72,6 +74,7 @@ pub use config::{
 pub use error::{ConfigError, ProgressSnapshot, SimError};
 pub use experiments::{geometric_mean, Bench, DEFAULT_DETAIL};
 pub use ghb::{GhbPrefetcher, GhbStats};
+pub use hashpath::{hash_ray_key, HashPathPrefetcher, HashPathStats};
 pub use metrics::TreeletMetrics;
 pub use mta::{MtaPrefetcher, MtaStats};
 pub use power::{ActivityCounts, EnergyModel, PowerReport};
@@ -80,6 +83,7 @@ pub use prefetch::{
     PrefetchHeuristic, PrefetchUsefulness, PrefetcherStats, TreeletPrefetcher, UsefulnessTracker,
     Vote, VoterAreaModel, VoterKind,
 };
+pub use prefetcher::{PrefetchUnitStats, Prefetcher, WarpBufferView};
 pub use runner::{
     catch_job_panic, default_jobs, default_jobs_for, panic_message, plan_schedule,
     plan_schedule_with, run_indexed, run_scheduled, run_weighted, Schedule, Sweep, SweepOutcome,

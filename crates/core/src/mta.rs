@@ -32,6 +32,14 @@ pub struct MtaStats {
     pub prefetches_enqueued: u64,
 }
 
+impl MtaStats {
+    pub(crate) fn merge(&mut self, other: &MtaStats) {
+        self.observed += other.observed;
+        self.stride_confirmations += other.stride_confirmations;
+        self.prefetches_enqueued += other.prefetches_enqueued;
+    }
+}
+
 /// Many-thread-aware stride prefetcher with unbounded per-warp tables.
 ///
 /// # Examples

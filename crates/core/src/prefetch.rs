@@ -210,6 +210,17 @@ pub struct PrefetcherStats {
 }
 
 impl PrefetcherStats {
+    pub(crate) fn merge(&mut self, other: &PrefetcherStats) {
+        self.decisions += other.decisions;
+        self.treelets_enqueued += other.treelets_enqueued;
+        self.lines_enqueued += other.lines_enqueued;
+        self.duplicate_suppressed += other.duplicate_suppressed;
+        self.threshold_suppressed += other.threshold_suppressed;
+        self.queue_full_drops += other.queue_full_drops;
+        self.pseudo_agreements += other.pseudo_agreements;
+        self.pseudo_comparisons += other.pseudo_comparisons;
+    }
+
     /// Pseudo-voter decision accuracy (Fig. 17).
     pub fn voter_accuracy(&self) -> f64 {
         if self.pseudo_comparisons == 0 {

@@ -23,7 +23,7 @@
 //! regardless of which observers (telemetry, checkpointing) are
 //! attached.
 
-use crate::config::{CheckpointOptions, SimConfig};
+use crate::config::{CheckpointOptions, PrefetchConfig, SimConfig};
 use crate::error::{ConfigError, SimError};
 use crate::sim::{run_identity, try_run_engine, SimResult};
 use crate::snapshot::{self, SnapshotError};
@@ -165,6 +165,30 @@ impl<'a> SimSession<'a> {
     /// from the assignment's byte budget.
     pub fn treelets(mut self, treelets: &'a TreeletAssignment) -> SimSession<'a> {
         self.treelets = Some(treelets);
+        self
+    }
+
+    /// Selects the prefetcher this session runs — the builder form of
+    /// [`SimConfig::with_prefetcher`]. Combine with the
+    /// [`PrefetchConfig`] constructors:
+    ///
+    /// ```no_run
+    /// # use rt_scene::{SceneId, Workload};
+    /// # use treelet_rt::{Bench, PrefetchConfig, SimConfig, SimSession};
+    /// # let bench = Bench::prepare(SceneId::Wknd, 0.3, Workload::paper_default());
+    /// let result = SimSession::new(bench.bvh(), bench.rays(), SimConfig::paper_baseline())
+    ///     .prefetcher(PrefetchConfig::hash())
+    ///     .run()
+    ///     .expect("hash-predictor run");
+    /// ```
+    ///
+    /// For a treelet prefetcher this also reconciles the BVH layout with
+    /// the prefetcher's mapping mode (see
+    /// [`SimConfig::with_prefetcher`]); a borrowed config is cloned on
+    /// first write.
+    pub fn prefetcher(mut self, prefetch: PrefetchConfig) -> SimSession<'a> {
+        let config = self.config.to_mut();
+        *config = config.clone().with_prefetcher(prefetch);
         self
     }
 
@@ -461,6 +485,40 @@ mod tests {
         assert_eq!(plain.state_digest, resumed.state_digest);
         assert_eq!(plain.cycles, resumed.cycles);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prefetcher_builder_rewrites_the_config() {
+        let (bvh, rays) = fixture();
+        let base = SimConfig::paper_baseline();
+        let direct = SimSession::new(
+            &bvh,
+            &rays,
+            base.clone().with_prefetcher(PrefetchConfig::mta()),
+        )
+        .run()
+        .unwrap();
+        // A borrowed config is cloned on first write, leaving the
+        // original untouched.
+        let built = SimSession::borrowed(&bvh, &rays, &base)
+            .prefetcher(PrefetchConfig::mta())
+            .run()
+            .unwrap();
+        assert_eq!(base.prefetch, PrefetchConfig::None);
+        assert_eq!(direct.state_digest, built.state_digest);
+        assert!(built.mta.is_some());
+
+        // Hash runs surface hash stats and are deterministic.
+        let a = SimSession::new(&bvh, &rays, base.clone())
+            .prefetcher(PrefetchConfig::hash())
+            .run()
+            .unwrap();
+        let b = SimSession::new(&bvh, &rays, base)
+            .prefetcher(PrefetchConfig::hash())
+            .run()
+            .unwrap();
+        assert_eq!(a.state_digest, b.state_digest);
+        assert!(a.hash.is_some(), "hash stats reported");
     }
 
     #[test]

@@ -8,13 +8,12 @@
 
 use crate::config::{CheckpointOptions, LayoutChoice, PrefetchConfig, SchedulerPolicy, SimConfig};
 use crate::error::{ProgressSnapshot, SimError};
-use crate::ghb::{GhbPrefetcher, GhbStats};
-use crate::mta::{MtaPrefetcher, MtaStats};
+use crate::ghb::GhbStats;
+use crate::hashpath::{hash_ray_key, HashPathStats};
+use crate::mta::MtaStats;
 use crate::power::{ActivityCounts, EnergyModel, PowerReport};
-use crate::prefetch::{
-    full_vote_counts, pseudo_vote_counts, MappingMode, PrefetchEntry, PrefetchUsefulness,
-    PrefetcherStats, TreeletPrefetcher, VoterKind,
-};
+use crate::prefetch::{MappingMode, PrefetchEntry, PrefetchUsefulness, PrefetcherStats};
+use crate::prefetcher::{PrefetchUnitStats, Prefetcher, PrefetcherUnit, WarpBufferView};
 use crate::session::SimSession;
 use crate::snapshot::{self, Checkpoint, DigestRecord, SnapshotError};
 use crate::telemetry::{Telemetry, TelemetryOptions, TelemetrySample};
@@ -54,6 +53,8 @@ pub struct SimResult {
     pub mta: Option<MtaStats>,
     /// GHB comparison prefetcher counters, when enabled.
     pub ghb: Option<GhbStats>,
+    /// Hash-path predictor counters, when enabled.
+    pub hash: Option<HashPathStats>,
     /// Mean latency of demand BVH-node loads, core cycles (Fig. 1b).
     pub node_load_latency: f64,
     /// 99th-percentile latency of demand BVH-node loads (tail latency).
@@ -361,6 +362,26 @@ pub(crate) fn try_run_engine(
 
     let trace_one =
         |r: &Ray| trace_ray_with(bvh, treelets, r, config.traversal, config.traversal_options);
+    // Hash-predictor runs precompute each ray's prediction key (dead
+    // lanes keep a placeholder; they never enter the warp buffer).
+    let hash_quant = match config.prefetch {
+        PrefetchConfig::Hash {
+            origin_bits,
+            dir_bits,
+            seed,
+            ..
+        } => Some((origin_bits, dir_bits, seed)),
+        _ => None,
+    };
+    let scene_bounds = bvh.root_aabb();
+    let key_of = |r: &Ray| {
+        let (origin_bits, dir_bits, seed) = hash_quant.expect("hash config");
+        hash_ray_key(r, &scene_bounds, origin_bits, dir_bits, seed)
+    };
+    let mut hash_keys: Vec<u64> = match hash_quant {
+        Some(_) => rays.iter().map(key_of).collect(),
+        None => Vec::new(),
+    };
     // Generation 0: the supplied rays. With a shader program, bounce
     // generations follow, lane-aligned (dead lanes are None).
     let mut all_traces: Vec<Option<RayTrace>> = rays.iter().map(|r| Some(trace_one(r))).collect();
@@ -374,6 +395,9 @@ pub(crate) fn try_run_engine(
                 program.seed.wrapping_add(g as u64),
             );
             all_traces.extend(current.iter().map(|r| r.as_ref().map(trace_one)));
+            if hash_quant.is_some() {
+                hash_keys.extend(current.iter().map(|r| r.as_ref().map_or(0, key_of)));
+            }
         }
     }
     let live_traces: Vec<RayTrace> = all_traces.iter().flatten().cloned().collect();
@@ -439,7 +463,15 @@ pub(crate) fn try_run_engine(
         .collect();
 
     let mut start_cycle = mem.cycle();
-    let mut engine = Engine::new(config, &compiled, treelets, treelet_lines, meta_lines, mem);
+    let mut engine = Engine::new(
+        config,
+        &compiled,
+        treelets,
+        treelet_lines,
+        meta_lines,
+        hash_keys,
+        mem,
+    );
     let mut resumed_epoch = None;
     if let Some(ck) = resume {
         engine
@@ -506,62 +538,28 @@ pub(crate) fn try_run_engine(
         config.mem.core_clock_mhz,
     );
 
-    let prefetcher_stats = engine
-        .sms
-        .iter()
-        .filter_map(|s| s.prefetcher.as_ref())
-        .fold(None, |acc: Option<PrefetcherStats>, p| {
-            let s = p.stats();
-            Some(match acc {
-                None => s,
-                Some(mut a) => {
-                    a.decisions += s.decisions;
-                    a.treelets_enqueued += s.treelets_enqueued;
-                    a.lines_enqueued += s.lines_enqueued;
-                    a.duplicate_suppressed += s.duplicate_suppressed;
-                    a.threshold_suppressed += s.threshold_suppressed;
-                    a.queue_full_drops += s.queue_full_drops;
-                    a.pseudo_agreements += s.pseudo_agreements;
-                    a.pseudo_comparisons += s.pseudo_comparisons;
-                    a
-                }
-            })
-        });
-    let mta_stats =
-        engine
-            .sms
-            .iter()
-            .filter_map(|s| s.mta.as_ref())
-            .fold(None, |acc: Option<MtaStats>, m| {
-                let s = m.stats();
-                Some(match acc {
-                    None => s,
-                    Some(mut a) => {
-                        a.observed += s.observed;
-                        a.stride_confirmations += s.stride_confirmations;
-                        a.prefetches_enqueued += s.prefetches_enqueued;
-                        a
-                    }
-                })
-            });
-
-    let ghb_stats =
-        engine
-            .sms
-            .iter()
-            .filter_map(|s| s.ghb.as_ref())
-            .fold(None, |acc: Option<GhbStats>, g| {
-                let s = g.stats();
-                Some(match acc {
-                    None => s,
-                    Some(mut a) => {
-                        a.observed += s.observed;
-                        a.history_hits += s.history_hits;
-                        a.prefetches_enqueued += s.prefetches_enqueued;
-                        a
-                    }
-                })
-            });
+    // One kind-tagged fold over the units, then split into the
+    // per-kind result fields.
+    let mut unit_stats: Option<PrefetchUnitStats> = None;
+    for unit in engine.sms.iter().filter_map(|s| s.unit.as_ref()) {
+        let stats = unit.unit_stats();
+        match unit_stats.as_mut() {
+            None => unit_stats = Some(stats),
+            Some(acc) => acc.merge(&stats),
+        }
+    }
+    let (prefetcher_stats, mta_stats, ghb_stats, hash_stats): (
+        Option<PrefetcherStats>,
+        Option<MtaStats>,
+        Option<GhbStats>,
+        Option<HashPathStats>,
+    ) = match unit_stats {
+        None => (None, None, None, None),
+        Some(PrefetchUnitStats::Treelet(s)) => (Some(s), None, None, None),
+        Some(PrefetchUnitStats::Mta(s)) => (None, Some(s), None, None),
+        Some(PrefetchUnitStats::Ghb(s)) => (None, None, Some(s), None),
+        Some(PrefetchUnitStats::Hash(s)) => (None, None, None, Some(s)),
+    };
 
     let result = SimResult {
         cycles,
@@ -574,6 +572,7 @@ pub(crate) fn try_run_engine(
         prefetcher: prefetcher_stats,
         mta: mta_stats,
         ghb: ghb_stats,
+        hash: hash_stats,
         node_load_latency: engine.mem.stats().mean_latency(AccessKind::Node),
         node_load_latency_p99: engine
             .mem
@@ -700,9 +699,9 @@ struct SmState {
     test_heap: BinaryHeap<Reverse<(u64, u32)>>,
     req_map: FxHashMap<RequestId, ReqOwner>,
     counts_global: CountTable,
-    prefetcher: Option<TreeletPrefetcher>,
-    mta: Option<MtaPrefetcher>,
-    ghb: Option<GhbPrefetcher>,
+    /// The SM's prefetcher (if any), driven through the unified
+    /// [`Prefetcher`] trait.
+    unit: Option<PrefetcherUnit>,
     active_rays: usize,
 }
 
@@ -713,6 +712,11 @@ struct Engine<'a> {
     sms: Vec<SmState>,
     treelet_lines: Vec<Vec<u64>>,
     meta_lines: Vec<u64>,
+    /// Per-ray hash-predictor keys (hash configs only, else empty).
+    /// Static replay data derived from the inputs, never encoded.
+    hash_keys: Vec<u64>,
+    /// Per-ray deduplicated node-line paths (hash configs only).
+    hash_paths: Vec<Vec<u64>>,
     mapping: MappingMode,
     remaining: usize,
     /// Lane ids (generation-0 ray indices) per logical warp.
@@ -759,6 +763,7 @@ impl<'a> Engine<'a> {
         treelets: &TreeletAssignment,
         treelet_lines: Vec<Vec<u64>>,
         meta_lines: Vec<u64>,
+        hash_keys: Vec<u64>,
         mem: MemorySystem,
     ) -> Engine<'a> {
         let rays: Vec<RayCtx> = compiled
@@ -828,6 +833,30 @@ impl<'a> Engine<'a> {
             PrefetchConfig::Treelet { mapping, .. } => mapping,
             _ => MappingMode::Packed,
         };
+        // Hash-predictor replay data: each ray's node-line path (front
+        // first, consecutive duplicates removed, capped at the config's
+        // line budget) is static, so it lives outside the encoded
+        // dynamic state alongside the keys.
+        let hash_paths: Vec<Vec<u64>> = match config.prefetch {
+            PrefetchConfig::Hash { max_path_lines, .. } => compiled
+                .iter()
+                .map(|steps| {
+                    let mut path: Vec<u64> = Vec::new();
+                    for s in steps {
+                        if path.len() == max_path_lines {
+                            break;
+                        }
+                        if let Some(&line) = s.lines.first() {
+                            if path.last() != Some(&line) {
+                                path.push(line);
+                            }
+                        }
+                    }
+                    path
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
         // Every warp this SM will ever queue is known up front (pure
         // replay queues them all in the constructor; shader mode feeds
         // them back one at a time), so size the deque once.
@@ -844,33 +873,7 @@ impl<'a> Engine<'a> {
                 test_heap: BinaryHeap::new(),
                 req_map: FxHashMap::default(),
                 counts_global: CountTable::with_key_capacity(treelets.count()),
-                prefetcher: match config.prefetch {
-                    PrefetchConfig::Treelet {
-                        heuristic,
-                        voter,
-                        latency,
-                        ..
-                    } => Some(TreeletPrefetcher::new(
-                        heuristic,
-                        voter,
-                        latency,
-                        config.warp_buffer_rays(),
-                        config.prefetch_queue_capacity,
-                    )),
-                    _ => None,
-                },
-                mta: match config.prefetch {
-                    PrefetchConfig::Mta => {
-                        Some(MtaPrefetcher::paper_default(config.mem.line_bytes))
-                    }
-                    _ => None,
-                },
-                ghb: match config.prefetch {
-                    PrefetchConfig::Ghb => {
-                        Some(GhbPrefetcher::paper_default(config.mem.line_bytes))
-                    }
-                    _ => None,
-                },
+                unit: PrefetcherUnit::from_config(config),
                 active_rays: 0,
             })
             .collect();
@@ -933,6 +936,8 @@ impl<'a> Engine<'a> {
             sms,
             treelet_lines,
             meta_lines,
+            hash_keys,
+            hash_paths,
             mapping,
             remaining,
             warp_lanes,
@@ -1106,10 +1111,7 @@ impl<'a> Engine<'a> {
             {
                 return;
             }
-            if s.prefetcher.as_ref().is_some_and(|p| p.queue_len() > 0)
-                || s.mta.as_ref().is_some_and(|m| m.queue_len() > 0)
-                || s.ghb.as_ref().is_some_and(|g| g.queue_len() > 0)
-            {
+            if s.unit.as_ref().is_some_and(|u| u.queue_len() > 0) {
                 return;
             }
         }
@@ -1135,13 +1137,15 @@ impl<'a> Engine<'a> {
                     cand(w.ready_at);
                 }
             }
-            if let Some(p) = &s.prefetcher {
-                if let Some(ready_at) = p.staged_ready_at() {
+            if let Some(u) = &s.unit {
+                if let Some(ready_at) = u.staged_ready_at() {
                     cand(ready_at);
                 } else if !s.counts_global.is_empty() {
                     // Sampling only fires with resident rays; counts are
                     // frozen while idle.
-                    cand(p.next_sample_at());
+                    if let Some(t) = u.next_decision_at() {
+                        cand(t);
+                    }
                 }
             }
         }
@@ -1233,7 +1237,7 @@ impl<'a> Engine<'a> {
             prefetch_queue_depths: self
                 .sms
                 .iter()
-                .map(|s| s.prefetcher.as_ref().map_or(0, TreeletPrefetcher::queue_len))
+                .map(|s| s.unit.as_ref().map_or(0, Prefetcher::queue_len))
                 .collect(),
         }
     }
@@ -1259,7 +1263,7 @@ impl<'a> Engine<'a> {
             prefetch_queue_depth: self
                 .sms
                 .iter()
-                .map(|s| s.prefetcher.as_ref().map_or(0, TreeletPrefetcher::queue_len))
+                .map(|s| s.unit.as_ref().map_or(0, Prefetcher::queue_len))
                 .sum(),
             outstanding_requests: self.mem.outstanding_requests(),
             l1_hit_rate: l1.demand_hit_rate(),
@@ -1330,6 +1334,11 @@ impl<'a> Engine<'a> {
                     slot.counts.increment(t);
                     state.counts_global.increment(t);
                 }
+                if !self.hash_keys.is_empty() {
+                    if let Some(unit) = state.unit.as_mut() {
+                        unit.observe_ray_enter(self.hash_keys[r as usize]);
+                    }
+                }
             }
             if slot.active > 0 {
                 self.rt_entries += 1;
@@ -1371,8 +1380,8 @@ impl<'a> Engine<'a> {
                 }
                 ReqOwner::PrefetchLine => {}
                 ReqOwner::PrefetchMeta(gated) => {
-                    if let Some(p) = self.sms[sm].prefetcher.as_mut() {
-                        p.release_gated(gated);
+                    if let Some(unit) = self.sms[sm].unit.as_mut() {
+                        unit.release_gated(gated);
                     }
                 }
             }
@@ -1408,6 +1417,11 @@ impl<'a> Engine<'a> {
             slot.active -= 1;
             state.active_rays -= 1;
             self.remaining -= 1;
+            if !self.hash_paths.is_empty() {
+                if let Some(unit) = state.unit.as_mut() {
+                    unit.observe_ray_retire(self.hash_keys[r as usize], &self.hash_paths[r as usize]);
+                }
+            }
             if slot.active == 0 {
                 let (warp_id, generation) = (slot.warp_id, slot.generation);
                 state.slots[slot_idx] = None; // warp cleared from the buffer
@@ -1436,7 +1450,7 @@ impl<'a> Engine<'a> {
     fn schedule_demand(&mut self, sm: usize, now: u64) -> bool {
         let slot_idx = {
             let state = &self.sms[sm];
-            let last_prefetched = state.prefetcher.as_ref().and_then(|p| p.last_prefetched());
+            let last_prefetched = state.unit.as_ref().and_then(|u| u.last_prefetched_treelet());
             let candidates = state
                 .slots
                 .iter()
@@ -1493,15 +1507,10 @@ impl<'a> Engine<'a> {
                     ray.outstanding += 1;
                     ray.next_line += 1;
                     state.req_map.insert(req, ReqOwner::Ray(r));
-                    if let Some(mta) = state.mta.as_mut() {
-                        mta.observe(slot_idx as u32, line);
-                    }
-                    if let Some(ghb) = state.ghb.as_mut() {
-                        // The GHB records the miss stream: L1 hits never
-                        // reach it.
-                        if matches!(issue, Issue::Pending(_)) {
-                            ghb.observe(line);
-                        }
+                    if let Some(unit) = state.unit.as_mut() {
+                        // Each unit filters the stream itself: MTA takes
+                        // every demand load, the GHB only misses.
+                        unit.observe_demand(slot_idx as u32, line, matches!(issue, Issue::Pending(_)));
                     }
                     if ray.next_line == step_lines {
                         slot.ready.pop_front();
@@ -1518,88 +1527,71 @@ impl<'a> Engine<'a> {
     }
 
     fn run_prefetcher(&mut self, sm: usize, now: u64, issued_demand: bool) {
-        // Treelet prefetcher: sample/vote, then drain one entry when the
-        // memory scheduler is idle (§4.1).
+        // Unified prefetcher step: let the unit observe the warp buffer
+        // and decide (the treelet voter samples/votes here, §4.1), then
+        // drain one queued entry when the memory scheduler is idle.
         let treelet_lines = &self.treelet_lines;
         let meta_lines = &self.meta_lines;
         let mapping = self.mapping;
         let state = &mut self.sms[sm];
-        if let Some(p) = state.prefetcher.as_mut() {
-            let line_of = |t: u32| treelet_lines[t as usize].as_slice();
-            let meta_of = |t: u32| meta_lines[t as usize];
-            if p.poll(now, mapping, line_of, meta_of) && !state.counts_global.is_empty() {
-                p.set_resident_rays(state.active_rays as u32);
-                let full = full_vote_counts(&state.counts_global);
-                let chosen = match p.voter() {
-                    VoterKind::Full => full,
-                    VoterKind::PseudoTwoLevel => pseudo_vote_counts(
-                        state.slots.iter().flatten().map(|s| &s.counts),
-                        &state.counts_global,
-                    ),
+        let Some(unit) = state.unit.as_mut() else {
+            return;
+        };
+        {
+            let lines = |t: u32| treelet_lines[t as usize].as_slice();
+            let meta = |t: u32| meta_lines[t as usize];
+            let slots = &state.slots;
+            let per_warp = |f: &mut dyn FnMut(&CountVec)| {
+                for s in slots.iter().flatten() {
+                    f(&s.counts);
+                }
+            };
+            let view = WarpBufferView::new(
+                mapping,
+                state.active_rays as u32,
+                &state.counts_global,
+                &per_warp,
+                &lines,
+                &meta,
+            );
+            unit.decide(now, &view);
+        }
+        if issued_demand {
+            return;
+        }
+        let Some(entry) = unit.pop_entry() else {
+            return;
+        };
+        match entry {
+            PrefetchEntry::Line(addr) => {
+                let issue = match self.config.prefetch_destination {
+                    crate::PrefetchDestination::L1 => {
+                        self.mem
+                            .access(sm, addr, FillOrigin::Prefetch, AccessKind::Prefetch)
+                    }
+                    crate::PrefetchDestination::L2 => self.mem.prefetch_l2(addr),
                 };
-                p.submit(now, chosen, full, mapping, line_of, meta_of);
-            }
-            if !issued_demand {
-                if let Some(entry) = p.pop() {
-                    match entry {
-                        PrefetchEntry::Line(addr) => {
-                            let issue = match self.config.prefetch_destination {
-                                crate::PrefetchDestination::L1 => self.mem.access(
-                                    sm,
-                                    addr,
-                                    FillOrigin::Prefetch,
-                                    AccessKind::Prefetch,
-                                ),
-                                crate::PrefetchDestination::L2 => self.mem.prefetch_l2(addr),
-                            };
-                            match issue {
-                                Issue::Pending(req) | Issue::Hit(req) => {
-                                    state.req_map.insert(req, ReqOwner::PrefetchLine);
-                                }
-                                Issue::PrefetchDropped | Issue::Retry => {}
-                            }
-                        }
-                        PrefetchEntry::Meta { addr, gated_lines } => {
-                            match self
-                                .mem
-                                .access(sm, addr, FillOrigin::Prefetch, AccessKind::Meta)
-                            {
-                                Issue::Pending(req) | Issue::Hit(req) => {
-                                    state
-                                        .req_map
-                                        .insert(req, ReqOwner::PrefetchMeta(gated_lines));
-                                }
-                                Issue::PrefetchDropped => {
-                                    // Mapping entry already cached: the
-                                    // gated lines release immediately.
-                                    p.release_gated(gated_lines);
-                                }
-                                Issue::Retry => {}
-                            }
-                        }
-                    }
-                }
-            }
-        } else if let Some(mta) = state.mta.as_mut() {
-            if !issued_demand {
-                if let Some(addr) = mta.pop() {
-                    if let Issue::Pending(req) | Issue::Hit(req) =
-                        self.mem
-                            .access(sm, addr, FillOrigin::Prefetch, AccessKind::Prefetch)
-                    {
+                match issue {
+                    Issue::Pending(req) | Issue::Hit(req) => {
                         state.req_map.insert(req, ReqOwner::PrefetchLine);
                     }
+                    Issue::PrefetchDropped | Issue::Retry => {}
                 }
             }
-        } else if let Some(ghb) = state.ghb.as_mut() {
-            if !issued_demand {
-                if let Some(addr) = ghb.pop() {
-                    if let Issue::Pending(req) | Issue::Hit(req) =
-                        self.mem
-                            .access(sm, addr, FillOrigin::Prefetch, AccessKind::Prefetch)
-                    {
-                        state.req_map.insert(req, ReqOwner::PrefetchLine);
+            PrefetchEntry::Meta { addr, gated_lines } => {
+                match self
+                    .mem
+                    .access(sm, addr, FillOrigin::Prefetch, AccessKind::Meta)
+                {
+                    Issue::Pending(req) | Issue::Hit(req) => {
+                        state.req_map.insert(req, ReqOwner::PrefetchMeta(gated_lines));
                     }
+                    Issue::PrefetchDropped => {
+                        // Mapping entry already cached: the gated lines
+                        // release immediately.
+                        unit.release_gated(gated_lines);
+                    }
+                    Issue::Retry => {}
                 }
             }
         }
@@ -1800,25 +1792,39 @@ fn encode_sm_state(sm: &SmState, w: &mut ByteWriter) {
         }
     }
     encode_counts(&sm.counts_global, w);
-    match &sm.prefetcher {
-        None => w.put_bool(false),
-        Some(p) => {
+    // The legacy layout writes three presence flags (treelet, MTA, GHB)
+    // so pre-existing digests stay bit-identical; the hash predictor is
+    // an additive fourth section present only in hash configurations.
+    match &sm.unit {
+        None => {
+            w.put_bool(false);
+            w.put_bool(false);
+            w.put_bool(false);
+        }
+        Some(PrefetcherUnit::Treelet(p)) => {
             w.put_bool(true);
             p.encode_state(w);
+            w.put_bool(false);
+            w.put_bool(false);
         }
-    }
-    match &sm.mta {
-        None => w.put_bool(false),
-        Some(m) => {
+        Some(PrefetcherUnit::Mta(m)) => {
+            w.put_bool(false);
             w.put_bool(true);
             m.encode_state(w);
+            w.put_bool(false);
         }
-    }
-    match &sm.ghb {
-        None => w.put_bool(false),
-        Some(g) => {
+        Some(PrefetcherUnit::Ghb(g)) => {
+            w.put_bool(false);
+            w.put_bool(false);
             w.put_bool(true);
             g.encode_state(w);
+        }
+        Some(PrefetcherUnit::Hash(h)) => {
+            w.put_bool(false);
+            w.put_bool(false);
+            w.put_bool(false);
+            w.put_bool(true);
+            h.encode_state(w);
         }
     }
     w.put_usize(sm.active_rays);
@@ -1937,33 +1943,68 @@ fn restore_sm_state(
         }
     }
     sm.counts_global = decode_counts(r)?;
-    restore_optional_unit(r, "treelet prefetcher", &mut sm.prefetcher, |p, r| {
-        p.restore_state(r)
-    })?;
-    restore_optional_unit(r, "MTA prefetcher", &mut sm.mta, |m, r| m.restore_state(r))?;
-    restore_optional_unit(r, "GHB prefetcher", &mut sm.ghb, |g, r| g.restore_state(r))?;
+    restore_unit_state(&mut sm.unit, r)?;
     sm.active_rays = r.take_usize()?;
     Ok(())
 }
 
-/// Reads an optional unit's presence flag and, when present, its state —
-/// rejecting checkpoints whose flag disagrees with the configuration the
-/// engine was rebuilt from.
-fn restore_optional_unit<T>(
+/// Reads the prefetcher presence flags and, for the configured unit, its
+/// state — rejecting checkpoints whose flags disagree with the
+/// configuration the engine was rebuilt from. The flag layout mirrors
+/// [`encode_sm_state`]: three legacy sections (treelet, MTA, GHB) and an
+/// additive hash section only hash configurations carry.
+fn restore_unit_state(
+    unit: &mut Option<PrefetcherUnit>,
     r: &mut ByteReader<'_>,
-    name: &str,
-    unit: &mut Option<T>,
-    restore: impl FnOnce(&mut T, &mut ByteReader<'_>) -> Result<(), DecodeError>,
 ) -> Result<(), DecodeError> {
-    let present = r.take_bool()?;
-    match (present, unit.as_mut()) {
-        (true, Some(u)) => restore(u, r),
-        (false, None) => Ok(()),
-        (flag, _) => Err(DecodeError::malformed(format!(
+    let mismatch = |flag: bool, name: &str| {
+        DecodeError::malformed(format!(
             "checkpoint {} a {name}, the configuration {}",
             if flag { "carries" } else { "lacks" },
             if flag { "has none" } else { "expects one" },
-        ))),
+        ))
+    };
+    let expect = |r: &mut ByteReader<'_>, want: bool, name: &str| -> Result<(), DecodeError> {
+        let present = r.take_bool()?;
+        if present != want {
+            return Err(mismatch(present, name));
+        }
+        Ok(())
+    };
+    match unit {
+        None => {
+            expect(r, false, "treelet prefetcher")?;
+            expect(r, false, "MTA prefetcher")?;
+            expect(r, false, "GHB prefetcher")?;
+            Ok(())
+        }
+        Some(PrefetcherUnit::Treelet(p)) => {
+            expect(r, true, "treelet prefetcher")?;
+            p.restore_state(r)?;
+            expect(r, false, "MTA prefetcher")?;
+            expect(r, false, "GHB prefetcher")?;
+            Ok(())
+        }
+        Some(PrefetcherUnit::Mta(m)) => {
+            expect(r, false, "treelet prefetcher")?;
+            expect(r, true, "MTA prefetcher")?;
+            m.restore_state(r)?;
+            expect(r, false, "GHB prefetcher")?;
+            Ok(())
+        }
+        Some(PrefetcherUnit::Ghb(g)) => {
+            expect(r, false, "treelet prefetcher")?;
+            expect(r, false, "MTA prefetcher")?;
+            expect(r, true, "GHB prefetcher")?;
+            g.restore_state(r)
+        }
+        Some(PrefetcherUnit::Hash(h)) => {
+            expect(r, false, "treelet prefetcher")?;
+            expect(r, false, "MTA prefetcher")?;
+            expect(r, false, "GHB prefetcher")?;
+            expect(r, true, "hash-path prefetcher")?;
+            h.restore_state(r)
+        }
     }
 }
 

@@ -12,7 +12,7 @@
 //! The pinned values correspond to the CI suite cells
 //! `suite --detail 0.1 --res 16 --config {baseline,prefetch}`.
 
-use treelet_rt::{Bench, CheckpointOptions, SimConfig, SimSession};
+use treelet_rt::{Bench, CheckpointOptions, PrefetchConfig, SimConfig, SimSession};
 
 use rt_scene::{SceneId, Workload, WorkloadKind};
 
@@ -22,7 +22,12 @@ fn bench(scene: SceneId) -> Bench {
 }
 
 /// (scene, config name, config, expected cycles, expected digest).
-fn golden() -> [(SceneId, &'static str, SimConfig, u64, u64); 4] {
+///
+/// The mta/ghb/hash rows pin the Fig. 8 prior-work prefetchers riding on
+/// the paper baseline — the same cells the bakeoff harness runs — so a
+/// change to the unified `Prefetcher` dispatch that perturbs any one of
+/// them fails here by name rather than shifting bakeoff output silently.
+fn golden() -> [(SceneId, &'static str, SimConfig, u64, u64); 10] {
     [
         (
             SceneId::Wknd,
@@ -51,6 +56,48 @@ fn golden() -> [(SceneId, &'static str, SimConfig, u64, u64); 4] {
             SimConfig::paper_treelet_prefetch(),
             3148,
             0x7443b83510c62a52,
+        ),
+        (
+            SceneId::Wknd,
+            "mta",
+            SimConfig::paper_baseline().with_prefetcher(PrefetchConfig::mta()),
+            1875,
+            0x38812acfe0a9701a,
+        ),
+        (
+            SceneId::Car,
+            "mta",
+            SimConfig::paper_baseline().with_prefetcher(PrefetchConfig::mta()),
+            3753,
+            0xf9d1f4f40c0be1e1,
+        ),
+        (
+            SceneId::Wknd,
+            "ghb",
+            SimConfig::paper_baseline().with_prefetcher(PrefetchConfig::ghb()),
+            1875,
+            0x55f136e57e73ea93,
+        ),
+        (
+            SceneId::Car,
+            "ghb",
+            SimConfig::paper_baseline().with_prefetcher(PrefetchConfig::ghb()),
+            3749,
+            0x5eb54e64dda9cbda,
+        ),
+        (
+            SceneId::Wknd,
+            "hash",
+            SimConfig::paper_baseline().with_prefetcher(PrefetchConfig::hash()),
+            1875,
+            0x0463f97cb1936c5d,
+        ),
+        (
+            SceneId::Car,
+            "hash",
+            SimConfig::paper_baseline().with_prefetcher(PrefetchConfig::hash()),
+            3749,
+            0x7e1e8998ca0d4163,
         ),
     ]
 }

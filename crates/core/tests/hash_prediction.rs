@@ -1,0 +1,111 @@
+//! Hash-path predictor integration tests: the seeded ray hash is a pure
+//! function of ray geometry (so permuting a workload permutes keys
+//! without changing any of them), end-to-end hash runs are
+//! run-to-run deterministic with the predictor's counters surfaced in
+//! the result, and the prediction table converges to the same contents
+//! regardless of observation order when no evictions occur.
+
+use rt_geometry::{Aabb, Vec3};
+use rt_scene::{SceneId, Workload, WorkloadKind};
+use treelet_rt::{hash_ray_key, Bench, HashPathPrefetcher, PrefetchConfig, SimConfig};
+
+fn bench(scene: SceneId) -> Bench {
+    Bench::prepare(scene, 0.1, Workload::new(WorkloadKind::Primary, 16, 16))
+}
+
+fn hash_config() -> SimConfig {
+    SimConfig::paper_baseline().with_prefetcher(PrefetchConfig::hash())
+}
+
+#[test]
+fn hash_runs_are_deterministic_and_report_stats() {
+    // A one-SM, two-slot machine over 32x32 primary rays: the workload
+    // far exceeds the 64 resident lanes, so later warps enter only
+    // after earlier same-key rays have retired and recorded their
+    // paths — the regime where the prediction table actually hits.
+    let b = Bench::prepare(SceneId::Car, 0.1, Workload::new(WorkloadKind::Primary, 32, 32));
+    let mut small = hash_config();
+    small.num_sms = 1;
+    small.warp_buffer_size = 2;
+    let first = b.run(&small);
+    let second = b.run(&small);
+    assert_eq!(first.cycles, second.cycles);
+    assert_eq!(first.state_digest, second.state_digest);
+    let s = first.hash.expect("hash config reports hash stats");
+    assert_eq!(s, second.hash.unwrap(), "counters diverged between runs");
+    assert!(s.rays_hashed > 0, "no rays hashed: {s:?}");
+    assert!(s.paths_recorded > 0, "no paths recorded: {s:?}");
+    assert!(
+        s.table_hits > 0 && s.lines_enqueued > 0,
+        "primary rays should repeat keys and trigger predictions: {s:?}"
+    );
+    // Non-hash configs must not grow a hash section in the result.
+    assert!(b.run(&SimConfig::paper_baseline()).hash.is_none());
+}
+
+#[test]
+fn ray_keys_are_a_pure_function_of_geometry() {
+    // Hash every workload ray, then hash a deterministically permuted
+    // copy of the list: the multiset of keys must be identical, because
+    // the key depends only on the ray and the seed — not on arrival
+    // order or neighboring rays.
+    let b = bench(SceneId::Wknd);
+    let bounds = Aabb::new(Vec3::splat(-10.0), Vec3::splat(10.0));
+    let keys: Vec<u64> = b
+        .rays()
+        .iter()
+        .map(|r| hash_ray_key(r, &bounds, 5, 5, 7))
+        .collect();
+    let mut permuted: Vec<_> = b.rays().to_vec();
+    permuted.reverse();
+    let third = permuted.len() / 3;
+    permuted.rotate_left(third);
+    let mut permuted_keys: Vec<u64> = permuted
+        .iter()
+        .map(|r| hash_ray_key(r, &bounds, 5, 5, 7))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    permuted_keys.sort_unstable();
+    assert_eq!(sorted, permuted_keys, "permutation changed a ray's key");
+    // Coherent primary rays must actually share cells — the predictor
+    // is useless if every ray lands in its own bucket.
+    sorted.dedup();
+    assert!(
+        sorted.len() < keys.len(),
+        "no two of {} primary rays shared a key",
+        keys.len()
+    );
+}
+
+#[test]
+fn prediction_table_is_order_independent_below_capacity() {
+    // Feed the same key -> path observations in two different orders
+    // into tables large enough to avoid eviction: every key must
+    // remember the same path, and probing in a fixed order must produce
+    // the same prefetch stream.
+    let observations: Vec<(u64, Vec<u64>)> = (0u64..32)
+        .map(|k| (k * 0x9e37, (0..4).map(|i| k * 100 + i).collect()))
+        .collect();
+    let mut forward = HashPathPrefetcher::new(64, 1024, 8);
+    for (key, path) in &observations {
+        forward.record_path(*key, path);
+    }
+    let mut backward = HashPathPrefetcher::new(64, 1024, 8);
+    for (key, path) in observations.iter().rev() {
+        backward.record_path(*key, path);
+    }
+    assert_eq!(forward.table_len(), backward.table_len());
+    for (key, _) in &observations {
+        forward.observe_enter(*key);
+        backward.observe_enter(*key);
+    }
+    assert_eq!(forward.queue_len(), backward.queue_len());
+    loop {
+        let (a, b) = (forward.pop(), backward.pop());
+        assert_eq!(a, b, "prefetch streams diverged");
+        if a.is_none() {
+            break;
+        }
+    }
+}

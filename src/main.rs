@@ -6,6 +6,7 @@
 //! treelet-prefetching stats --scene CAR [--detail 1.0] [--treelet-bytes 512]
 //! treelet-prefetching run   --scene CAR [--detail 1.0] [--res 32]
 //!                           [--config baseline|traversal|prefetch]
+//!                           [--prefetch none|treelet|mta|ghb|hash]
 //!                           [--heuristic always|partial|pop:<t>]
 //!                           [--scheduler baseline|omr|pmr]
 //!                           [--treelet-bytes N] [--workload primary|diffuse|shadow]
@@ -19,8 +20,8 @@ use treelet_prefetching::gpu::FaultInjection;
 use treelet_prefetching::scene::{load_obj, Camera, Scene, SceneId, Workload, WorkloadKind};
 use treelet_prefetching::treelet::{
     compile_trace, default_jobs_for, first_divergence, read_digest_log, trace_ray, write_traces,
-    Bench, CheckpointOptions, PrefetchHeuristic, SchedulerPolicy, SimConfig, SimError,
-    SimSession, Sweep, SweepOutcome, Telemetry, TelemetryOptions, TreeletAssignment,
+    Bench, CheckpointOptions, PrefetchConfig, PrefetchHeuristic, SchedulerPolicy, SimConfig,
+    SimError, SimSession, Sweep, SweepOutcome, Telemetry, TelemetryOptions, TreeletAssignment,
     DEFAULT_TELEMETRY_EVERY,
 };
 
@@ -78,6 +79,10 @@ struct Options {
     detail: f32,
     res: u32,
     config: ConfigKind,
+    prefetch: Option<PrefetchKind>,
+    hash_table_size: Option<usize>,
+    hash_quant: Option<u32>,
+    hash_path_lines: Option<usize>,
     heuristic: Option<PrefetchHeuristic>,
     scheduler: Option<SchedulerPolicy>,
     treelet_bytes: u64,
@@ -99,6 +104,33 @@ enum ConfigKind {
     Baseline,
     TraversalOnly,
     Prefetch,
+}
+
+/// The `--prefetch` selector: which prefetcher rides on top of the base
+/// `--config`. Overrides the base config's prefetcher via
+/// [`SimConfig::with_prefetcher`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PrefetchKind {
+    None,
+    Treelet,
+    Mta,
+    Ghb,
+    Hash,
+}
+
+impl PrefetchKind {
+    fn parse(text: &str) -> Result<PrefetchKind, String> {
+        match text {
+            "none" => Ok(PrefetchKind::None),
+            "treelet" => Ok(PrefetchKind::Treelet),
+            "mta" => Ok(PrefetchKind::Mta),
+            "ghb" => Ok(PrefetchKind::Ghb),
+            "hash" => Ok(PrefetchKind::Hash),
+            other => Err(format!(
+                "unknown --prefetch {other:?} (none | treelet | mta | ghb | hash)"
+            )),
+        }
+    }
 }
 
 impl ConfigKind {
@@ -168,6 +200,10 @@ impl Default for Options {
             detail: 1.0,
             res: 32,
             config: ConfigKind::Prefetch,
+            prefetch: None,
+            hash_table_size: None,
+            hash_quant: None,
+            hash_path_lines: None,
             heuristic: None,
             scheduler: None,
             treelet_bytes: 512,
@@ -302,6 +338,36 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--config" => {
                 options.config = ConfigKind::parse(next_value(&mut it, "--config")?)?;
             }
+            "--prefetch" => {
+                options.prefetch = Some(PrefetchKind::parse(next_value(&mut it, "--prefetch")?)?);
+            }
+            "--hash-table-size" => {
+                let v: usize = next_value(&mut it, "--hash-table-size")?
+                    .parse()
+                    .map_err(|e| format!("bad --hash-table-size: {e}"))?;
+                if v == 0 {
+                    return Err("--hash-table-size must be positive".into());
+                }
+                options.hash_table_size = Some(v);
+            }
+            "--hash-quant" => {
+                let v: u32 = next_value(&mut it, "--hash-quant")?
+                    .parse()
+                    .map_err(|e| format!("bad --hash-quant: {e}"))?;
+                if !(1..=16).contains(&v) {
+                    return Err("--hash-quant must be between 1 and 16 bits".into());
+                }
+                options.hash_quant = Some(v);
+            }
+            "--hash-path-lines" => {
+                let v: usize = next_value(&mut it, "--hash-path-lines")?
+                    .parse()
+                    .map_err(|e| format!("bad --hash-path-lines: {e}"))?;
+                if v == 0 {
+                    return Err("--hash-path-lines must be positive".into());
+                }
+                options.hash_path_lines = Some(v);
+            }
             "--heuristic" => {
                 let v = next_value(&mut it, "--heuristic")?;
                 options.heuristic = Some(parse_heuristic(v)?);
@@ -391,6 +457,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             other => return Err(format!("unknown flag {other:?}")),
         }
+    }
+    if options.prefetch != Some(PrefetchKind::Hash)
+        && (options.hash_table_size.is_some()
+            || options.hash_quant.is_some()
+            || options.hash_path_lines.is_some())
+    {
+        return Err("--hash-table-size/--hash-quant/--hash-path-lines require --prefetch hash".into());
     }
     Ok(options)
 }
@@ -716,6 +789,12 @@ fn parse_client_options(args: &[String]) -> Result<ClientOptions, String> {
 
 fn build_config(options: &Options) -> SimConfig {
     let mut config = options.config.build().with_treelet_bytes(options.treelet_bytes);
+    // The prefetcher override comes first so `--prefetch treelet
+    // --heuristic partial` composes (the heuristic setter only touches a
+    // treelet prefetcher).
+    if let Some(kind) = options.prefetch {
+        config = config.with_prefetcher(build_prefetch(kind, options));
+    }
     if let Some(h) = options.heuristic {
         config = config.with_heuristic(h);
     }
@@ -723,6 +802,40 @@ fn build_config(options: &Options) -> SimConfig {
         config = config.with_scheduler(s);
     }
     apply_robustness(config, options)
+}
+
+/// Expands a `--prefetch` selection (plus the hash knobs) into its
+/// [`PrefetchConfig`].
+fn build_prefetch(kind: PrefetchKind, options: &Options) -> PrefetchConfig {
+    match kind {
+        PrefetchKind::None => PrefetchConfig::none(),
+        PrefetchKind::Treelet => PrefetchConfig::treelet(),
+        PrefetchKind::Mta => PrefetchConfig::mta(),
+        PrefetchKind::Ghb => PrefetchConfig::ghb(),
+        PrefetchKind::Hash => {
+            let mut prefetch = PrefetchConfig::hash();
+            if let PrefetchConfig::Hash {
+                table_capacity,
+                origin_bits,
+                dir_bits,
+                max_path_lines,
+                ..
+            } = &mut prefetch
+            {
+                if let Some(v) = options.hash_table_size {
+                    *table_capacity = v;
+                }
+                if let Some(v) = options.hash_quant {
+                    *origin_bits = v;
+                    *dir_bits = v;
+                }
+                if let Some(v) = options.hash_path_lines {
+                    *max_path_lines = v;
+                }
+            }
+            prefetch
+        }
+    }
 }
 
 /// Applies the watchdog/fault flags shared by every config the CLI
@@ -989,6 +1102,17 @@ fn cmd_run(options: &Options) -> Result<(), Failure> {
         println!(
             "prefetches:        {} timely, {} late, {} too late, {} early, {} unused",
             e.timely, e.late, e.too_late, e.early, e.unused
+        );
+    }
+    if let Some(h) = &result.hash {
+        println!(
+            "hash predictor:    {} rays hashed, {} table hits ({:.1}%), {} paths, {} lines staged, {} dropped",
+            h.rays_hashed,
+            h.table_hits,
+            h.hit_rate() * 100.0,
+            h.paths_recorded,
+            h.lines_enqueued,
+            h.queue_full_drops
         );
     }
     // Scripts (the CI kill-and-resume job among them) compare this line
@@ -1436,6 +1560,9 @@ USAGE:
   treelet-prefetching trace --scene CAR --out trace.txt [--config traversal] [--res 32]
   treelet-prefetching run   --scene CAR [--detail 1.0] [--res 32]
                             [--config baseline|traversal|prefetch]
+                            [--prefetch none|treelet|mta|ghb|hash]
+                            [--hash-table-size N] [--hash-quant BITS]
+                            [--hash-path-lines N]
                             [--heuristic always|partial|pop:<t>]
                             [--scheduler baseline|omr|pmr]
                             [--treelet-bytes N]
@@ -1463,6 +1590,19 @@ USAGE:
                              [--res 16] [--workload primary]
                              [--treelet-bytes N] [--max-cycles N]
                              [--timeout-ms N] [--checkpoint-every N]
+
+PREFETCHERS:
+  --prefetch KIND      override the base --config's prefetcher: none,
+                       treelet (majority-voted treelet prefetch), mta
+                       (Lee et al. many-thread-aware stride), ghb
+                       (global history buffer over misses), or hash
+                       (Demoullin et al. hash-based ray-path prediction)
+  --hash-table-size N  hash predictor: prediction-table capacity
+                       (entries; requires --prefetch hash)
+  --hash-quant BITS    hash predictor: origin/direction quantization
+                       grid bits, 1..=16 (requires --prefetch hash)
+  --hash-path-lines N  hash predictor: max node lines remembered per
+                       retired ray path (requires --prefetch hash)
 
 PARALLEL EXECUTION:
   suite                run one config across a scene list (default: all
@@ -1668,6 +1808,96 @@ mod tests {
         );
         assert!(parse_heuristic("pop:1.5").is_err());
         assert!(parse_heuristic("sometimes").is_err());
+    }
+
+    #[test]
+    fn prefetch_selector_parses() {
+        let opts = match parse(&["run", "--prefetch", "hash"]).unwrap() {
+            Command::Run(o) => o,
+            other => panic!("expected run, got {other:?}"),
+        };
+        assert_eq!(opts.prefetch, Some(PrefetchKind::Hash));
+        for (text, kind) in [
+            ("none", PrefetchKind::None),
+            ("treelet", PrefetchKind::Treelet),
+            ("mta", PrefetchKind::Mta),
+            ("ghb", PrefetchKind::Ghb),
+            ("hash", PrefetchKind::Hash),
+        ] {
+            assert_eq!(PrefetchKind::parse(text), Ok(kind));
+        }
+        assert!(PrefetchKind::parse("stride").is_err());
+        assert!(parse(&["run", "--prefetch", "stride"]).is_err());
+    }
+
+    #[test]
+    fn hash_knobs_require_the_hash_prefetcher() {
+        assert!(parse(&["run", "--hash-table-size", "64"]).is_err());
+        assert!(parse(&["run", "--prefetch", "mta", "--hash-quant", "4"]).is_err());
+        assert!(parse(&["run", "--prefetch", "hash", "--hash-path-lines", "8"]).is_ok());
+    }
+
+    #[test]
+    fn hash_knob_values_validated_at_parse_time() {
+        assert!(parse(&["run", "--prefetch", "hash", "--hash-table-size", "0"]).is_err());
+        assert!(parse(&["run", "--prefetch", "hash", "--hash-quant", "0"]).is_err());
+        assert!(parse(&["run", "--prefetch", "hash", "--hash-quant", "17"]).is_err());
+        assert!(parse(&["run", "--prefetch", "hash", "--hash-path-lines", "0"]).is_err());
+        assert!(parse(&["run", "--prefetch", "hash", "--hash-quant", "16"]).is_ok());
+    }
+
+    #[test]
+    fn prefetch_selector_rewrites_the_config() {
+        let opts = match parse(&[
+            "run", "--config", "baseline", "--prefetch", "hash", "--hash-table-size", "64",
+            "--hash-quant", "4", "--hash-path-lines", "8",
+        ])
+        .unwrap()
+        {
+            Command::Run(o) => o,
+            other => panic!("expected run, got {other:?}"),
+        };
+        let config = build_config(&opts);
+        match config.prefetch {
+            PrefetchConfig::Hash {
+                table_capacity,
+                origin_bits,
+                dir_bits,
+                max_path_lines,
+                ..
+            } => {
+                assert_eq!(table_capacity, 64);
+                assert_eq!(origin_bits, 4);
+                assert_eq!(dir_bits, 4);
+                assert_eq!(max_path_lines, 8);
+            }
+            other => panic!("expected hash prefetch config, got {other:?}"),
+        }
+        config.validate().expect("hash CLI config validates");
+
+        // `--prefetch treelet` composes with the heuristic setter.
+        let opts = match parse(&[
+            "run", "--config", "baseline", "--prefetch", "treelet", "--heuristic", "partial",
+        ])
+        .unwrap()
+        {
+            Command::Run(o) => o,
+            other => panic!("expected run, got {other:?}"),
+        };
+        let config = build_config(&opts);
+        match config.prefetch {
+            PrefetchConfig::Treelet { heuristic, .. } => {
+                assert_eq!(heuristic, PrefetchHeuristic::Partial);
+            }
+            other => panic!("expected treelet prefetch config, got {other:?}"),
+        }
+
+        // `--prefetch none` strips the prefetcher off a prefetch config.
+        let opts = match parse(&["run", "--config", "prefetch", "--prefetch", "none"]).unwrap() {
+            Command::Run(o) => o,
+            other => panic!("expected run, got {other:?}"),
+        };
+        assert_eq!(build_config(&opts).prefetch, PrefetchConfig::None);
     }
 
     #[test]

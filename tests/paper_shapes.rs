@@ -109,8 +109,7 @@ fn stride_balances_dram_channels() {
 fn mta_stride_prefetcher_is_ineffective_on_ray_tracing() {
     // Fig. 8's shape: stride prefetching finds almost nothing useful in
     // BVH pointer-chasing traffic.
-    let mut config = SimConfig::paper_baseline();
-    config.prefetch = PrefetchConfig::Mta;
+    let config = SimConfig::paper_baseline().with_prefetcher(PrefetchConfig::mta());
     let mta = run(SceneId::Sprng, 0.4, &config);
     let stats = mta.mta.expect("MTA stats");
     assert!(stats.observed > 0);
