@@ -27,16 +27,27 @@
 //! turns that regression into a hard failure: the run exits nonzero if
 //! the parallel median exceeds the serial median for any config.
 //!
+//! It also times suite **preparation** three ways — serial cold (per
+//! scene), parallel cold through the cost-model scheduler, and warm
+//! from a throwaway BVH artifact cache — demanding three-way
+//! bit-identity; `--gate-prep` turns warm-slower-than-cold into a
+//! hard failure.
+//!
 //! Writes `BENCH_simperf.json` in the current directory (override with
 //! `--out PATH`) and exits nonzero on any digest mismatch, so CI can
 //! run it as a smoke job and archive the JSON as the perf record.
 //!
 //! Scene detail defaults to 0.1 with a 16×16 primary-ray workload (CI
 //! smoke scale); `TREELET_DETAIL` or `--detail` raises it for deeper
-//! local runs.
+//! local runs. The preparation benchmark ignores that knob and always
+//! builds at full detail 1.0, where cache wins are representative.
 
 use rt_bench::microbench::Group;
-use rt_bench::{default_jobs_for, plan_schedule, Schedule, SimConfig, SimResult, Suite};
+use rt_bench::{
+    default_jobs_for, encode_prepared_bench, parse_detail_override, plan_schedule, Bench,
+    BvhCache, PrepareOptions, Schedule, SimConfig, SimResult, Suite,
+};
+use rt_gpu_sim::fnv1a64;
 use rt_scene::{SceneId, Workload, WorkloadKind};
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -64,13 +75,21 @@ struct ConfigReport {
 
 fn main() -> ExitCode {
     let mut out = String::from("BENCH_simperf.json");
-    let mut detail: f32 = std::env::var("TREELET_DETAIL")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.1);
+    // An unparseable TREELET_DETAIL is a hard error (exit 2), not a
+    // silent fall-through to the default: a CI job that typos the
+    // override must not quietly benchmark the wrong scale.
+    let env_detail = std::env::var("TREELET_DETAIL").ok();
+    let mut detail: f32 = match parse_detail_override(env_detail.as_deref()) {
+        Ok(d) => d.unwrap_or(0.1),
+        Err(why) => {
+            eprintln!("error: TREELET_DETAIL: {why}");
+            return ExitCode::from(2);
+        }
+    };
     let mut reps: usize = 5;
     let mut jobs_override: Option<usize> = None;
     let mut gate_parallel = false;
+    let mut gate_prep = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -91,11 +110,31 @@ fn main() -> ExitCode {
                 _ => return usage("--jobs needs a positive integer"),
             },
             "--gate-parallel" => gate_parallel = true,
+            "--gate-prep" => gate_prep = true,
             other => return usage(&format!("unknown argument `{other}`")),
         }
     }
 
     let workload = Workload::new(WorkloadKind::Primary, 16, 16);
+
+    // Preparation wall-clock: serial cold (per-scene timed, populating
+    // a throwaway cache), parallel cold through the cost-model
+    // scheduler, and cache-warm — all three must be bit-identical.
+    // Always measured at full detail, independent of the simulation's
+    // smoke-scale `detail`: cache wins only matter on real scenes.
+    let prep_jobs = jobs_override.unwrap_or_else(|| default_jobs_for(SceneId::ALL.len()));
+    let prep = run_prepare_bench(PREP_DETAIL, workload, prep_jobs);
+    println!(
+        "prepare:  detail {PREP_DETAIL}   cold {:.1} ms   parallel jobs{prep_jobs} {:.1} ms   warm {:.1} ms \
+         ({} hit(s), {} miss(es))   digests {}",
+        prep.cold_ms,
+        prep.parallel_ms,
+        prep.warm_ms,
+        prep.warm_hits,
+        prep.warm_misses,
+        verdict(prep.digests_match),
+    );
+
     let suite = Suite::prepare(detail, workload);
     let jobs = jobs_override.unwrap_or_else(|| default_jobs_for(suite.benches().len()));
     let costs = suite.scene_costs();
@@ -141,7 +180,7 @@ fn main() -> ExitCode {
         ),
     ];
 
-    let json = render_json(detail, jobs, reps, &plan, &costs, &reports, &kernels);
+    let json = render_json(detail, jobs, reps, &plan, &costs, &prep, &reports, &kernels);
     // Atomic write-then-rename: CI archives this file, and a benchmark
     // process killed mid-write must never leave a torn perf record that
     // later tooling would parse as a regression.
@@ -155,7 +194,21 @@ fn main() -> ExitCode {
         eprintln!("error: state digest mismatch — see {out}");
         return ExitCode::FAILURE;
     }
-    println!("digest cross-checks clean (jobs 1 vs {jobs}, idle-skip on vs off)");
+    if !prep.digests_match {
+        eprintln!("error: preparation digest mismatch (cold vs parallel vs warm) — see {out}");
+        return ExitCode::FAILURE;
+    }
+    println!("digest cross-checks clean (jobs 1 vs {jobs}, idle-skip on vs off, prep cold/parallel/warm)");
+    if gate_prep {
+        if prep.warm_ms > prep.cold_ms {
+            eprintln!(
+                "error: cache-warm preparation regressed: warm {:.3} ms > cold {:.3} ms",
+                prep.warm_ms, prep.cold_ms
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("prep gate clean (warm {:.1} ms <= cold {:.1} ms)", prep.warm_ms, prep.cold_ms);
+    }
     if gate_parallel {
         for r in &reports {
             if r.parallel.median_ms > r.jobs1.median_ms {
@@ -172,11 +225,100 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Detail level for the preparation benchmark. Pinned at full scene
+/// detail so `prep_ms_*` reflects real build cost even when the
+/// simulation itself runs at smoke scale.
+const PREP_DETAIL: f32 = 1.0;
+
+/// Preparation wall-clock report: serial cold build, parallel cold
+/// build, cache-warm rebuild, and whether all three are bit-identical
+/// under the preparation codec.
+struct PrepReport {
+    cold_ms: f64,
+    parallel_ms: f64,
+    warm_ms: f64,
+    warm_hits: u64,
+    warm_misses: u64,
+    digests_match: bool,
+    /// Per scene: cold (serial, uncached-path) build wall time.
+    scene_ms: Vec<(SceneId, f64)>,
+}
+
+/// Times suite preparation three ways against a throwaway cache
+/// directory: a serial cold pass (timed per scene, populating the
+/// cache exactly as the production path would), a parallel cold pass
+/// through the cost-model scheduler with no cache, and a warm pass
+/// that must serve every scene from the cache.
+fn run_prepare_bench(detail: f32, workload: Workload, jobs: usize) -> PrepReport {
+    let root = std::env::temp_dir().join(format!("simperf-prep-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    let cache = BvhCache::open(&root).expect("preparation cache dir");
+    let mut scene_ms = Vec::with_capacity(SceneId::ALL.len());
+    let mut cold = Vec::with_capacity(SceneId::ALL.len());
+    let t0 = Instant::now();
+    for id in SceneId::ALL {
+        let c0 = Instant::now();
+        let bench = Bench::try_prepare_cached(id, detail, workload, Some(&cache))
+            .unwrap_or_else(|e| panic!("preparing {id}: {e}"));
+        scene_ms.push((id, c0.elapsed().as_secs_f64() * 1e3));
+        cold.push(bench);
+    }
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Digest (FNV over the codec encoding) and drop each pass's suite
+    // before timing the next one: holding several full-detail suites
+    // alive at once distorts the later passes through allocator and
+    // page-cache pressure, which on small hosts can make the warm
+    // pass look slower than cold.
+    let digest = |b: &Bench| fnv1a64(&encode_prepared_bench(b, 0));
+    let cold_digests: Vec<u64> = cold.iter().map(digest).collect();
+    drop(cold);
+
+    let parallel_opts = PrepareOptions {
+        jobs: Some(jobs),
+        quiet: true,
+        cache: None,
+    };
+    let t0 = Instant::now();
+    let parallel = Suite::prepare_with(detail, workload, &parallel_opts);
+    let parallel_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let parallel_digests: Vec<u64> = parallel.benches().iter().map(digest).collect();
+    drop(parallel);
+
+    let warm_opts = PrepareOptions {
+        jobs: Some(jobs),
+        quiet: true,
+        cache: Some(BvhCache::open(&root).expect("preparation cache dir")),
+    };
+    let t0 = Instant::now();
+    let warm = Suite::prepare_with(detail, workload, &warm_opts);
+    let warm_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let warm_cache = warm_opts.cache.as_ref().expect("warm cache present");
+    let (warm_hits, warm_misses) = (warm_cache.hits(), warm_cache.misses());
+    let warm_digests: Vec<u64> = warm.benches().iter().map(digest).collect();
+
+    // Bit-identity across all three: the preparation codec's encoding
+    // of every bench must agree byte for byte.
+    let digests_match = cold_digests == parallel_digests && cold_digests == warm_digests;
+
+    let _ = std::fs::remove_dir_all(&root);
+    PrepReport {
+        cold_ms,
+        parallel_ms,
+        warm_ms,
+        warm_hits,
+        warm_misses,
+        digests_match,
+        scene_ms,
+    }
+}
+
 fn usage(problem: &str) -> ExitCode {
     eprintln!("error: {problem}");
     eprintln!(
         "usage: simperf [--out BENCH_simperf.json] [--detail 0.1] [--reps 5] \
-         [--jobs N] [--gate-parallel]"
+         [--jobs N] [--gate-parallel] [--gate-prep]"
     );
     ExitCode::FAILURE
 }
@@ -318,12 +460,14 @@ fn verdict(ok: bool) -> &'static str {
 
 /// Hand-rolled JSON (the workspace is dependency-free by policy); every
 /// string is a known identifier, so no escaping is needed.
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     detail: f32,
     jobs: usize,
     reps: usize,
     plan: &Schedule,
     costs: &[u64],
+    prep: &PrepReport,
     reports: &[ConfigReport],
     kernels: &[(&str, rt_bench::microbench::Measurement)],
 ) -> String {
@@ -334,13 +478,31 @@ fn render_json(
          \"workload\": \"primary 16x16\",\n  \"jobs\": {jobs},\n  \"reps\": {reps},\n  \
          \"scheduler\": {{\n    \"requested_jobs\": {jobs},\n    \"workers\": {},\n    \
          \"inline_cells\": {},\n    \"chunks\": {},\n    \"inline_cost\": {},\n    \
-         \"chunked_cost\": {}\n  }},\n  \"suite\": [",
+         \"chunked_cost\": {}\n  }},\n  \"prepare\": {{\n    \
+         \"detail\": {PREP_DETAIL},\n    \
+         \"prep_ms_cold\": {:.3},\n    \"prep_ms_parallel\": {:.3},\n    \
+         \"prep_ms_warm\": {:.3},\n    \"cache_hits_warm\": {},\n    \
+         \"cache_misses_warm\": {},\n    \"digests_match\": {},\n    \"scenes\": [",
         plan.workers(),
         plan.inline_cells().len(),
         plan.chunks().len(),
         plan.inline_cost(),
         plan.chunked_cost(),
+        prep.cold_ms,
+        prep.parallel_ms,
+        prep.warm_ms,
+        prep.warm_hits,
+        prep.warm_misses,
+        prep.digests_match,
     );
+    for (i, (id, ms)) in prep.scene_ms.iter().enumerate() {
+        let _ = write!(
+            s,
+            "{}\n      {{\"scene\": \"{id}\", \"build_ms\": {ms:.3}}}",
+            if i == 0 { "" } else { "," },
+        );
+    }
+    let _ = write!(s, "\n    ]\n  }},\n  \"suite\": [");
     for (i, r) in reports.iter().enumerate() {
         let _ = write!(
             s,

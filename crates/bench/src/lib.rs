@@ -17,15 +17,84 @@ use rt_scene::{SceneId, Workload};
 use std::time::Instant;
 pub use svg::bar_chart;
 pub use treelet_rt::{
-    catch_job_panic, default_jobs, default_jobs_for, geometric_mean, plan_schedule,
-    plan_schedule_with, run_indexed, run_scheduled, run_weighted, Bench, CheckpointOptions,
-    Schedule, SimConfig, SimError, SimResult, SimSession, Sweep, SweepOutcome, Telemetry,
-    TelemetryOptions, TelemetrySample,
+    catch_job_panic, default_jobs, default_jobs_for, encode_prepared_bench, geometric_mean,
+    plan_schedule, plan_schedule_with, prepare_cache_key, run_indexed, run_scheduled,
+    run_weighted, Bench, BvhCache, CheckpointOptions, Schedule, SimConfig, SimError, SimResult,
+    SimSession, Sweep, SweepOutcome, Telemetry, TelemetryOptions, TelemetrySample,
 };
 
 /// Default scene detail for the experiment suite (full evaluation scale;
 /// see `DESIGN.md` for the scaling rationale).
 pub const SUITE_DETAIL: f32 = 1.0;
+
+/// Options steering [`Suite::prepare_with`]: worker count, progress
+/// verbosity, and the preparation cache.
+#[derive(Debug, Default)]
+pub struct PrepareOptions {
+    /// Worker count for sharding preparation across scenes; `None`
+    /// uses [`default_jobs_for`] the scene count (so `RT_JOBS` applies).
+    /// Any count produces bit-identical benches in suite order.
+    pub jobs: Option<usize>,
+    /// Suppress the per-scene progress lines — for bench bins that
+    /// print their own headers and for output-sensitive harnesses.
+    pub quiet: bool,
+    /// Content-addressed preparation cache; `None` builds from scratch.
+    pub cache: Option<BvhCache>,
+}
+
+impl PrepareOptions {
+    /// The defaults interactive binaries want: automatic worker count,
+    /// progress on stderr, and the `RT_BVH_CACHE` environment cache
+    /// when one is configured.
+    pub fn standard() -> PrepareOptions {
+        PrepareOptions {
+            jobs: None,
+            quiet: false,
+            cache: BvhCache::from_env(),
+        }
+    }
+}
+
+/// Parses an optional `TREELET_DETAIL`-style override. Pure (no
+/// environment access) so the rejection paths are unit-testable:
+/// `None`/empty means "no override", a finite positive number is the
+/// override, and anything else is an error naming the bad value —
+/// never a silent fallback.
+///
+/// # Errors
+///
+/// A human-readable description of why the value was rejected.
+pub fn parse_detail_override(raw: Option<&str>) -> Result<Option<f32>, String> {
+    let Some(raw) = raw else { return Ok(None) };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    match trimmed.parse::<f32>() {
+        Ok(d) if d.is_finite() && d > 0.0 => Ok(Some(d)),
+        Ok(d) => Err(format!(
+            "TREELET_DETAIL={trimmed} must be a finite positive number (parsed as {d})"
+        )),
+        Err(_) => Err(format!("TREELET_DETAIL={trimmed} is not a number")),
+    }
+}
+
+/// The suite detail to use: the `TREELET_DETAIL` override when it is
+/// set and valid, otherwise [`SUITE_DETAIL`]. An unparseable override
+/// warns on stderr (it used to be silently ignored — a typo'd
+/// `TREELET_DETAIL=0.1x` would quietly run the full-detail suite for
+/// minutes) and falls back to the default.
+pub fn suite_detail_from_env() -> f32 {
+    let raw = std::env::var("TREELET_DETAIL").ok();
+    match parse_detail_override(raw.as_deref()) {
+        Ok(Some(detail)) => detail,
+        Ok(None) => SUITE_DETAIL,
+        Err(why) => {
+            eprintln!("warning: ignoring invalid detail override: {why}; using {SUITE_DETAIL}");
+            SUITE_DETAIL
+        }
+    }
+}
 
 /// The sixteen-scene evaluation suite, prepared once and reused across
 /// configurations.
@@ -36,31 +105,91 @@ pub struct Suite {
 
 impl Suite {
     /// Prepares every scene of the paper's Table 2 at `detail` with the
-    /// given ray workload, printing progress to stderr.
+    /// given ray workload, printing progress to stderr: preparation is
+    /// sharded across the cost-model scheduler (biggest scenes first)
+    /// and served from the `RT_BVH_CACHE` cache when one is configured.
+    /// See [`Suite::prepare_with`] for explicit control.
     pub fn prepare(detail: f32, workload: Workload) -> Suite {
+        Suite::prepare_with(detail, workload, &PrepareOptions::standard())
+    }
+
+    /// Prepares the suite under explicit [`PrepareOptions`].
+    ///
+    /// Scene generation, BVH construction, and ray generation for each
+    /// scene are independent and deterministic, so the cells shard
+    /// across the same cost-model scheduler the simulations use —
+    /// planned by the paper's Table 2 tree sizes (the best available
+    /// estimate before any tree is built) so the heaviest builds start
+    /// first. Results come back in suite order, and every bench is
+    /// bit-identical to a serial, uncached preparation at any worker
+    /// count: the cache stores the exact built artifact, and each cell
+    /// is single-threaded.
+    ///
+    /// Progress is one complete `eprintln!` line per scene emitted from
+    /// this harness (never a split `eprint!` pair that would interleave
+    /// across workers), plus a summary with cache hit counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the scene's [`SceneError`](rt_scene::SceneError)
+    /// message if `detail` is rejected.
+    pub fn prepare_with(detail: f32, workload: Workload, opts: &PrepareOptions) -> Suite {
         let t0 = Instant::now();
-        let benches = SceneId::ALL
-            .into_iter()
-            .map(|id| {
-                eprint!("preparing {id} ... ");
-                let b = Bench::prepare(id, detail, workload);
-                eprintln!("{} triangles", b.bvh().triangles().len());
-                b
-            })
-            .collect();
-        eprintln!("suite prepared in {:.1?}", t0.elapsed());
+        let scenes = SceneId::ALL;
+        let jobs = opts.jobs.unwrap_or_else(|| default_jobs_for(scenes.len()));
+        let costs = Suite::prepare_costs();
+        let cache = opts.cache.as_ref();
+        let benches = run_weighted(jobs, &costs, |i| {
+            let id = scenes[i];
+            let c0 = Instant::now();
+            let bench = match Bench::try_prepare_cached(id, detail, workload, cache) {
+                Ok(bench) => bench,
+                Err(e) => panic!("preparing {id}: {e}"),
+            };
+            if !opts.quiet {
+                eprintln!(
+                    "prepared {id}: {} triangles, {} nodes in {:.1?}",
+                    bench.bvh().triangles().len(),
+                    bench.bvh().node_count(),
+                    c0.elapsed()
+                );
+            }
+            bench
+        });
+        if !opts.quiet {
+            match cache {
+                Some(c) => eprintln!(
+                    "suite prepared in {:.1?} ({} cache hits, {} misses)",
+                    t0.elapsed(),
+                    c.hits(),
+                    c.misses()
+                ),
+                None => eprintln!("suite prepared in {:.1?}", t0.elapsed()),
+            }
+        }
         Suite { benches }
+    }
+
+    /// Per-scene preparation cost estimates in suite order, for the
+    /// cost-model scheduler. Before any tree is built the only signal
+    /// is the paper's Table 2 tree size, which tracks build cost within
+    /// a detail level; the absolute scale (bytes) keeps every cell
+    /// above the scheduler's inline threshold — correct, since even the
+    /// smallest scene build dwarfs a cross-thread handoff.
+    fn prepare_costs() -> Vec<u64> {
+        SceneId::ALL
+            .into_iter()
+            .map(|id| (id.paper_stats().tree_size_mb * 1_048_576.0) as u64)
+            .map(|c| c.max(1))
+            .collect()
     }
 
     /// Prepares the suite with the paper's default workload (32×32
     /// primary rays, 1 SPP) at the default detail, honoring the
-    /// `TREELET_DETAIL` environment variable for quick runs.
+    /// `TREELET_DETAIL` environment variable for quick runs (invalid
+    /// values warn and fall back — see [`suite_detail_from_env`]).
     pub fn prepare_default() -> Suite {
-        let detail = std::env::var("TREELET_DETAIL")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(SUITE_DETAIL);
-        Suite::prepare(detail, Workload::paper_default())
+        Suite::prepare(suite_detail_from_env(), Workload::paper_default())
     }
 
     /// The prepared per-scene benches, in Table 2 order.
@@ -370,6 +499,77 @@ mod tests {
     }
 
     #[test]
+    fn detail_override_parsing_is_strict() {
+        assert_eq!(parse_detail_override(None), Ok(None));
+        assert_eq!(parse_detail_override(Some("")), Ok(None));
+        assert_eq!(parse_detail_override(Some("  ")), Ok(None));
+        assert_eq!(parse_detail_override(Some("0.25")), Ok(Some(0.25)));
+        assert_eq!(parse_detail_override(Some(" 2 ")), Ok(Some(2.0)));
+        // Every rejection names the offending value instead of being
+        // silently swallowed (the old `.ok().and_then(parse().ok())`
+        // fell back to the full-detail suite on a typo).
+        for bad in ["0.1x", "abc", "0", "-1", "inf", "NaN"] {
+            let err = parse_detail_override(Some(bad)).unwrap_err();
+            assert!(err.contains(bad.trim()), "{bad:?} -> {err}");
+        }
+    }
+
+    /// Per-bench serialized artifact bytes — the bit-identity oracle
+    /// for preparation paths (covers nodes, triangles, rays, and the
+    /// default treelet assignment).
+    fn prepared_digests(suite: &Suite) -> Vec<Vec<u8>> {
+        suite
+            .benches()
+            .iter()
+            .map(|b| encode_prepared_bench(b, 0))
+            .collect()
+    }
+
+    #[test]
+    fn cold_warm_parallel_prepares_are_bit_identical() {
+        let dir = std::env::temp_dir().join(format!(
+            "rt_bench_prepare_cache_{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let workload = Workload::new(rt_scene::WorkloadKind::Primary, 4, 4);
+        let detail = 0.05;
+        let quiet = |jobs, cache| PrepareOptions {
+            jobs: Some(jobs),
+            quiet: true,
+            cache,
+        };
+        // Cold serial prepare populates the cache.
+        let cold_cache = BvhCache::open(&dir).unwrap();
+        let cold = Suite::prepare_with(detail, workload, &quiet(1, Some(cold_cache)));
+        // Parallel uncached prepare.
+        let parallel = Suite::prepare_with(detail, workload, &quiet(4, None));
+        // Warm parallel prepare must be all hits.
+        let warm_cache = BvhCache::open(&dir).unwrap();
+        let warm_opts = quiet(4, Some(warm_cache));
+        let warm = Suite::prepare_with(detail, workload, &warm_opts);
+        let c = warm_opts.cache.as_ref().unwrap();
+        assert_eq!(
+            (c.hits(), c.misses()),
+            (SceneId::ALL.len() as u64, 0),
+            "warm prepare must be served entirely from cache"
+        );
+        let cold_d = prepared_digests(&cold);
+        assert_eq!(cold_d, prepared_digests(&parallel));
+        assert_eq!(cold_d, prepared_digests(&warm));
+        // And the acceptance-level oracle: simulation state digests are
+        // bit-identical regardless of how the suite was prepared.
+        let config = SimConfig::paper_baseline();
+        let from_cold = cold.run_all_parallel(&config, 1);
+        let from_warm = warm.run_all_parallel(&config, 4);
+        for (a, b) in from_cold.iter().zip(&from_warm) {
+            assert_eq!(a.state_digest, b.state_digest);
+            assert_eq!(a.cycles, b.cycles);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn slugify_makes_file_stems() {
         assert_eq!(
             slugify("Fig. 7: speedup and power (ALWAYS)"),
@@ -535,3 +735,4 @@ mod tests {
         print_scene_table("empty", &["a"], &[], true);
     }
 }
+

@@ -40,12 +40,17 @@
 #![warn(missing_debug_implementations)]
 
 mod binary;
+mod codec;
 mod layout;
 mod record;
 mod soa;
 mod stats;
 mod wide;
 
+pub use codec::{
+    decode_wide_bvh, encode_wide_bvh, ArtifactSection, BvhArtifact, BVH_ARTIFACT_MAGIC,
+    BVH_ARTIFACT_VERSION,
+};
 pub use layout::{LayoutKind, MemoryImage, PackOptions, NODE_REGION_BASE};
 pub use record::{NodeRecord, RECORD_BYTES};
 pub use soa::{build_soa_table, ChildHits, ChildSoa};

@@ -156,6 +156,94 @@ impl WideBvh {
         WideBvhBuilder::new().build(triangles)
     }
 
+    /// Reassembles a `WideBvh` from a decoded node array and triangle
+    /// buffer, re-deriving the [`ChildSoa`] mirror. This is the codec's
+    /// back door: serialized artifacts store only nodes and triangles
+    /// (the mirror is a pure function of the nodes), and every
+    /// structural invariant the builder guarantees is re-checked here so
+    /// a checksum-valid but semantically bogus payload can never
+    /// construct a tree that panics later in traversal.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violated invariant:
+    /// empty arrays, out-of-range child or triangle references, arity
+    /// violations, unreachable or multiply-referenced nodes, or
+    /// triangles not covered by exactly one leaf.
+    pub(crate) fn from_parts(
+        nodes: Vec<WideNode>,
+        triangles: Vec<Triangle>,
+    ) -> Result<WideBvh, String> {
+        if nodes.is_empty() {
+            return Err("node array is empty".to_string());
+        }
+        if triangles.is_empty() {
+            return Err("triangle buffer is empty".to_string());
+        }
+        let n = nodes.len();
+        let mut visited = vec![false; n];
+        let mut tri_covered = vec![false; triangles.len()];
+        let mut stack = vec![0usize];
+        visited[0] = true;
+        while let Some(i) = stack.pop() {
+            match &nodes[i] {
+                WideNode::Internal { children } => {
+                    if children.is_empty() || children.len() > WIDE_ARITY {
+                        return Err(format!(
+                            "node {i} has {} children (arity 1..={WIDE_ARITY})",
+                            children.len()
+                        ));
+                    }
+                    for c in children {
+                        let child = c.node as usize;
+                        if child >= n {
+                            return Err(format!("node {i} references child {child} of {n}"));
+                        }
+                        if visited[child] {
+                            return Err(format!(
+                                "node {child} referenced more than once (shared or cyclic)"
+                            ));
+                        }
+                        visited[child] = true;
+                        stack.push(child);
+                    }
+                }
+                WideNode::Leaf { first, count, .. } => {
+                    if *count == 0 {
+                        return Err(format!("leaf {i} is empty"));
+                    }
+                    let first = *first as usize;
+                    let count = *count as usize;
+                    if first + count > triangles.len() {
+                        return Err(format!(
+                            "leaf {i} covers triangles {first}..{} of {}",
+                            first + count,
+                            triangles.len()
+                        ));
+                    }
+                    for covered in &mut tri_covered[first..first + count] {
+                        if *covered {
+                            return Err(format!("leaf {i} re-covers a triangle"));
+                        }
+                        *covered = true;
+                    }
+                }
+            }
+        }
+        if let Some(orphan) = visited.iter().position(|&r| !r) {
+            return Err(format!("node {orphan} is unreachable from the root"));
+        }
+        if let Some(tri) = tri_covered.iter().position(|&c| !c) {
+            return Err(format!("triangle {tri} not covered by any leaf"));
+        }
+        let children_soa = build_soa_table(&nodes);
+        Ok(WideBvh {
+            nodes,
+            triangles,
+            children_soa,
+        })
+    }
+
     /// The node array; index 0 is the root.
     pub fn nodes(&self) -> &[WideNode] {
         &self.nodes

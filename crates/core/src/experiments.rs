@@ -6,7 +6,7 @@ use crate::session::SimSession;
 use crate::sim::SimResult;
 use rt_bvh::{TreeStats, WideBvh};
 use rt_geometry::Ray;
-use rt_scene::{Scene, SceneId, Workload};
+use rt_scene::{Scene, SceneError, SceneId, Workload};
 
 /// Default scene detail used by the experiment harness.
 ///
@@ -42,21 +42,87 @@ impl Bench {
     ///
     /// # Panics
     ///
-    /// Panics if `detail` is not positive.
+    /// Panics with the [`SceneError`] message if `detail` is not finite
+    /// and positive or the scaled scene would exceed the generator
+    /// triangle ceiling; use [`Bench::try_prepare`] to handle those as
+    /// typed errors (daemon and suite paths should).
     pub fn prepare(scene: SceneId, detail: f32, workload: Workload) -> Bench {
-        let scene_data = Scene::build_with_detail(scene, detail);
+        match Bench::try_prepare(scene, detail, workload) {
+            Ok(bench) => bench,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Bench::prepare`] with bad inputs as typed errors instead of
+    /// panics.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Scene::try_build_with_detail`] can return:
+    /// [`SceneError::InvalidDetail`] or [`SceneError::TooManyTriangles`].
+    pub fn try_prepare(
+        scene: SceneId,
+        detail: f32,
+        workload: Workload,
+    ) -> Result<Bench, SceneError> {
+        let scene_data = Scene::try_build_with_detail(scene, detail)?;
         let rays = workload.generate(&scene_data);
         let bvh = WideBvh::build(scene_data.mesh.into_triangles());
-        Bench {
+        Ok(Bench {
             id: scene,
             bvh,
             rays,
+        })
+    }
+
+    /// [`Bench::try_prepare`] backed by a preparation cache: a valid
+    /// cached artifact skips scene generation, ray generation, and the
+    /// BVH build entirely; a miss (or any corrupt entry — self-healing)
+    /// prepares from scratch and repopulates the cache. `cache = None`
+    /// is exactly [`Bench::try_prepare`].
+    ///
+    /// The returned bench is bit-identical to an uncached preparation:
+    /// the artifact stores the exact built tree and generated rays, and
+    /// decode re-validates structure before trusting either.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Bench::try_prepare`] can return. Cache I/O problems
+    /// are never errors — the cache degrades to a miss.
+    pub fn try_prepare_cached(
+        scene: SceneId,
+        detail: f32,
+        workload: Workload,
+        cache: Option<&crate::BvhCache>,
+    ) -> Result<Bench, SceneError> {
+        let Some(cache) = cache else {
+            return Bench::try_prepare(scene, detail, workload);
+        };
+        let key = crate::prepare_cache_key(scene, detail, &workload);
+        if let Some(bench) = cache.load(key, scene) {
+            return Ok(bench);
         }
+        let bench = Bench::try_prepare(scene, detail, workload)?;
+        cache.store(key, &bench);
+        Ok(bench)
+    }
+
+    /// Reassembles a bench from artifact-decoded parts. The codec layer
+    /// ([`decode_prepared_bench`](crate::decode_prepared_bench)) is the
+    /// only caller; it has already validated the tree and rays.
+    pub(crate) fn from_cached_parts(id: SceneId, bvh: WideBvh, rays: Vec<Ray>) -> Bench {
+        Bench { id, bvh, rays }
     }
 
     /// The scene this bench was prepared from.
     pub fn scene(&self) -> SceneId {
         self.id
+    }
+
+    /// Decomposes the bench into its owned BVH and rays, for callers
+    /// that manage the pieces themselves.
+    pub fn into_parts(self) -> (WideBvh, Vec<Ray>) {
+        (self.bvh, self.rays)
     }
 
     /// The prepared BVH.

@@ -56,6 +56,7 @@ mod metrics;
 mod mta;
 mod power;
 mod prefetch;
+mod prepare;
 mod prefetcher;
 mod runner;
 mod session;
@@ -84,6 +85,10 @@ pub use prefetch::{
     Vote, VoterAreaModel, VoterKind,
 };
 pub use prefetcher::{PrefetchUnitStats, Prefetcher, WarpBufferView};
+pub use prepare::{decode_prepared_bench, encode_prepared_bench, prepare_cache_key, BvhCache};
+// The preparation codec's error type, so callers can name
+// `decode_prepared_bench`'s failures without a direct rt-gpu-sim dep.
+pub use rt_gpu_sim::DecodeError;
 pub use runner::{
     catch_job_panic, default_jobs, default_jobs_for, panic_message, plan_schedule,
     plan_schedule_with, run_indexed, run_scheduled, run_weighted, Schedule, Sweep, SweepOutcome,

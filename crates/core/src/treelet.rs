@@ -196,6 +196,73 @@ impl TreeletAssignment {
         })
     }
 
+    /// Appends the assignment to `w` for the preparation-artifact
+    /// codec: the byte budget plus every treelet's member list in
+    /// formation order (`of_node` is derived on decode, like the BVH's
+    /// SoA mirror).
+    pub(crate) fn encode(&self, w: &mut rt_gpu_sim::ByteWriter) {
+        w.put_u64(self.max_bytes);
+        w.put_len(self.treelets.len());
+        for members in &self.treelets {
+            w.put_len(members.len());
+            for &node in members {
+                w.put_u32(node);
+            }
+        }
+    }
+
+    /// Reads an assignment written by [`TreeletAssignment::encode`],
+    /// validating it against a tree with `node_count` nodes: every node
+    /// must land in exactly one treelet and member ids must be in range,
+    /// so a checksum-valid but bogus payload can never index out of
+    /// bounds at simulation time.
+    pub(crate) fn decode(
+        r: &mut rt_gpu_sim::ByteReader<'_>,
+        node_count: usize,
+    ) -> Result<TreeletAssignment, rt_gpu_sim::DecodeError> {
+        use rt_gpu_sim::DecodeError;
+        let max_bytes = r.take_u64()?;
+        if max_bytes < NODE_SIZE_BYTES {
+            return Err(DecodeError::malformed(format!(
+                "treelet budget {max_bytes} below one node"
+            )));
+        }
+        let treelet_count = r.take_len(8)?;
+        let mut treelets = Vec::with_capacity(treelet_count);
+        let mut of_node = vec![u32::MAX; node_count];
+        for id in 0..treelet_count {
+            let member_count = r.take_len(4)?;
+            let mut members = Vec::with_capacity(member_count);
+            for _ in 0..member_count {
+                let node = r.take_u32()?;
+                let slot = of_node.get_mut(node as usize).ok_or_else(|| {
+                    DecodeError::malformed(format!(
+                        "treelet {id} member {node} outside {node_count} nodes"
+                    ))
+                })?;
+                if *slot != u32::MAX {
+                    return Err(DecodeError::malformed(format!(
+                        "node {node} assigned to treelets {} and {id}",
+                        *slot
+                    )));
+                }
+                *slot = id as u32;
+                members.push(node);
+            }
+            treelets.push(members);
+        }
+        if let Some(node) = of_node.iter().position(|&t| t == u32::MAX) {
+            return Err(DecodeError::malformed(format!(
+                "node {node} not assigned to any treelet"
+            )));
+        }
+        Ok(TreeletAssignment {
+            treelets,
+            of_node,
+            max_bytes,
+        })
+    }
+
     /// Number of treelets.
     pub fn count(&self) -> usize {
         self.treelets.len()

@@ -158,6 +158,12 @@ impl ByteWriter {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
+    /// Appends an `f32` as its IEEE-754 bit pattern, little-endian.
+    /// Bit-exact round-trip for every value, NaN payloads included.
+    pub fn put_f32(&mut self, v: f32) {
+        self.put_u32(v.to_bits());
+    }
+
     /// Appends an `i64`, little-endian two's complement.
     pub fn put_i64(&mut self, v: i64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
@@ -242,6 +248,11 @@ impl<'a> ByteReader<'a> {
     /// Reads a little-endian `i64`.
     pub fn take_i64(&mut self) -> Result<i64, DecodeError> {
         Ok(self.take_u64()? as i64)
+    }
+
+    /// Reads an `f32` stored as its IEEE-754 bit pattern.
+    pub fn take_f32(&mut self) -> Result<f32, DecodeError> {
+        Ok(f32::from_bits(self.take_u32()?))
     }
 
     /// Reads a `usize` encoded as `u64`, rejecting values that do not fit

@@ -428,6 +428,49 @@ impl ArtifactStore {
         Ok(())
     }
 
+    /// Path of a cached preparation artifact (an `RTBVH01` container:
+    /// built BVH + rays + default treelet assignment), keyed by the
+    /// preparation content digest — *not* the cell key, because many
+    /// cells (one per config) share one preparation.
+    pub fn bvh_artifact_path(&self, key: u64) -> PathBuf {
+        self.root.join("bvh").join(format!("{}.rtbvh", hex_id(key)))
+    }
+
+    /// Reads a cached preparation artifact's raw bytes, or `None` when
+    /// absent or unreadable. Decoding (and corruption judgment) is the
+    /// caller's: `treelet_rt::decode_prepared_bench` validates the
+    /// container, and any failure should be reported back via
+    /// [`ArtifactStore::remove_bvh_artifact`] so the entry self-heals.
+    pub fn read_bvh_artifact(&self, key: u64) -> Option<Vec<u8>> {
+        self.fs.read(&self.bvh_artifact_path(key)).ok()
+    }
+
+    /// Atomically caches a preparation artifact's bytes, creating the
+    /// `bvh/` directory on first use. Goes through the same fs shim and
+    /// write-then-rename discipline as every other store write, so the
+    /// chaos crash-point harness enumerates these write points too.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if directory creation or the atomic write
+    /// fails.
+    pub fn write_bvh_artifact(&self, key: u64, bytes: &[u8]) -> Result<(), StoreError> {
+        let dir = self.root.join("bvh");
+        self.fs.create_dir_all(&dir).map_err(|source| StoreError::Io {
+            what: "create directory",
+            path: dir,
+            source,
+        })?;
+        self.write_atomic(&self.bvh_artifact_path(key), bytes)
+    }
+
+    /// Deletes a preparation artifact that failed to decode (corrupt
+    /// entry = self-healing miss). Best-effort: the rebuild that
+    /// follows re-caches over it either way.
+    pub fn remove_bvh_artifact(&self, key: u64) {
+        let _ = self.fs.remove_file(&self.bvh_artifact_path(key));
+    }
+
     /// Ensures a cell's directory exists (the checkpoint writer needs
     /// the parent present).
     ///

@@ -30,7 +30,10 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
-use treelet_rt::{catch_job_panic, Bench, CheckpointOptions, SimConfig};
+use treelet_rt::{
+    catch_job_panic, decode_prepared_bench, encode_prepared_bench, panic_message,
+    prepare_cache_key, Bench, CheckpointOptions, SimConfig,
+};
 
 /// Locks a mutex, recovering from poisoning.
 ///
@@ -660,6 +663,37 @@ fn run_cell_with_deadline(
     }
 }
 
+/// Prepares a cell's bench through the store's preparation-artifact
+/// cache: a valid cached `RTBVH01` entry skips scene generation, BVH
+/// construction, and ray generation; a miss (or a corrupt entry, which
+/// self-heals) builds fresh and repopulates the cache, so every later
+/// cell — and every resubmitted job — sharing this (scene, detail,
+/// workload) skips the build entirely. Bad spec inputs surface as
+/// fatal typed failures via [`Bench::try_prepare`].
+fn prepare_bench_cached(
+    store: &ArtifactStore,
+    scene_id: SceneId,
+    detail: f32,
+    workload: Workload,
+) -> Result<Bench, CellFailure> {
+    let key = prepare_cache_key(scene_id, detail, &workload);
+    if let Some(bytes) = store.read_bvh_artifact(key) {
+        match decode_prepared_bench(scene_id, key, &bytes) {
+            Ok((bench, _assignment)) => return Ok(bench),
+            Err(_) => store.remove_bvh_artifact(key),
+        }
+    }
+    let bench = Bench::try_prepare(scene_id, detail, workload).map_err(|e| CellFailure {
+        transient: false,
+        message: e.to_string(),
+    })?;
+    // Population is best-effort: a store that cannot take the artifact
+    // (full disk, injected fault) costs future build time, never this
+    // cell's result.
+    let _ = store.write_bvh_artifact(key, &encode_prepared_bench(&bench, key));
+    Ok(bench)
+}
+
 /// Builds and simulates one cell, caching the result on success. Runs
 /// on the cell thread; panics are contained at this boundary into
 /// typed `WorkerPanicked` errors.
@@ -690,14 +724,31 @@ fn run_cell(
     let workload = Workload::new(kind, spec.res, spec.res);
     let opts = CheckpointOptions::new(spec.checkpoint_every, store.checkpoint_path(key))
         .with_digest_log(store.digest_log_path(key));
+    // Preparation first, through the store's BVH artifact cache and
+    // the fallible path: a bad detail in a job spec is a fatal typed
+    // failure for this cell, not a daemon-thread panic. Panics from
+    // deeper in scene/BVH construction are still contained.
+    let prepared = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        prepare_bench_cached(store, scene_id, detail, workload)
+    }));
+    let bench = match prepared {
+        Ok(Ok(bench)) => bench,
+        Ok(Err(failure)) => return Err(failure),
+        Err(payload) => {
+            return Err(CellFailure {
+                transient: true,
+                message: format!(
+                    "job {cell_index} panicked: {}",
+                    panic_message(&*payload)
+                ),
+            })
+        }
+    };
     // The closure's Err type is the simulator's SimError (128+ bytes
     // with its ProgressSnapshot payload); one cell runs per thread, so
     // the large-variant cost is irrelevant here.
     #[allow(clippy::result_large_err)]
-    let outcome = catch_job_panic(cell_index, || {
-        let bench = Bench::prepare(scene_id, detail, workload);
-        bench.try_run_resumable(&sim_config, &opts)
-    });
+    let outcome = catch_job_panic(cell_index, || bench.try_run_resumable(&sim_config, &opts));
     match outcome {
         Ok(result) => {
             let cell = CellResult {

@@ -152,8 +152,18 @@ fn every_store_write_point_crash_recovers_bit_identically() {
     assert_eq!(counted, reference);
     let points = counting.write_points();
     assert!(
-        points >= 10,
-        "the lifecycle must expose at least 10 distinct store write points, counted {points}"
+        points >= 22,
+        "the lifecycle must expose at least 22 distinct store write points \
+         (including the BVH artifact cache writes), counted {points}"
+    );
+    // The counting lifecycle must have populated the preparation cache:
+    // its write points are part of the exhaustive pass below.
+    let bvh_entries = std::fs::read_dir(count_dir.join("bvh"))
+        .map(|d| d.count())
+        .unwrap_or(0);
+    assert!(
+        bvh_entries > 0,
+        "the lifecycle must write at least one BVH artifact cache entry"
     );
     let _ = std::fs::remove_dir_all(&count_dir);
 

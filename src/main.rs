@@ -16,11 +16,12 @@
 use std::process::ExitCode;
 use treelet_prefetching::bvh::MemoryImage;
 use treelet_prefetching::bvh::{TreeStats, WideBvh, NODE_SIZE_BYTES};
+use treelet_prefetching::geometry::Ray;
 use treelet_prefetching::gpu::FaultInjection;
 use treelet_prefetching::scene::{load_obj, Camera, Scene, SceneId, Workload, WorkloadKind};
 use treelet_prefetching::treelet::{
     compile_trace, default_jobs_for, first_divergence, read_digest_log, trace_ray, write_traces,
-    Bench, CheckpointOptions, PrefetchConfig, PrefetchHeuristic, SchedulerPolicy, SimConfig,
+    Bench, BvhCache, CheckpointOptions, PrefetchConfig, PrefetchHeuristic, SchedulerPolicy, SimConfig,
     SimError, SimSession, Sweep, SweepOutcome, Telemetry, TelemetryOptions, TreeletAssignment,
     DEFAULT_TELEMETRY_EVERY,
 };
@@ -97,6 +98,9 @@ struct Options {
     telemetry: bool,
     telemetry_path: Option<String>,
     telemetry_every: Option<u64>,
+    /// `--bvh-cache DIR`: content-addressed preparation cache root.
+    /// `None` falls back to the `RT_BVH_CACHE` environment variable.
+    bvh_cache: Option<String>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -174,6 +178,9 @@ struct SweepOptions {
     jobs: Option<usize>,
     digest_dir: Option<String>,
     max_cycles: Option<u64>,
+    /// `--bvh-cache DIR`: content-addressed preparation cache root.
+    /// `None` falls back to the `RT_BVH_CACHE` environment variable.
+    bvh_cache: Option<String>,
 }
 
 impl Default for SweepOptions {
@@ -188,6 +195,7 @@ impl Default for SweepOptions {
             jobs: None,
             digest_dir: None,
             max_cycles: None,
+            bvh_cache: None,
         }
     }
 }
@@ -218,6 +226,7 @@ impl Default for Options {
             telemetry: false,
             telemetry_path: None,
             telemetry_every: None,
+            bvh_cache: None,
         }
     }
 }
@@ -427,6 +436,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--checkpoint-path" => {
                 options.checkpoint_path = Some(next_value(&mut it, "--checkpoint-path")?.clone());
             }
+            "--bvh-cache" => {
+                options.bvh_cache = Some(next_value(&mut it, "--bvh-cache")?.clone());
+            }
             "--digest-log" => {
                 options.digest_log = Some(next_value(&mut it, "--digest-log")?.clone());
             }
@@ -566,6 +578,9 @@ fn parse_sweep_options(args: &[String], grid: bool) -> Result<SweepOptions, Stri
                     return Err("--jobs must be positive".into());
                 }
                 options.jobs = Some(v);
+            }
+            "--bvh-cache" => {
+                options.bvh_cache = Some(next_value(&mut it, "--bvh-cache")?.clone());
             }
             "--digest-dir" => {
                 options.digest_dir = Some(next_value(&mut it, "--digest-dir")?.clone());
@@ -854,6 +869,44 @@ fn apply_robustness(mut config: SimConfig, options: &Options) -> SimConfig {
 /// Builds the workload geometry: either a named procedural scene or a
 /// user OBJ framed by the same camera logic.
 ///
+/// Resolves the preparation cache for a command: an explicit
+/// `--bvh-cache` flag wins, and an unusable directory is invalid input
+/// (exit 2); with no flag, the `RT_BVH_CACHE` environment variable
+/// applies best-effort (unusable directory warns and disables caching).
+fn resolve_bvh_cache(flag: Option<&str>) -> Result<Option<BvhCache>, Failure> {
+    match flag {
+        Some(dir) => BvhCache::open(dir)
+            .map(Some)
+            .map_err(|e| invalid(format!("--bvh-cache {dir}: {e}"))),
+        None => Ok(BvhCache::from_env()),
+    }
+}
+
+/// Builds the command's BVH and workload rays, going through the
+/// content-addressed preparation cache when one is configured. `--obj`
+/// meshes are never cached: the cache key identifies paper scenes by
+/// name and detail, not arbitrary mesh files.
+fn prepare_inputs(options: &Options) -> Result<(WideBvh, Vec<Ray>), Failure> {
+    let workload = Workload::new(options.workload, options.res, options.res);
+    if options.obj.is_none() {
+        let cache = resolve_bvh_cache(options.bvh_cache.as_deref())?;
+        let bench = Bench::try_prepare_cached(
+            options.scene,
+            options.detail,
+            workload,
+            cache.as_ref(),
+        )
+        .map_err(|e| Failure {
+            message: e.to_string(),
+            code: 2,
+        })?;
+        return Ok(bench.into_parts());
+    }
+    let scene = build_scene(options)?;
+    let rays = workload.generate(&scene);
+    Ok((WideBvh::build(scene.mesh.into_triangles()), rays))
+}
+
 /// Scene-construction failures (bad detail, triangle-budget overflow)
 /// are invalid input — exit code 2 — not generic errors.
 fn build_scene(options: &Options) -> Result<Scene, Failure> {
@@ -906,9 +959,7 @@ fn cmd_scenes() {
 }
 
 fn cmd_stats(options: &Options) -> Result<(), Failure> {
-    let scene = build_scene(options)?;
-    let rays = Workload::new(options.workload, options.res, options.res).generate(&scene);
-    let bvh = WideBvh::build(scene.mesh.into_triangles());
+    let (bvh, rays) = prepare_inputs(options)?;
     let stats = TreeStats::of(&bvh);
     let treelets =
         TreeletAssignment::try_form(&bvh, options.treelet_bytes).map_err(SimError::from)?;
@@ -1052,9 +1103,7 @@ fn checkpoint_options(options: &Options) -> Result<Option<CheckpointOptions>, St
 }
 
 fn cmd_run(options: &Options) -> Result<(), Failure> {
-    let scene = build_scene(options)?;
-    let rays = Workload::new(options.workload, options.res, options.res).generate(&scene);
-    let bvh = WideBvh::build(scene.mesh.into_triangles());
+    let (bvh, rays) = prepare_inputs(options)?;
     let config = build_config(options);
     let telemetry_opts = telemetry_options(options).map_err(invalid)?;
     let mut telemetry = None;
@@ -1169,9 +1218,7 @@ fn cmd_bisect(log_a: &str, log_b: &str) -> Result<(), Failure> {
 
 fn cmd_trace(options: &Options, out_path: &str) -> Result<(), Failure> {
     use treelet_prefetching::treelet::TraversalAlgorithm;
-    let scene = build_scene(options)?;
-    let rays = Workload::new(options.workload, options.res, options.res).generate(&scene);
-    let bvh = WideBvh::build(scene.mesh.into_triangles());
+    let (bvh, rays) = prepare_inputs(options)?;
     let config = build_config(options);
     let treelets =
         TreeletAssignment::try_form(&bvh, options.treelet_bytes).map_err(SimError::from)?;
@@ -1283,12 +1330,34 @@ fn cmd_sweep(options: &SweepOptions) -> Result<(), Failure> {
         options.scenes.len() * grid.len()
     );
     // Scene preparation (geometry + BVH build) is independent per scene:
-    // shard it across the same pool the simulations use.
-    let benches = treelet_prefetching::treelet::run_indexed(
-        jobs,
-        options.scenes.len(),
-        |i| Bench::prepare(options.scenes[i], options.detail, workload),
-    );
+    // shard it across the same pool the simulations use, weighted by
+    // each scene's paper tree size so the big builds start first, and
+    // route each build through the preparation cache when one is
+    // configured.
+    let cache = resolve_bvh_cache(options.bvh_cache.as_deref())?;
+    let costs: Vec<u64> = options
+        .scenes
+        .iter()
+        .map(|id| ((id.paper_stats().tree_size_mb * 1_048_576.0) as u64).max(1))
+        .collect();
+    let prepared = treelet_prefetching::treelet::run_weighted(jobs, &costs, |i| {
+        Bench::try_prepare_cached(options.scenes[i], options.detail, workload, cache.as_ref())
+    });
+    let mut benches = Vec::with_capacity(prepared.len());
+    for bench in prepared {
+        benches.push(bench.map_err(|e| Failure {
+            message: e.to_string(),
+            code: 2,
+        })?);
+    }
+    if let Some(cache) = &cache {
+        eprintln!(
+            "bvh cache: {} hit(s), {} miss(es) at {}",
+            cache.hits(),
+            cache.misses(),
+            cache.root().display()
+        );
+    }
     let mut sweep = Sweep::new(benches);
     for (label, config) in grid {
         sweep = sweep.with_config(label, config);
@@ -1572,14 +1641,17 @@ USAGE:
                             [--checkpoint-every N] [--checkpoint-path FILE]
                             [--digest-log FILE] [--resume]
                             [--telemetry [FILE]] [--telemetry-every N]
+                            [--bvh-cache DIR]
   treelet-prefetching suite [--scenes CAR,BUNNY,..] [--config prefetch]
                             [--detail 1.0] [--res 32] [--workload primary]
                             [--jobs N] [--digest-dir DIR] [--max-cycles N]
+                            [--bvh-cache DIR]
   treelet-prefetching sweep [--scenes CAR,BUNNY,..]
                             [--configs baseline,prefetch]
                             [--treelet-bytes-list 256,512,1024]
                             [--detail 1.0] [--res 32] [--workload primary]
                             [--jobs N] [--digest-dir DIR] [--max-cycles N]
+                            [--bvh-cache DIR]
   treelet-prefetching bisect-divergence LOG_A LOG_B
   treelet-prefetching serve  --addr HOST:PORT --store DIR [--workers N]
                              [--queue-cap N] [--timeout-ms N]
@@ -1617,6 +1689,14 @@ PARALLEL EXECUTION:
   --digest-dir DIR     write one digest log per scene into DIR; byte-
                        identical across job counts (CI diffs jobs=1 vs
                        jobs=4 output to enforce the determinism contract)
+  --bvh-cache DIR      content-addressed preparation cache: store each
+                       scene's built BVH + rays + treelet assignment in
+                       DIR keyed by (scene, detail, workload, build
+                       params) and reuse on later runs; cached and fresh
+                       preparations are bit-identical. The RT_BVH_CACHE
+                       environment variable sets a default; corrupt
+                       entries self-heal as misses. Not applied to --obj
+                       meshes (the key names paper scenes, not files)
 
 ROBUSTNESS:
   --max-cycles N       abort with exit code 3 if the run exceeds N cycles
@@ -1921,6 +2001,24 @@ mod tests {
     }
 
     #[test]
+    fn bvh_cache_flag_parses() {
+        let opts = match parse(&["run", "--bvh-cache", "prep"]).unwrap() {
+            Command::Run(o) => o,
+            other => panic!("expected run, got {other:?}"),
+        };
+        assert_eq!(opts.bvh_cache.as_deref(), Some("prep"));
+        // Default: no flag leaves the decision to RT_BVH_CACHE.
+        let opts = match parse(&["run"]).unwrap() {
+            Command::Run(o) => o,
+            other => panic!("expected run, got {other:?}"),
+        };
+        assert_eq!(opts.bvh_cache, None);
+        // The flag needs a value.
+        assert!(parse(&["run", "--bvh-cache"]).is_err());
+        assert!(parse(&["sweep", "--bvh-cache"]).is_err());
+    }
+
+    #[test]
     fn suite_and_sweep_flags_parse() {
         // Bare suite: every scene, one prefetch column, auto job count.
         let opts = match parse(&["suite"]).unwrap() {
@@ -1933,7 +2031,7 @@ mod tests {
 
         let opts = match parse(&[
             "suite", "--scenes", "CAR,BUNNY", "--config", "baseline", "--jobs", "3",
-            "--digest-dir", "logs", "--max-cycles", "5000",
+            "--digest-dir", "logs", "--max-cycles", "5000", "--bvh-cache", "prep-cache",
         ])
         .unwrap()
         {
@@ -1945,6 +2043,7 @@ mod tests {
         assert_eq!(opts.jobs, Some(3));
         assert_eq!(opts.digest_dir.as_deref(), Some("logs"));
         assert_eq!(opts.max_cycles, Some(5000));
+        assert_eq!(opts.bvh_cache.as_deref(), Some("prep-cache"));
 
         // Sweep defaults to the baseline-vs-prefetch grid and accepts
         // the grid-only list flags.
